@@ -1,0 +1,146 @@
+// Microbenchmarks (google-benchmark): the innermost kernel, tiling
+// machinery and cache-simulator throughput.  These are the numbers that
+// bound everything else: the row kernel's in-cache rate is the Pcore of the
+// bottleneck model.
+#include <benchmark/benchmark.h>
+
+#include "cachesim/cache.hpp"
+#include "em/coefficients.hpp"
+#include "exec/engine.hpp"
+#include "grid/fieldset.hpp"
+#include "kernels/reference.hpp"
+#include "kernels/update.hpp"
+#include "kernels/update_simd.hpp"
+#include "tiling/dag.hpp"
+#include "tiling/diamond.hpp"
+#include "util/barrier.hpp"
+
+namespace {
+
+using namespace emwd;
+
+void BM_UpdateRow(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<double> x(2 * n, 1.0), t(2 * n, 0.5), c(2 * n, 0.25), src(2 * n, 0.1);
+  std::vector<double> a(2 * 3 * n, 0.3), b(2 * 3 * n, 0.7);
+  kernels::RowArgs args;
+  args.x = x.data();
+  args.t = t.data();
+  args.c = c.data();
+  args.src = src.data();
+  args.a = a.data() + 2 * n;
+  args.b = b.data() + 2 * n;
+  args.shift = -n;
+  args.ds = 1.0;
+  args.n = n;
+  for (auto _ : state) {
+    kernels::update_row(args);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["flops/cell"] = 22;
+}
+BENCHMARK(BM_UpdateRow)->Arg(64)->Arg(256)->Arg(1024);
+
+// The paper's Sec. VI SIMD investigation: AVX2 vs scalar row kernel.
+void BM_UpdateRowAvx2(benchmark::State& state) {
+  if (!kernels::avx2_supported()) {
+    state.SkipWithError("AVX2 not available");
+    return;
+  }
+  const int n = static_cast<int>(state.range(0));
+  std::vector<double> x(2 * n, 1.0), t(2 * n, 0.5), c(2 * n, 0.25), src(2 * n, 0.1);
+  std::vector<double> a(2 * 3 * n, 0.3), b(2 * 3 * n, 0.7);
+  kernels::RowArgs args;
+  args.x = x.data();
+  args.t = t.data();
+  args.c = c.data();
+  args.src = src.data();
+  args.a = a.data() + 2 * n;
+  args.b = b.data() + 2 * n;
+  args.shift = -n;
+  args.ds = 1.0;
+  args.n = n;
+  for (auto _ : state) {
+    kernels::update_row_avx2(args);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_UpdateRowAvx2)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ReferenceStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  grid::Layout L({n, n, n});
+  grid::FieldSet fs(L);
+  em::build_random_stable(fs, 1);
+  for (auto _ : state) {
+    kernels::reference_step(fs, 1);
+  }
+  state.SetItemsProcessed(state.iterations() * L.interior().cells());
+  state.counters["MLUPs_basis"] = 1;
+}
+BENCHMARK(BM_ReferenceStep)->Arg(16)->Arg(32);
+
+void BM_MwdEngineStep(benchmark::State& state) {
+  const int n = 32;
+  grid::Layout L({n, n, n});
+  grid::FieldSet fs(L);
+  em::build_random_stable(fs, 1);
+  exec::MwdParams p;
+  p.dw = static_cast<int>(state.range(0));
+  p.bz = 2;
+  auto engine = exec::make_mwd_engine(p);
+  for (auto _ : state) {
+    engine->run(fs, 1);
+  }
+  state.SetItemsProcessed(state.iterations() * L.interior().cells());
+}
+BENCHMARK(BM_MwdEngineStep)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SpinBarrierSolo(benchmark::State& state) {
+  util::SpinBarrier b(1);
+  for (auto _ : state) b.arrive_and_wait();
+}
+BENCHMARK(BM_SpinBarrierSolo);
+
+void BM_DiamondSlices(benchmark::State& state) {
+  tiling::DiamondTiling dt(static_cast<int>(state.range(0)), 128, 32);
+  const auto& tiles = dt.tiles();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dt.slices(tiles[i % tiles.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_DiamondSlices)->Arg(4)->Arg(16);
+
+void BM_TileQueueDrain(benchmark::State& state) {
+  tiling::DiamondTiling dt(4, 64, 16);
+  for (auto _ : state) {
+    state.PauseTiming();
+    tiling::TileDag dag(dt);
+    tiling::TileQueue q(dag);
+    state.ResumeTiming();
+    while (auto t = q.pop()) q.complete(*t);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dt.tiles().size()));
+}
+BENCHMARK(BM_TileQueueDrain);
+
+void BM_CacheAccess(benchmark::State& state) {
+  cachesim::CacheConfig cfg;
+  cfg.size_bytes = 1u << 20;
+  cachesim::Cache cache(cfg);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(addr, false));
+    addr += 64;
+    if (addr > (8u << 20)) addr = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+}  // namespace

@@ -1,0 +1,81 @@
+// Silver nano-wire plasmonics (paper Sec. I-A, ref. [10]: "simulation of
+// light propagation in silver nanowire films using THIIM").
+//
+// A thin silver cylinder spans the domain laterally; the negative real
+// permittivity of silver exercises the THIIM back iteration at every wire
+// cell.  The example reports the field enhancement next to the wire —
+// the plasmonic hot spot — and verifies the run stays numerically stable.
+//
+//   ./nanowire [--n=32] [--steps=250] [--threads=2]
+#include <cmath>
+#include <cstdio>
+
+#include "em/geometry.hpp"
+#include "thiim/simulation.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emwd;
+
+  util::Cli cli;
+  cli.add_flag("n", "lateral grid size", "32");
+  cli.add_flag("steps", "THIIM iterations", "250");
+  cli.add_flag("threads", "worker threads", "2");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n", cli.error().c_str());
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::printf("%s", cli.help_text("nanowire").c_str());
+    return 0;
+  }
+  const int n = static_cast<int>(cli.get_int("n", 32));
+  const int nz = 2 * n;
+
+  thiim::SimulationConfig cfg;
+  cfg.grid = {n, n, nz};
+  cfg.wavelength_cells = 16.0;
+  cfg.pml.thickness = 6;
+  cfg.engine = thiim::EngineKind::Auto;
+  cfg.threads = static_cast<int>(cli.get_int("threads", 2));
+
+  thiim::Simulation sim(cfg);
+  const auto ag = sim.materials().add(em::silver());
+
+  // Wire along x at mid-height: a chain of overlapping spheres makes a
+  // cylinder of radius ~2 cells.
+  em::GeometryBuilder g(sim.materials());
+  const double cj = n / 2.0, ck = nz / 2.0, radius = 2.0;
+  for (int i = 0; i < n; ++i) g.sphere(ag, i, cj, ck, radius);
+
+  sim.finalize();
+  sim.add_plane_wave(em::SourceField::Ex, nz - cfg.pml.thickness - 2, {1.0, 0.0});
+
+  std::printf("nanowire: %dx%dx%d silver wire r=%.1f cells, engine %s\n", n, n, nz,
+              radius, sim.engine().name().c_str());
+  std::printf("silver cells (back iteration): %zu\n",
+              sim.materials().census()[ag]);
+
+  const int steps = static_cast<int>(cli.get_int("steps", 250));
+  sim.run(steps);
+
+  // Field enhancement: |E| right above the wire surface vs far field.
+  const int i0 = n / 2;
+  const int k_near = static_cast<int>(ck + radius + 1);
+  const int k_far = nz - cfg.pml.thickness - 6;
+  double e_near = 0.0, e_far = 0.0;
+  for (int axis = 0; axis < 3; ++axis) {
+    e_near += std::norm(sim.E_at(axis, i0, n / 2, k_near));
+    e_far += std::norm(sim.E_at(axis, i0, n / 2, k_far));
+  }
+  e_near = std::sqrt(e_near);
+  e_far = std::sqrt(e_far);
+
+  std::printf("|E| at wire surface: %.4e, incident region: %.4e, enhancement %.2fx\n",
+              e_near, e_far, e_far > 0 ? e_near / e_far : 0.0);
+  std::printf("total energy: %.4e (finite: %s)\n", sim.total_energy(),
+              std::isfinite(sim.total_energy()) ? "yes" : "NO - unstable");
+  const auto& st = sim.last_stats();
+  std::printf("performance: %.2f MLUP/s\n", st.mlups);
+  return std::isfinite(sim.total_energy()) ? 0 : 1;
+}

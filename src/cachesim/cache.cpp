@@ -1,0 +1,104 @@
+#include "cachesim/cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace emwd::cachesim {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  if (config.line_bytes <= 0 || (config.line_bytes & (config.line_bytes - 1)) != 0) {
+    throw std::invalid_argument("Cache: line size must be a power of two");
+  }
+  if (config.associativity <= 0) throw std::invalid_argument("Cache: bad associativity");
+  const std::uint64_t lines = config.size_bytes / static_cast<std::uint64_t>(config.line_bytes);
+  if (lines == 0 || lines % static_cast<std::uint64_t>(config.associativity) != 0) {
+    throw std::invalid_argument("Cache: size must be a multiple of assoc * line");
+  }
+  num_sets_ = static_cast<int>(lines / static_cast<std::uint64_t>(config.associativity));
+  line_shift_ = std::countr_zero(static_cast<unsigned>(config.line_bytes));
+  lines_.assign(static_cast<std::size_t>(num_sets_) * config.associativity, Line{});
+}
+
+Cache::AccessResult Cache::access_ex(std::uint64_t addr, bool write) {
+  AccessResult result;
+  const std::uint64_t line_addr = addr >> line_shift_;
+  // Sets indexed by low line-address bits when num_sets is a power of two,
+  // modulo otherwise (odd set counts appear in scaled configurations).
+  const std::uint64_t set =
+      (num_sets_ & (num_sets_ - 1)) == 0
+          ? (line_addr & static_cast<std::uint64_t>(num_sets_ - 1))
+          : (line_addr % static_cast<std::uint64_t>(num_sets_));
+  Line* ways = &lines_[set * static_cast<std::uint64_t>(config_.associativity)];
+
+  if (write) {
+    ++stats_.stores;
+  } else {
+    ++stats_.loads;
+  }
+  ++use_counter_;
+
+  int victim = 0;
+  std::uint64_t oldest = ~0ull;
+  for (int w = 0; w < config_.associativity; ++w) {
+    Line& line = ways[w];
+    if (line.valid && line.tag == line_addr) {
+      line.lru = use_counter_;
+      line.dirty |= write;
+      result.hit = true;
+      return result;
+    }
+    if (!line.valid) {
+      // Prefer an invalid way; mark it "oldest possible".
+      if (oldest != 0) {
+        oldest = 0;
+        victim = w;
+      }
+    } else if (line.lru < oldest) {
+      oldest = line.lru;
+      victim = w;
+    }
+  }
+
+  // Miss: evict the victim (write-allocate policy fills on stores too).
+  Line& line = ways[victim];
+  if (line.valid) {
+    result.evicted = true;
+    result.evicted_dirty = line.dirty;
+    result.evicted_addr = line.tag << line_shift_;
+    if (line.dirty) ++stats_.writebacks;
+  }
+  line.tag = line_addr;
+  line.valid = true;
+  line.dirty = write;
+  line.lru = use_counter_;
+  if (write) {
+    ++stats_.store_misses;
+  } else {
+    ++stats_.load_misses;
+  }
+  return result;
+}
+
+void Cache::access_range(std::uint64_t addr, std::uint64_t bytes, bool write) {
+  if (bytes == 0) return;
+  const std::uint64_t line = static_cast<std::uint64_t>(config_.line_bytes);
+  const std::uint64_t first = addr & ~(line - 1);
+  const std::uint64_t last = (addr + bytes - 1) & ~(line - 1);
+  for (std::uint64_t a = first; a <= last; a += line) access(a, write);
+}
+
+void Cache::flush() {
+  for (auto& line : lines_) {
+    if (line.valid && line.dirty) ++stats_.writebacks;
+    line.valid = false;
+    line.dirty = false;
+  }
+}
+
+int Cache::resident_lines() const {
+  int n = 0;
+  for (const auto& line : lines_) n += line.valid ? 1 : 0;
+  return n;
+}
+
+}  // namespace emwd::cachesim

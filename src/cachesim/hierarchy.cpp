@@ -1,0 +1,79 @@
+#include "cachesim/hierarchy.hpp"
+
+#include <stdexcept>
+
+namespace emwd::cachesim {
+
+Hierarchy::Hierarchy(std::vector<CacheConfig> levels) {
+  if (levels.empty()) throw std::invalid_argument("Hierarchy: needs at least one level");
+  levels_.reserve(levels.size());
+  for (const auto& cfg : levels) levels_.emplace_back(cfg);
+}
+
+Hierarchy Hierarchy::llc_only(std::uint64_t size_bytes, int associativity) {
+  CacheConfig cfg;
+  cfg.size_bytes = size_bytes;
+  cfg.associativity = associativity;
+  return Hierarchy(std::vector<CacheConfig>{cfg});
+}
+
+void Hierarchy::access(std::uint64_t addr, bool write) {
+  // Walk levels nearest-first; stop at the first hit.  Dirty victims are
+  // deposited into the next level (or DRAM past the LLC).  Write-back
+  // victims allocate in the next level without a DRAM fill, matching real
+  // write-back behaviour closely enough for traffic accounting.
+  const std::uint64_t line = static_cast<std::uint64_t>(levels_.back().config().line_bytes);
+  bool level_access_write = write;
+  for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+    Cache::AccessResult r = levels_[lvl].access_ex(addr, level_access_write);
+    // Cascade the victim into the next level down.
+    if (r.evicted && r.evicted_dirty) {
+      if (lvl + 1 < levels_.size()) {
+        Cache::AccessResult wb = levels_[lvl + 1].access_ex(r.evicted_addr, true);
+        if (wb.evicted && wb.evicted_dirty) {
+          // Two-deep cascades are rare; send straight to DRAM.
+          dram_write_bytes_ += line;
+        }
+      } else {
+        dram_write_bytes_ += line;
+      }
+    }
+    if (r.hit) return;
+    // The fill into nearer levels happened via access_ex allocation; deeper
+    // levels see the miss as a (clean) read regardless of the original op.
+    level_access_write = false;
+  }
+  // Missed every level: DRAM fill.
+  dram_read_bytes_ += line;
+}
+
+void Hierarchy::access_range(std::uint64_t addr, std::uint64_t bytes, bool write) {
+  if (bytes == 0) return;
+  const std::uint64_t line = static_cast<std::uint64_t>(levels_.back().config().line_bytes);
+  const std::uint64_t first = addr & ~(line - 1);
+  const std::uint64_t last = (addr + bytes - 1) & ~(line - 1);
+  for (std::uint64_t a = first; a <= last; a += line) access(a, write);
+}
+
+void Hierarchy::flush() {
+  const std::uint64_t line = static_cast<std::uint64_t>(levels_.back().config().line_bytes);
+  // Flush nearest-first; each level's dirty lines land in DRAM accounting.
+  // (Cascading flushes level-by-level would double-count; for end-of-run
+  // accounting every dirty line anywhere must reach DRAM exactly once.
+  // A line dirty in two levels is written once in reality; our nearest-first
+  // sweep may count it twice, which is why replays use a single LLC when
+  // exact DRAM accounting is required.)
+  for (auto& level : levels_) {
+    const std::uint64_t before = level.stats().writebacks;
+    level.flush();
+    dram_write_bytes_ += (level.stats().writebacks - before) * line;
+  }
+}
+
+void Hierarchy::reset_stats() {
+  for (auto& level : levels_) level.reset_stats();
+  dram_read_bytes_ = 0;
+  dram_write_bytes_ = 0;
+}
+
+}  // namespace emwd::cachesim

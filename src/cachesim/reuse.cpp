@@ -1,0 +1,99 @@
+#include "cachesim/reuse.hpp"
+
+#include <bit>
+
+namespace emwd::cachesim {
+namespace {
+
+std::size_t lowbit(std::size_t i) { return i & (~i + 1); }
+
+}  // namespace
+
+// --- growable Fenwick tree over access stamps ------------------------------
+// fenwick_ is 1-indexed conceptually: node i covers (i - lowbit(i), i].
+// Appending a slot computes the new node's initial value from prefix sums so
+// earlier updates are preserved (standard growable-BIT construction).
+
+std::uint64_t ReuseProfile::fenwick_sum_from(std::size_t pos) const {
+  // prefix(pos) = sum of slots [0, pos); result = total - prefix.
+  std::uint64_t prefix = 0;
+  for (std::size_t i = pos; i > 0; i -= lowbit(i)) {
+    prefix += static_cast<std::uint64_t>(fenwick_[i - 1]);
+  }
+  return static_cast<std::uint64_t>(last_use_.size()) - prefix;
+}
+
+void ReuseProfile::fenwick_add(std::size_t pos, int delta) {
+  for (std::size_t i = pos + 1; i <= fenwick_.size(); i += lowbit(i)) {
+    fenwick_[i - 1] += delta;
+  }
+}
+
+void ReuseProfile::touch(std::uint64_t addr) {
+  const std::uint64_t line = addr >> 6;
+  const std::uint64_t stamp = accesses_++;
+
+  // Append the slot for this stamp with its correct initial node value:
+  // node i covers the lowbit(i)-1 preceding slots plus itself (value 0).
+  {
+    const std::size_t i = fenwick_.size() + 1;  // 1-based index of the new node
+    std::uint64_t value = 0;
+    // sum of slots (i - lowbit(i), i-1] = prefix(i-1) - prefix(i - lowbit(i))
+    std::uint64_t hi = 0, lo = 0;
+    for (std::size_t k = i - 1; k > 0; k -= lowbit(k)) hi += static_cast<std::uint64_t>(fenwick_[k - 1]);
+    for (std::size_t k = i - lowbit(i); k > 0; k -= lowbit(k)) lo += static_cast<std::uint64_t>(fenwick_[k - 1]);
+    value = hi - lo;
+    fenwick_.push_back(static_cast<int>(value));
+  }
+
+  auto it = last_use_.find(line);
+  if (it == last_use_.end()) {
+    ++cold_;
+    last_use_.emplace(line, stamp);
+    fenwick_add(static_cast<std::size_t>(stamp), +1);
+    return;
+  }
+
+  // Reuse distance = count of lines whose latest use lies strictly after our
+  // previous use (our own latest-use bit sits exactly at it->second).
+  const std::uint64_t distance =
+      fenwick_sum_from(static_cast<std::size_t>(it->second) + 1);
+
+  const int bucket =
+      distance == 0 ? 0 : 64 - std::countl_zero(distance);
+  histogram_[bucket]++;
+
+  fenwick_add(static_cast<std::size_t>(it->second), -1);
+  fenwick_add(static_cast<std::size_t>(stamp), +1);
+  it->second = stamp;
+}
+
+void ReuseProfile::touch_range(std::uint64_t addr, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  const std::uint64_t first = addr & ~63ull;
+  const std::uint64_t last = (addr + bytes - 1) & ~63ull;
+  for (std::uint64_t a = first; a <= last; a += 64) touch(a);
+}
+
+double ReuseProfile::miss_ratio(std::uint64_t capacity_lines) const {
+  if (accesses_ == 0) return 0.0;
+  // An access with reuse distance d hits iff d < capacity (LRU, fully
+  // associative).  Bucket 0 is exactly distance 0; bucket b >= 1 holds
+  // [2^(b-1), 2^b).  A bucket counts as hitting when its upper bound fits.
+  std::uint64_t hits = 0;
+  for (const auto& [bucket, count] : histogram_) {
+    const std::uint64_t upper = bucket == 0 ? 1 : (1ull << bucket);
+    if (upper <= capacity_lines) hits += count;
+  }
+  return 1.0 - static_cast<double>(hits) / static_cast<double>(accesses_);
+}
+
+std::uint64_t ReuseProfile::capacity_for_miss_ratio(double target) const {
+  for (int b = 0; b <= 40; ++b) {
+    const std::uint64_t cap = 1ull << b;
+    if (miss_ratio(cap) <= target) return cap;
+  }
+  return 1ull << 40;
+}
+
+}  // namespace emwd::cachesim

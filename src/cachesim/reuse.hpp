@@ -1,0 +1,56 @@
+// Reuse-distance (stack-distance) analysis of access streams.
+//
+// The empirical complement to the Eq. 11 cache block size model: for a
+// fully-associative LRU cache of capacity C lines, an access hits exactly
+// when its reuse distance (distinct lines touched since the previous access
+// to the same line) is < C.  The miss-ratio-vs-capacity curve of an MWD
+// access stream therefore shows a knee exactly at the tile working set —
+// which is what Eq. 11 predicts analytically.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace emwd::cachesim {
+
+/// Online reuse-distance profiler over cache-line ids.
+class ReuseProfile {
+ public:
+  /// Record one access to the line containing byte address `addr`.
+  void touch(std::uint64_t addr);
+
+  void touch_range(std::uint64_t addr, std::uint64_t bytes);
+
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t cold_misses() const { return cold_; }
+
+  /// Histogram of reuse distances, bucketed by power of two
+  /// (bucket b counts distances in [2^b, 2^(b+1))).
+  const std::map<int, std::uint64_t>& histogram() const { return histogram_; }
+
+  /// Miss ratio of a fully-associative LRU cache with `capacity_lines`
+  /// lines over the recorded stream (cold misses included).
+  double miss_ratio(std::uint64_t capacity_lines) const;
+
+  /// Smallest capacity (in lines, scanning power-of-two buckets) whose miss
+  /// ratio drops below `target` — the knee of the curve.
+  std::uint64_t capacity_for_miss_ratio(double target) const;
+
+ private:
+  // Balanced-BST based stack distance: time-ordered set of last-use stamps;
+  // distance = number of stamps greater than the line's previous stamp.
+  // An order-statistics structure over stamps, implemented as a Fenwick
+  // tree over access indices (stamps are unique, monotonically increasing).
+  void fenwick_add(std::size_t pos, int delta);
+  std::uint64_t fenwick_sum_from(std::size_t pos) const;
+
+  std::unordered_map<std::uint64_t, std::uint64_t> last_use_;  // line -> stamp
+  std::vector<int> fenwick_;  // 1 at stamps that are the *latest* use of a line
+  std::uint64_t accesses_ = 0;
+  std::uint64_t cold_ = 0;
+  std::map<int, std::uint64_t> histogram_;
+};
+
+}  // namespace emwd::cachesim

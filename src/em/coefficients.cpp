@@ -1,0 +1,124 @@
+#include "em/coefficients.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace emwd::em {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+int axis_position(kernels::Axis axis, int i, int j, int k) {
+  switch (axis) {
+    case kernels::Axis::X:
+      return i;
+    case kernels::Axis::Y:
+      return j;
+    case kernels::Axis::Z:
+    default:
+      return k;
+  }
+}
+}  // namespace
+
+ThiimParams make_params(double wavelength_cells, double cfl, double h) {
+  ThiimParams p;
+  p.h = h;
+  p.omega = 2.0 * kPi / (wavelength_cells * h);  // c = 1
+  p.tau = cfl * h / std::sqrt(3.0);
+  return p;
+}
+
+CoeffPair compute_coeffs(const kernels::CompInfo& comp, const Material& m,
+                         double sigma_pml, double sigma_star_pml, const ThiimParams& p) {
+  using cd = std::complex<double>;
+  const cd i_unit(0.0, 1.0);
+  const cd phase_half = std::exp(i_unit * (p.omega * p.tau / 2.0));
+  const cd phase_full = std::exp(i_unit * (p.omega * p.tau));
+
+  CoeffPair out;
+  if (comp.is_h) {
+    const double sigma_star = m.sigma_star + sigma_star_pml;
+    const cd denom = phase_half + cd(p.tau * sigma_star / m.mu, 0.0);
+    out.t = std::conj(phase_half) / denom;  // e^{-i w tau/2} / denom
+    out.c = cd(p.tau / (m.mu * p.h), 0.0) / denom;
+    out.src_scale = cd(p.tau, 0.0) / denom;
+    out.back_iteration = false;
+    return out;
+  }
+
+  const double sigma = m.sigma + sigma_pml;
+  out.back_iteration = m.needs_back_iteration();
+  if (!out.back_iteration) {
+    const cd denom = phase_full + p.tau * cd(sigma, 0.0) / m.eps;
+    out.t = cd(1.0, 0.0) / denom;
+    out.c = (p.tau / p.h) * phase_half / (m.eps * denom);
+    out.src_scale = cd(p.tau, 0.0) / denom;
+  } else {
+    // Paper Eq. 5: the "back iteration" for negative-permittivity cells.
+    const cd denom = cd(1.0, 0.0) - p.tau * cd(sigma, 0.0) / m.eps;
+    out.t = phase_full / denom;
+    out.c = -(p.tau / p.h) * phase_half / (m.eps * denom);
+    out.src_scale = -cd(p.tau, 0.0) / denom;
+  }
+  return out;
+}
+
+void build_coefficients(grid::FieldSet& fs, const MaterialGrid& mats,
+                        const PmlProfiles& pml, const ThiimParams& p) {
+  const grid::Layout& L = fs.layout();
+  for (const auto& comp : kernels::kComps) {
+    grid::Field& t = fs.coeff_t(comp.self);
+    grid::Field& c = fs.coeff_c(comp.self);
+    for (int k = 0; k < L.nz(); ++k) {
+      for (int j = 0; j < L.ny(); ++j) {
+        for (int i = 0; i < L.nx(); ++i) {
+          const Material& m = mats.at(i, j, k);
+          const int pos = axis_position(comp.axis, i, j, k);
+          const CoeffPair cc = compute_coeffs(comp, m, pml.sigma(comp.axis, pos),
+                                              pml.sigma_star(comp.axis, pos), p);
+          t.set(i, j, k, cc.t);
+          c.set(i, j, k, cc.c);
+        }
+      }
+    }
+  }
+  for (int s = 0; s < kernels::kNumSources; ++s) fs.source(s).clear();
+}
+
+void build_uniform_coefficients(grid::FieldSet& fs, const Material& m,
+                                const ThiimParams& p) {
+  for (const auto& comp : kernels::kComps) {
+    const CoeffPair cc = compute_coeffs(comp, m, 0.0, 0.0, p);
+    fs.coeff_t(comp.self).fill(cc.t);
+    fs.coeff_c(comp.self).fill(cc.c);
+  }
+  for (int s = 0; s < kernels::kNumSources; ++s) fs.source(s).clear();
+}
+
+void build_random_stable(grid::FieldSet& fs, std::uint64_t seed, double rho) {
+  util::Xoshiro256 rng(seed);
+  const grid::Layout& L = fs.layout();
+  auto fill_random = [&](grid::Field& f, double mag_lo, double mag_hi) {
+    for (int k = 0; k < L.nz(); ++k) {
+      for (int j = 0; j < L.ny(); ++j) {
+        for (int i = 0; i < L.nx(); ++i) {
+          const double mag = rng.uniform(mag_lo, mag_hi);
+          const double phase = rng.uniform(0.0, 2.0 * kPi);
+          f.set(i, j, k, {mag * std::cos(phase), mag * std::sin(phase)});
+        }
+      }
+    }
+  };
+  for (const auto& comp : kernels::kComps) {
+    fill_random(fs.coeff_t(comp.self), 0.5 * rho, rho);  // strictly contractive
+    fill_random(fs.coeff_c(comp.self), 0.0, 0.05);       // weak coupling
+    fill_random(fs.field(comp.self), 0.0, 1.0);          // random initial state
+  }
+  for (int s = 0; s < kernels::kNumSources; ++s) {
+    fill_random(fs.source(s), 0.0, 0.01);
+  }
+}
+
+}  // namespace emwd::em

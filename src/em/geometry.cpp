@@ -1,0 +1,96 @@
+#include "em/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace emwd::em {
+
+GeometryBuilder& GeometryBuilder::layer(std::uint8_t id, int k_lo, int k_hi) {
+  const grid::Layout& L = grid_->layout();
+  const int lo = std::max(0, k_lo);
+  const int hi = std::min(L.nz(), k_hi);
+  for (int k = lo; k < hi; ++k) {
+    for (int j = 0; j < L.ny(); ++j) {
+      for (int i = 0; i < L.nx(); ++i) grid_->set(i, j, k, id);
+    }
+  }
+  return *this;
+}
+
+GeometryBuilder& GeometryBuilder::textured_layer(std::uint8_t id, int k_lo, int k_base,
+                                                 const HeightMap& height) {
+  const grid::Layout& L = grid_->layout();
+  for (int j = 0; j < L.ny(); ++j) {
+    for (int i = 0; i < L.nx(); ++i) {
+      const double top = static_cast<double>(k_base) + height(i, j);
+      const int hi = std::min(L.nz(), static_cast<int>(std::floor(top)));
+      for (int k = std::max(0, k_lo); k < hi; ++k) grid_->set(i, j, k, id);
+    }
+  }
+  return *this;
+}
+
+GeometryBuilder& GeometryBuilder::sphere(std::uint8_t id, double ci, double cj, double ck,
+                                         double radius) {
+  const grid::Layout& L = grid_->layout();
+  const double r2 = radius * radius;
+  const int i0 = std::max(0, static_cast<int>(std::floor(ci - radius)));
+  const int i1 = std::min(L.nx(), static_cast<int>(std::ceil(ci + radius)) + 1);
+  const int j0 = std::max(0, static_cast<int>(std::floor(cj - radius)));
+  const int j1 = std::min(L.ny(), static_cast<int>(std::ceil(cj + radius)) + 1);
+  const int k0 = std::max(0, static_cast<int>(std::floor(ck - radius)));
+  const int k1 = std::min(L.nz(), static_cast<int>(std::ceil(ck + radius)) + 1);
+  for (int k = k0; k < k1; ++k) {
+    for (int j = j0; j < j1; ++j) {
+      for (int i = i0; i < i1; ++i) {
+        const double dx = i - ci, dy = j - cj, dz = k - ck;
+        if (dx * dx + dy * dy + dz * dz <= r2) grid_->set(i, j, k, id);
+      }
+    }
+  }
+  return *this;
+}
+
+HeightMap GeometryBuilder::sinusoidal_texture(double amplitude, double period_i,
+                                              double period_j, double phase) {
+  return [=](int i, int j) {
+    const double two_pi = 2.0 * 3.14159265358979323846;
+    return amplitude *
+           (0.5 * std::sin(two_pi * i / period_i + phase) +
+            0.5 * std::cos(two_pi * j / period_j + phase)) +
+           amplitude;  // keep heights non-negative
+  };
+}
+
+HeightMap GeometryBuilder::rough_texture(double amplitude, double correlation_cells,
+                                         std::uint64_t seed) {
+  // Value-noise on a coarse lattice with bilinear interpolation: cheap,
+  // deterministic, and tunable correlation length like an AFM roughness map.
+  const double cell = std::max(1.0, correlation_cells);
+  auto lattice = [seed](long gi, long gj) {
+    // SplitMix-style hash of the lattice point.
+    std::uint64_t h = seed ^ (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(gi * 73856093L ^ gj * 19349663L));
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    return static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+  };
+  return [=](int i, int j) {
+    const double fi = i / cell, fj = j / cell;
+    const long gi = static_cast<long>(std::floor(fi));
+    const long gj = static_cast<long>(std::floor(fj));
+    const double ti = fi - gi, tj = fj - gj;
+    const double v00 = lattice(gi, gj), v10 = lattice(gi + 1, gj);
+    const double v01 = lattice(gi, gj + 1), v11 = lattice(gi + 1, gj + 1);
+    const double si = ti * ti * (3 - 2 * ti);  // smoothstep
+    const double sj = tj * tj * (3 - 2 * tj);
+    const double v = (v00 * (1 - si) + v10 * si) * (1 - sj) + (v01 * (1 - si) + v11 * si) * sj;
+    return amplitude * v;
+  };
+}
+
+}  // namespace emwd::em

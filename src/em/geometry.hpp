@@ -1,0 +1,53 @@
+// Geometry rasterization onto the structured grid.
+//
+// Stands in for the paper's Finite Integration Technique preprocessing
+// (Sec. I-A): the production code integrates material data on an
+// unstructured tetrahedral grid and maps it back; we rasterize the same
+// classes of shapes the paper's Fig. 1 setup needs — horizontal layers,
+// *textured* (rough) layer interfaces from a height map, and spherical
+// nano-particles — directly onto cell centers.  The substitution preserves
+// what matters for the solver: a realistic per-cell material distribution
+// with non-planar interfaces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "em/material.hpp"
+
+namespace emwd::em {
+
+/// z-height (in cells, as a double) of a textured interface above base, as a
+/// function of lateral position (i, j).
+using HeightMap = std::function<double(int i, int j)>;
+
+/// Builder that paints materials into a MaterialGrid, bottom (k=0) upwards.
+class GeometryBuilder {
+ public:
+  explicit GeometryBuilder(MaterialGrid& grid) : grid_(&grid) {}
+
+  /// Flat layer covering k in [k_lo, k_hi).
+  GeometryBuilder& layer(std::uint8_t id, int k_lo, int k_hi);
+
+  /// Layer whose *upper* surface is textured: cell (i,j,k) gets `id` when
+  /// k_lo <= k < k_base + height(i, j).  Heights are clamped to the domain.
+  GeometryBuilder& textured_layer(std::uint8_t id, int k_lo, int k_base,
+                                  const HeightMap& height);
+
+  /// Solid sphere (nano-particle) centred at cell coordinates.
+  GeometryBuilder& sphere(std::uint8_t id, double ci, double cj, double ck, double radius);
+
+  /// Periodic sinusoidal texture with given amplitude (cells) and periods.
+  static HeightMap sinusoidal_texture(double amplitude, double period_i, double period_j,
+                                      double phase = 0.0);
+
+  /// Deterministic pseudo-random rough texture (hash noise, smoothed),
+  /// emulating the paper's AFM-measured etched surfaces.
+  static HeightMap rough_texture(double amplitude, double correlation_cells,
+                                 std::uint64_t seed);
+
+ private:
+  MaterialGrid* grid_;
+};
+
+}  // namespace emwd::em

@@ -1,0 +1,73 @@
+#include "em/material.hpp"
+
+#include <stdexcept>
+
+namespace emwd::em {
+
+Material vacuum() { return Material{"vacuum", {1.0, 0.0}, 1.0, 0.0, 0.0}; }
+
+Material glass() { return Material{"glass", {2.25, 0.0}, 1.0, 0.0, 0.0}; }
+
+Material tco() {
+  // ZnO:Al-like TCO: n ~ 1.9 with slight absorption.
+  return Material{"tco", {3.6, 0.05}, 1.0, 0.002, 0.0};
+}
+
+Material amorphous_silicon() {
+  // a-Si:H around 600 nm: n ~ 4.1, k ~ 0.2  =>  eps = (n + ik)^2.
+  return Material{"a-Si:H", {16.8, 1.64}, 1.0, 0.01, 0.0};
+}
+
+Material microcrystalline_silicon() {
+  // uc-Si:H: slightly lower index, weaker absorption.
+  return Material{"uc-Si:H", {12.9, 0.9}, 1.0, 0.006, 0.0};
+}
+
+Material silver() {
+  // Ag around 600 nm: eps ~ -15 + 1.0i  =>  negative real part, THIIM back
+  // iteration territory (paper Eq. 5).
+  return Material{"silver", {-15.0, 1.0}, 1.0, 0.0, 0.0};
+}
+
+MaterialGrid::MaterialGrid(const grid::Layout& layout)
+    : layout_(layout), ids_(layout.padded_cells(), 0) {
+  palette_.push_back(vacuum());
+}
+
+std::uint8_t MaterialGrid::add(const Material& m) {
+  if (palette_.size() >= 256) throw std::length_error("MaterialGrid: palette full");
+  palette_.push_back(m);
+  return static_cast<std::uint8_t>(palette_.size() - 1);
+}
+
+void MaterialGrid::fill(std::uint8_t id) {
+  if (id >= palette_.size()) throw std::out_of_range("MaterialGrid::fill: bad id");
+  std::fill(ids_.begin(), ids_.end(), id);
+}
+
+void MaterialGrid::set(int i, int j, int k, std::uint8_t id) {
+  if (id >= palette_.size()) throw std::out_of_range("MaterialGrid::set: bad id");
+  ids_[layout_.at(i, j, k)] = id;
+}
+
+std::uint8_t MaterialGrid::id_at(int i, int j, int k) const {
+  return ids_[layout_.at(i, j, k)];
+}
+
+const Material& MaterialGrid::at(int i, int j, int k) const {
+  return palette_[ids_[layout_.at(i, j, k)]];
+}
+
+std::vector<std::size_t> MaterialGrid::census() const {
+  std::vector<std::size_t> counts(palette_.size(), 0);
+  for (int k = 0; k < layout_.nz(); ++k) {
+    for (int j = 0; j < layout_.ny(); ++j) {
+      for (int i = 0; i < layout_.nx(); ++i) {
+        counts[ids_[layout_.at(i, j, k)]]++;
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace emwd::em

@@ -1,0 +1,45 @@
+#include "em/pml.hpp"
+
+#include <cmath>
+
+namespace emwd::em {
+
+PmlProfiles::PmlProfiles(const grid::Layout& layout, const PmlSpec& spec, double h)
+    : spec_(spec) {
+  // Standard graded-PML design: sigma_max chosen so a wave crossing the
+  // shell and back sees reflection r0 at normal incidence (c = eps0 = 1
+  // normalized units): sigma_max = -(m+1) ln(r0) / (2 * d), d = thickness*h.
+  const double d = spec.thickness * h;
+  sigma_max_ = -(spec.grading + 1.0) * std::log(spec.r0) / (2.0 * d);
+
+  const int n[3] = {layout.nx(), layout.ny(), layout.nz()};
+  const bool on[3] = {spec.on_x, spec.on_y, spec.on_z};
+  for (int axis = 0; axis < 3; ++axis) {
+    profile_[axis].assign(static_cast<std::size_t>(n[axis]), 0.0);
+    if (!on[axis] || spec.thickness <= 0) continue;
+    for (int pos = 0; pos < n[axis]; ++pos) {
+      // Depth into the nearer shell, in [0, 1]; zero in the interior.
+      double depth = 0.0;
+      if (pos < spec.thickness) {
+        depth = static_cast<double>(spec.thickness - pos) / spec.thickness;
+      } else if (pos >= n[axis] - spec.thickness) {
+        depth = static_cast<double>(pos - (n[axis] - spec.thickness - 1)) / spec.thickness;
+      }
+      profile_[axis][static_cast<std::size_t>(pos)] =
+          sigma_max_ * std::pow(depth, spec.grading);
+    }
+  }
+}
+
+double PmlProfiles::sigma(kernels::Axis axis, int pos) const {
+  const auto& p = profile_[static_cast<int>(axis)];
+  if (p.empty() || pos < 0 || pos >= static_cast<int>(p.size())) return 0.0;
+  return p[static_cast<std::size_t>(pos)];
+}
+
+double PmlProfiles::sigma_star(kernels::Axis axis, int pos) const {
+  // Matched impedance for unit-index shells: sigma*/mu0 = sigma/eps0.
+  return sigma(axis, pos);
+}
+
+}  // namespace emwd::em

@@ -1,0 +1,50 @@
+// Berenger split-field perfectly matched layers (paper Eqs. 6-7, ref [11]).
+//
+// The split-field formulation is what doubles the six field components into
+// twelve: each split part is damped only along its derivative axis, with a
+// polynomially graded conductivity profile inside the absorbing shell and
+// the matched magnetic conductivity sigma* = sigma * mu/eps that makes the
+// vacuum-PML interface reflectionless.
+#pragma once
+
+#include <vector>
+
+#include "grid/layout.hpp"
+#include "kernels/components.hpp"
+
+namespace emwd::em {
+
+struct PmlSpec {
+  int thickness = 8;      // cells per absorbing shell
+  double grading = 3.0;   // polynomial grading exponent m
+  double r0 = 1e-6;       // target normal-incidence reflection coefficient
+  bool on_x = false;      // paper setup: PML vertically (z), periodic laterally
+  bool on_y = false;
+  bool on_z = true;
+};
+
+/// Precomputed 1-D conductivity profiles per axis; sigma(axis, pos) is the
+/// electric PML conductivity at integer cell position `pos` along the axis.
+class PmlProfiles {
+ public:
+  PmlProfiles() = default;
+  PmlProfiles(const grid::Layout& layout, const PmlSpec& spec, double h);
+
+  /// Electric conductivity at cell position pos along axis.
+  double sigma(kernels::Axis axis, int pos) const;
+
+  /// Matched magnetic conductivity (sigma* for mu = eps = 1 shells).
+  double sigma_star(kernels::Axis axis, int pos) const;
+
+  const PmlSpec& spec() const { return spec_; }
+
+  /// Theoretical sigma_max for the profile (used by tests).
+  double sigma_max() const { return sigma_max_; }
+
+ private:
+  PmlSpec spec_{};
+  double sigma_max_ = 0.0;
+  std::vector<double> profile_[3];  // per axis, indexed by cell position
+};
+
+}  // namespace emwd::em

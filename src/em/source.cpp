@@ -1,0 +1,71 @@
+#include "em/source.hpp"
+
+#include <stdexcept>
+
+namespace emwd::em {
+namespace {
+
+/// The component that owns each source array (see kernels component table).
+kernels::Comp owner(SourceField which) {
+  switch (which) {
+    case SourceField::Ex:
+      return kernels::Comp::Exy;  // src_index 0
+    case SourceField::Ey:
+      return kernels::Comp::Eyx;  // src_index 1
+    case SourceField::Hx:
+      return kernels::Comp::Hxy;  // src_index 2
+    case SourceField::Hy:
+    default:
+      return kernels::Comp::Hyx;  // src_index 3
+  }
+}
+
+int axis_position(kernels::Axis axis, int i, int j, int k) {
+  switch (axis) {
+    case kernels::Axis::X:
+      return i;
+    case kernels::Axis::Y:
+      return j;
+    case kernels::Axis::Z:
+    default:
+      return k;
+  }
+}
+
+void deposit(grid::FieldSet& fs, const MaterialGrid& mats, const PmlProfiles& pml,
+             const ThiimParams& p, SourceField which, int i, int j, int k,
+             std::complex<double> amplitude) {
+  const kernels::Comp comp = owner(which);
+  const kernels::CompInfo& ci = kernels::info(comp);
+  grid::Field* src = fs.source_for(comp);
+  if (src == nullptr) throw std::logic_error("source owner component has no Src array");
+  const Material& m = mats.at(i, j, k);
+  const int pos = axis_position(ci.axis, i, j, k);
+  const CoeffPair cc =
+      compute_coeffs(ci, m, pml.sigma(ci.axis, pos), pml.sigma_star(ci.axis, pos), p);
+  src->set(i, j, k, src->at(i, j, k) + cc.src_scale * amplitude);
+}
+
+}  // namespace
+
+void add_plane_wave(grid::FieldSet& fs, const MaterialGrid& mats, const PmlProfiles& pml,
+                    const ThiimParams& p, SourceField which, int k0,
+                    std::complex<double> amplitude) {
+  const grid::Layout& L = fs.layout();
+  if (k0 < 0 || k0 >= L.nz()) throw std::out_of_range("add_plane_wave: k0 outside grid");
+  for (int j = 0; j < L.ny(); ++j) {
+    for (int i = 0; i < L.nx(); ++i) {
+      deposit(fs, mats, pml, p, which, i, j, k0, amplitude);
+    }
+  }
+}
+
+void add_point_dipole(grid::FieldSet& fs, const MaterialGrid& mats, const PmlProfiles& pml,
+                      const ThiimParams& p, SourceField which, int i, int j, int k,
+                      std::complex<double> amplitude) {
+  const grid::Layout& L = fs.layout();
+  if (!L.contains(i, j, k)) throw std::out_of_range("add_point_dipole: cell outside grid");
+  deposit(fs, mats, pml, p, which, i, j, k, amplitude);
+}
+
+}  // namespace emwd::em

@@ -1,0 +1,15 @@
+#include "exec/engine.hpp"
+
+#include <sstream>
+
+namespace emwd::exec {
+
+std::string MwdParams::describe() const {
+  std::ostringstream os;
+  os << "mwd{dw=" << dw << ",bz=" << bz << ",tg=" << tx << "x" << tz << "x" << tc
+     << ",groups=" << num_tgs
+     << (schedule == TileSchedule::StaticWave ? ",static" : "") << "}";
+  return os.str();
+}
+
+}  // namespace emwd::exec

@@ -1,0 +1,87 @@
+// Engine interface: every code variant the paper compares is an Engine.
+//
+//   naive    — 12 separate full-grid loop nests per step (Sec. III-A)
+//   spatial  — same nests with y-blocking for the layer condition (III-B)
+//   mwd      — multicore wavefront diamond blocking (Sec. II); thread-group
+//              size 1 is the paper's 1WD, full-socket group is 18WD-style.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "grid/fieldset.hpp"
+
+namespace emwd::exec {
+
+struct EngineStats {
+  double seconds = 0.0;
+  std::int64_t steps = 0;
+  std::int64_t lups = 0;           // lattice-site updates performed
+  double mlups = 0.0;              // performance in MLUP/s
+  std::int64_t tiles_executed = 0; // MWD only
+  std::int64_t barrier_episodes = 0;
+  /// Cumulative thread-seconds spent blocked popping the tile queue (MWD
+  /// leaders only) — the scheduler overhead the paper calls negligible.
+  double queue_wait_seconds = 0.0;
+  /// Cumulative thread-seconds inside intra-group barriers.
+  double barrier_wait_seconds = 0.0;
+};
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+  virtual std::string name() const = 0;
+  virtual int threads() const = 0;
+
+  /// Advance the fields by `steps` full time steps, collecting stats.
+  virtual void run(grid::FieldSet& fs, int steps) = 0;
+
+  const EngineStats& stats() const { return stats_; }
+
+ protected:
+  EngineStats stats_;
+};
+
+/// Tile scheduling policy.  FifoQueue is the paper's dynamic scheduler
+/// (Sec. II-A); StaticWave is the ablation baseline — tiles of one DAG
+/// wavefront are statically assigned round-robin and a global barrier
+/// separates wavefronts (no queue, more synchronization, no load balance).
+enum class TileSchedule { FifoQueue, StaticWave };
+
+/// MWD configuration (paper notation: Dw, BZ, thread-group split, #groups).
+struct MwdParams {
+  int dw = 4;        // diamond width in y cells
+  int bz = 1;        // wavefront block height in z planes
+  int tx = 1;        // intra-tile threads along x
+  int tz = 1;        // intra-tile threads along the z window
+  int tc = 1;        // intra-tile threads across field components (1,2,3,6)
+  int num_tgs = 1;   // concurrent thread groups
+  TileSchedule schedule = TileSchedule::FifoQueue;
+
+  int tg_size() const { return tx * tz * tc; }
+  int threads() const { return tg_size() * num_tgs; }
+  std::string describe() const;
+};
+
+std::unique_ptr<Engine> make_naive_engine(int threads);
+std::unique_ptr<Engine> make_spatial_engine(int threads, int block_y = 0);
+std::unique_ptr<Engine> make_mwd_engine(const MwdParams& params);
+
+/// Plain multicore wavefront temporal blocking (Lamport's scheme as used by
+/// Wellein et al., the paper's ref. [21]): a z-wavefront over the whole x-y
+/// plane with no diamond tiling.  Expressed as the degenerate diamond whose
+/// width covers the entire y extent, so it shares the MWD machinery and is
+/// exactly comparable.  `threads` become one thread group splitting
+/// x/z/components like MWD does.
+struct WavefrontParams {
+  int bz = 1;  // wavefront block height in z
+  int tx = 1;
+  int tz = 1;
+  int tc = 1;
+};
+std::unique_ptr<Engine> make_wavefront_engine(const WavefrontParams& params,
+                                              const grid::Extents& grid,
+                                              int max_steps_per_block = 8);
+
+}  // namespace emwd::exec

@@ -1,0 +1,39 @@
+#include "exec/thread_pool.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace emwd::exec {
+
+void ThreadTeam::run(int nthreads, const std::function<void(int)>& fn) {
+  if (nthreads < 1) throw std::invalid_argument("ThreadTeam: nthreads must be >= 1");
+  if (nthreads == 1) {
+    fn(0);
+    return;
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(nthreads - 1));
+  std::exception_ptr first_error;
+  std::atomic<bool> has_error{false};
+  std::mutex error_mu;
+
+  auto guarded = [&](int tid) {
+    try {
+      fn(tid);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!has_error.exchange(true)) first_error = std::current_exception();
+    }
+  };
+
+  for (int t = 1; t < nthreads; ++t) workers.emplace_back(guarded, t);
+  guarded(0);
+  for (auto& w : workers) w.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace emwd::exec

@@ -1,0 +1,38 @@
+// Thread team execution.
+//
+// Engines run their parallel regions on a fork-join team of std::threads
+// (the paper's OpenMP parallel region equivalent).  Spawn cost is negligible
+// against the multi-second stencil runs, and per-run teams keep engine state
+// trivially clean between configurations during auto-tuning.
+#pragma once
+
+#include <exception>
+#include <functional>
+
+namespace emwd::exec {
+
+class ThreadTeam {
+ public:
+  /// Run fn(tid) on `nthreads` threads (tid 0 executes on the caller).
+  /// The first exception thrown by any member is rethrown on the caller
+  /// after all members have joined.
+  static void run(int nthreads, const std::function<void(int)>& fn);
+};
+
+/// Contiguous [begin, end) chunk of [0, n) for worker `r` of `parts`.
+struct Chunk {
+  int begin = 0;
+  int end = 0;
+  bool empty() const { return begin >= end; }
+};
+
+inline Chunk split_range(int n, int parts, int r) {
+  // Balanced split: first (n % parts) chunks get one extra element.
+  const int base = n / parts;
+  const int extra = n % parts;
+  const int begin = r * base + (r < extra ? r : extra);
+  const int len = base + (r < extra ? 1 : 0);
+  return Chunk{begin, begin + len};
+}
+
+}  // namespace emwd::exec

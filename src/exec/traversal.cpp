@@ -1,0 +1,3 @@
+#include "exec/traversal.hpp"
+
+// traverse_tile is a header-only template; this file anchors the module.

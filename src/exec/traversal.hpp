@@ -1,0 +1,81 @@
+// Shared tile traversal: the single source of truth for the MWD iteration
+// order, used both by the computing engine (exec/mwd_engine) and by the
+// cache-simulator replay (cachesim/replay).  Keeping one traversal
+// guarantees the "measured" memory traffic is the traffic of the exact
+// access stream the real engine generates.
+#pragma once
+
+#include <utility>
+
+#include "kernels/components.hpp"
+#include "tiling/diamond.hpp"
+#include "tiling/wavefront.hpp"
+
+namespace emwd::exec {
+
+/// Shape of a thread group: the paper's multi-dimensional intra-tile
+/// parallelization (Sec. II-B).  tx splits the x rows, tz the z-planes of a
+/// wavefront window, tc the six concurrently-updatable field components.
+/// The y (diamond) dimension is deliberately not split (Sec. II-B explains
+/// why load balancing forbids it).
+struct TgShape {
+  int tx = 1;
+  int tz = 1;
+  int tc = 1;
+  int size() const { return tx * tz * tc; }
+};
+
+/// A thread's coordinates inside the group (FED: fixed for the whole run).
+struct TgSlot {
+  int rx = 0;
+  int rz = 0;
+  int rc = 0;
+  static TgSlot from_rank(int rank, const TgShape& shape) {
+    TgSlot s;
+    s.rx = rank % shape.tx;
+    rank /= shape.tx;
+    s.rz = rank % shape.tz;
+    s.rc = rank / shape.tz;
+    return s;
+  }
+};
+
+/// Traverse one diamond tile with the z-wavefront, invoking
+///   row(comp, s, y, z)        for every x-row this slot owns, and
+///   barrier()                 between half-steps (all slots, same count).
+///
+/// Iteration order (identical for every slot): wavefront front positions
+/// outermost, then half-steps ascending, then components, z-planes, y-rows.
+/// Component split: slot rc owns comps {rc, rc+tc, ...} of the half-step's
+/// six.  z split: round-robin over the window's planes.  The x split is the
+/// caller's job via the slot's rx (the row callback receives the full row;
+/// callers slice [x0, x1) themselves with split_range).
+template <class RowFn, class BarrierFn>
+void traverse_tile(const tiling::DiamondTiling& dt, tiling::TileCoord tc_coord, int bz,
+                   int nz, const TgShape& shape, const TgSlot& slot, RowFn&& row,
+                   BarrierFn&& barrier) {
+  const auto slices = dt.slices(tc_coord);
+  if (slices.empty()) return;
+  const int s_base = slices.front().s;
+  const int s_top = slices.back().s;
+  const int fronts = tiling::num_fronts(nz, bz, s_base, s_top);
+
+  for (int f = 0; f < fronts; ++f) {
+    const int front = f * bz;
+    for (const tiling::RowSlice& sl : slices) {
+      const tiling::ZWindow win = tiling::z_window(front, bz, sl.s, s_base, nz);
+      if (win.empty()) continue;  // uniform across slots: safe to skip barrier
+      const auto& comps = sl.h_phase ? kernels::kHComps : kernels::kEComps;
+      for (int ci = slot.rc; ci < 6; ci += shape.tc) {
+        for (int z = win.lo + slot.rz; z < win.hi; z += shape.tz) {
+          for (int y = sl.y_lo; y < sl.y_hi; ++y) {
+            row(comps[static_cast<std::size_t>(ci)], sl.s, y, z);
+          }
+        }
+      }
+      barrier();
+    }
+  }
+}
+
+}  // namespace emwd::exec

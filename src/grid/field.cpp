@@ -1,0 +1,71 @@
+#include "grid/field.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace emwd::grid {
+
+Field::Field(const Layout& layout) : layout_(layout), data_(layout.padded_cells() * 2, 0.0) {}
+
+void Field::fill(std::complex<double> v) {
+  const int nx = layout_.nx(), ny = layout_.ny(), nz = layout_.nz();
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      double* row = data_.data() + 2 * layout_.at(0, j, k);
+      for (int i = 0; i < nx; ++i) {
+        row[2 * i] = v.real();
+        row[2 * i + 1] = v.imag();
+      }
+    }
+  }
+}
+
+void Field::clear() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+void Field::clear_halo() {
+  const int h = layout_.halo();
+  const int nx = layout_.nx(), ny = layout_.ny(), nz = layout_.nz();
+  for (int k = -h; k < nz + h; ++k) {
+    for (int j = -h; j < ny + h; ++j) {
+      const bool jk_interior = (j >= 0 && j < ny && k >= 0 && k < nz);
+      double* row = data_.data() + 2 * layout_.at(-h, j, k);
+      if (!jk_interior) {
+        std::fill(row, row + 2 * (nx + 2 * h), 0.0);
+      } else {
+        std::fill(row, row + 2 * h, 0.0);                       // left halo
+        std::fill(row + 2 * (h + nx), row + 2 * (nx + 2 * h), 0.0);  // right halo
+      }
+    }
+  }
+}
+
+double Field::norm() const {
+  double sum = 0.0;
+  const int nx = layout_.nx(), ny = layout_.ny(), nz = layout_.nz();
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      const double* row = data_.data() + 2 * layout_.at(0, j, k);
+      for (int i = 0; i < 2 * nx; ++i) sum += row[i] * row[i];
+    }
+  }
+  return std::sqrt(sum);
+}
+
+double Field::max_abs_diff(const Field& a, const Field& b) {
+  if (!(a.layout_ == b.layout_)) {
+    throw std::invalid_argument("max_abs_diff: layout mismatch");
+  }
+  double worst = 0.0;
+  const int nx = a.layout_.nx(), ny = a.layout_.ny(), nz = a.layout_.nz();
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      const double* ra = a.data_.data() + 2 * a.layout_.at(0, j, k);
+      const double* rb = b.data_.data() + 2 * b.layout_.at(0, j, k);
+      for (int i = 0; i < 2 * nx; ++i) worst = std::max(worst, std::fabs(ra[i] - rb[i]));
+    }
+  }
+  return worst;
+}
+
+}  // namespace emwd::grid

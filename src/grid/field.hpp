@@ -1,0 +1,54 @@
+// A single domain-sized double-complex array in the paper's interleaved
+// (re, im) layout: element p occupies doubles [2p] (real) and [2p+1] (imag).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "grid/layout.hpp"
+#include "util/aligned.hpp"
+
+namespace emwd::grid {
+
+class Field {
+ public:
+  Field() = default;
+  explicit Field(const Layout& layout);
+
+  const Layout& layout() const { return layout_; }
+
+  /// Raw interleaved storage; index in doubles is 2 * complex-cell index.
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::size_t size_complex() const { return data_.size() / 2; }
+  std::size_t size_bytes() const { return data_.size() * sizeof(double); }
+
+  std::complex<double> at(int i, int j, int k) const {
+    const std::size_t p = 2 * layout_.at(i, j, k);
+    return {data_[p], data_[p + 1]};
+  }
+
+  void set(int i, int j, int k, std::complex<double> v) {
+    const std::size_t p = 2 * layout_.at(i, j, k);
+    data_[p] = v.real();
+    data_[p + 1] = v.imag();
+  }
+
+  void fill(std::complex<double> v);
+  /// Reset everything (interior and halo) to zero.
+  void clear();
+  /// Zero only the halo cells; used to restore Dirichlet boundaries.
+  void clear_halo();
+
+  /// Interior L2 norm sqrt(sum |v|^2); halo excluded.
+  double norm() const;
+  /// Max interior |a - b| between two fields on the same layout.
+  static double max_abs_diff(const Field& a, const Field& b);
+
+ private:
+  Layout layout_{};
+  std::vector<double, util::AlignedAllocator<double>> data_;
+};
+
+}  // namespace emwd::grid

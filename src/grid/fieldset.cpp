@@ -1,0 +1,52 @@
+#include "grid/fieldset.hpp"
+
+#include <stdexcept>
+
+namespace emwd::grid {
+
+FieldSet::FieldSet(const Layout& layout) : layout_(layout) {
+  for (auto& f : fields_) f = Field(layout);
+  for (auto& f : coeff_t_) f = Field(layout);
+  for (auto& f : coeff_c_) f = Field(layout);
+  for (auto& f : sources_) f = Field(layout);
+}
+
+Field* FieldSet::source_for(kernels::Comp c) {
+  const int s = kernels::info(c).src_index;
+  return s >= 0 ? &sources_[static_cast<std::size_t>(s)] : nullptr;
+}
+
+const Field* FieldSet::source_for(kernels::Comp c) const {
+  const int s = kernels::info(c).src_index;
+  return s >= 0 ? &sources_[static_cast<std::size_t>(s)] : nullptr;
+}
+
+void FieldSet::clear_fields() {
+  for (auto& f : fields_) f.clear();
+}
+
+void FieldSet::copy_fields_from(const FieldSet& other) {
+  if (!(layout_ == other.layout_)) {
+    throw std::invalid_argument("copy_fields_from: layout mismatch");
+  }
+  for (int c = 0; c < kernels::kNumComps; ++c) fields_[c] = other.fields_[c];
+}
+
+double FieldSet::max_field_diff(const FieldSet& a, const FieldSet& b) {
+  double worst = 0.0;
+  for (int c = 0; c < kernels::kNumComps; ++c) {
+    worst = std::max(worst, Field::max_abs_diff(a.fields_[c], b.fields_[c]));
+  }
+  return worst;
+}
+
+std::size_t FieldSet::allocated_bytes() const {
+  std::size_t total = 0;
+  for (const auto& f : fields_) total += f.size_bytes();
+  for (const auto& f : coeff_t_) total += f.size_bytes();
+  for (const auto& f : coeff_c_) total += f.size_bytes();
+  for (const auto& f : sources_) total += f.size_bytes();
+  return total;
+}
+
+}  // namespace emwd::grid

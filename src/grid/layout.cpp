@@ -1,0 +1,36 @@
+#include "grid/layout.hpp"
+
+#include <sstream>
+
+#include "util/aligned.hpp"
+
+namespace emwd::grid {
+
+Layout::Layout(Extents interior, int halo) : interior_(interior), halo_(halo) {
+  if (interior.nx <= 0 || interior.ny <= 0 || interior.nz <= 0) {
+    throw std::invalid_argument("Layout: extents must be positive");
+  }
+  if (halo < 1) {
+    throw std::invalid_argument("Layout: THIIM stencil needs a halo of at least 1");
+  }
+  // Interior x=0 lands on a 64 B boundary: the left halo is padded out to a
+  // whole cache line of complex cells.
+  x_off_ = static_cast<int>(util::round_up(static_cast<std::size_t>(halo), 4));
+  px_ = interior.nx + x_off_ + halo;
+  py_ = interior.ny + 2 * halo;
+  pz_ = interior.nz + 2 * halo;
+  // Pad rows to a multiple of 4 complex cells (64 B) so each row starts on a
+  // cache-line boundary; keeps the cache simulator and hardware aligned.
+  sy_ = static_cast<std::ptrdiff_t>(util::round_up(static_cast<std::size_t>(px_), 4));
+  sz_ = sy_ * py_;
+}
+
+std::string Layout::describe() const {
+  std::ostringstream os;
+  os << "Layout{" << interior_.nx << "x" << interior_.ny << "x" << interior_.nz
+     << ", halo=" << halo_ << ", row stride=" << sy_ << " cells, padded cells="
+     << padded_cells() << "}";
+  return os.str();
+}
+
+}  // namespace emwd::grid

@@ -1,0 +1,85 @@
+#include "io/checkpoint.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace emwd::io {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x454d57444350ull;  // "EMWDCP"
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  std::uint64_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::int32_t nx = 0, ny = 0, nz = 0;
+  std::int32_t num_fields = kernels::kNumComps;
+};
+
+}  // namespace
+
+void save_fields(std::ostream& os, const grid::FieldSet& fs) {
+  const grid::Layout& L = fs.layout();
+  Header h;
+  h.nx = L.nx();
+  h.ny = L.ny();
+  h.nz = L.nz();
+  os.write(reinterpret_cast<const char*>(&h), sizeof h);
+
+  std::vector<double> row(static_cast<std::size_t>(2 * L.nx()));
+  for (const auto& c : kernels::kComps) {
+    const grid::Field& f = fs.field(c.self);
+    for (int k = 0; k < L.nz(); ++k) {
+      for (int j = 0; j < L.ny(); ++j) {
+        const double* src = f.data() + 2 * L.at(0, j, k);
+        os.write(reinterpret_cast<const char*>(src),
+                 static_cast<std::streamsize>(row.size() * sizeof(double)));
+      }
+    }
+  }
+  if (!os) throw std::runtime_error("checkpoint: write failed");
+}
+
+void load_fields(std::istream& is, grid::FieldSet& fs) {
+  Header h;
+  is.read(reinterpret_cast<char*>(&h), sizeof h);
+  if (!is || h.magic != kMagic) throw std::runtime_error("checkpoint: bad magic");
+  if (h.version != kVersion) throw std::runtime_error("checkpoint: unsupported version");
+  const grid::Layout& L = fs.layout();
+  if (h.nx != L.nx() || h.ny != L.ny() || h.nz != L.nz()) {
+    throw std::runtime_error("checkpoint: extents mismatch");
+  }
+  if (h.num_fields != kernels::kNumComps) {
+    throw std::runtime_error("checkpoint: field count mismatch");
+  }
+  for (const auto& c : kernels::kComps) {
+    grid::Field& f = fs.field(c.self);
+    for (int k = 0; k < L.nz(); ++k) {
+      for (int j = 0; j < L.ny(); ++j) {
+        double* dst = f.data() + 2 * L.at(0, j, k);
+        is.read(reinterpret_cast<char*>(dst),
+                static_cast<std::streamsize>(2 * L.nx() * sizeof(double)));
+      }
+    }
+  }
+  if (!is) throw std::runtime_error("checkpoint: truncated stream");
+}
+
+void save_fields_file(const std::string& path, const grid::FieldSet& fs) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("checkpoint: cannot open " + path);
+  save_fields(f, fs);
+}
+
+void load_fields_file(const std::string& path, grid::FieldSet& fs) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("checkpoint: cannot open " + path);
+  load_fields(f, fs);
+}
+
+}  // namespace emwd::io

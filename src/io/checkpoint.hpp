@@ -1,0 +1,28 @@
+// Binary checkpoint / restart of the solver state.
+//
+// The paper's production context runs thousands of THIIM iterations per
+// wavelength and thousands of wavelengths per design study; checkpointing
+// lets long runs resume and lets converged states be reused as initial
+// guesses for neighbouring wavelengths.  Format: a small header (magic,
+// version, extents, halo) followed by the raw interleaved doubles of the 12
+// field arrays (interior only, coefficients are rebuilt from the geometry).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "grid/fieldset.hpp"
+
+namespace emwd::io {
+
+/// Write the 12 field arrays (interior cells) of `fs`.
+void save_fields(std::ostream& os, const grid::FieldSet& fs);
+
+/// Load into `fs`; throws std::runtime_error on bad magic/version or if the
+/// stored extents do not match fs's layout.
+void load_fields(std::istream& is, grid::FieldSet& fs);
+
+void save_fields_file(const std::string& path, const grid::FieldSet& fs);
+void load_fields_file(const std::string& path, grid::FieldSet& fs);
+
+}  // namespace emwd::io

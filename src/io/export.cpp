@@ -1,0 +1,133 @@
+#include "io/export.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "em/observables.hpp"
+
+namespace emwd::io {
+namespace {
+
+double e_mag(const grid::FieldSet& fs, int i, int j, int k) {
+  double sum = 0.0;
+  for (int axis = 0; axis < 3; ++axis) sum += std::norm(em::parent_E(fs, axis, i, j, k));
+  return std::sqrt(sum);
+}
+
+struct SlicePlan {
+  // u runs fastest in the output; (u, v) map to grid coordinates.
+  int nu, nv;
+  SliceAxis axis;
+  int pos;
+};
+
+SlicePlan plan(const grid::Layout& L, SliceAxis axis, int pos) {
+  switch (axis) {
+    case SliceAxis::X:
+      if (pos < 0 || pos >= L.nx()) throw std::out_of_range("slice pos outside grid");
+      return {L.ny(), L.nz(), axis, pos};
+    case SliceAxis::Y:
+      if (pos < 0 || pos >= L.ny()) throw std::out_of_range("slice pos outside grid");
+      return {L.nx(), L.nz(), axis, pos};
+    case SliceAxis::Z:
+    default:
+      if (pos < 0 || pos >= L.nz()) throw std::out_of_range("slice pos outside grid");
+      return {L.nx(), L.ny(), axis, pos};
+  }
+}
+
+void cell_of(const SlicePlan& p, int u, int v, int* i, int* j, int* k) {
+  switch (p.axis) {
+    case SliceAxis::X:
+      *i = p.pos;
+      *j = u;
+      *k = v;
+      break;
+    case SliceAxis::Y:
+      *i = u;
+      *j = p.pos;
+      *k = v;
+      break;
+    case SliceAxis::Z:
+    default:
+      *i = u;
+      *j = v;
+      *k = p.pos;
+      break;
+  }
+}
+
+}  // namespace
+
+void write_E_magnitude_slice(std::ostream& os, const grid::FieldSet& fs,
+                             SliceAxis axis, int pos) {
+  const SlicePlan p = plan(fs.layout(), axis, pos);
+  os << "u,v,E_mag\n";
+  for (int v = 0; v < p.nv; ++v) {
+    for (int u = 0; u < p.nu; ++u) {
+      int i, j, k;
+      cell_of(p, u, v, &i, &j, &k);
+      os << u << ',' << v << ',' << e_mag(fs, i, j, k) << '\n';
+    }
+  }
+}
+
+void write_material_slice(std::ostream& os, const em::MaterialGrid& mats,
+                          SliceAxis axis, int pos) {
+  const SlicePlan p = plan(mats.layout(), axis, pos);
+  os << "u,v,material_id,material\n";
+  for (int v = 0; v < p.nv; ++v) {
+    for (int u = 0; u < p.nu; ++u) {
+      int i, j, k;
+      cell_of(p, u, v, &i, &j, &k);
+      const auto id = mats.id_at(i, j, k);
+      os << u << ',' << v << ',' << static_cast<int>(id) << ','
+         << mats.material(id).name << '\n';
+    }
+  }
+}
+
+void write_E_magnitude_vtk(std::ostream& os, const grid::FieldSet& fs,
+                           const std::string& field_name) {
+  const grid::Layout& L = fs.layout();
+  os << "# vtk DataFile Version 3.0\n"
+     << "emwd THIIM field export\n"
+     << "ASCII\n"
+     << "DATASET STRUCTURED_POINTS\n"
+     << "DIMENSIONS " << L.nx() << ' ' << L.ny() << ' ' << L.nz() << '\n'
+     << "ORIGIN 0 0 0\n"
+     << "SPACING 1 1 1\n"
+     << "POINT_DATA " << L.interior().cells() << '\n'
+     << "SCALARS " << field_name << " double 1\n"
+     << "LOOKUP_TABLE default\n";
+  for (int k = 0; k < L.nz(); ++k) {
+    for (int j = 0; j < L.ny(); ++j) {
+      for (int i = 0; i < L.nx(); ++i) {
+        os << e_mag(fs, i, j, k) << '\n';
+      }
+    }
+  }
+}
+
+namespace {
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("io: cannot open " + path);
+  return f;
+}
+}  // namespace
+
+void write_E_magnitude_slice_file(const std::string& path, const grid::FieldSet& fs,
+                                  SliceAxis axis, int pos) {
+  auto f = open_or_throw(path);
+  write_E_magnitude_slice(f, fs, axis, pos);
+}
+
+void write_E_magnitude_vtk_file(const std::string& path, const grid::FieldSet& fs) {
+  auto f = open_or_throw(path);
+  write_E_magnitude_vtk(f, fs);
+}
+
+}  // namespace emwd::io

@@ -1,0 +1,37 @@
+// Field and geometry export for post-processing / visualization.
+//
+// The production workflow behind the paper inspects |E| cross-sections of
+// the solar cell (paper Fig. 1 is such a cross-section).  We export plane
+// slices as CSV (x or y or z fixed) and whole scalar fields in a minimal
+// legacy-VTK structured-points format readable by ParaView.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "em/material.hpp"
+#include "grid/fieldset.hpp"
+
+namespace emwd::io {
+
+enum class SliceAxis { X, Y, Z };
+
+/// |E|(i,j) magnitude over the slice `axis = pos`, CSV with header row.
+/// Values are sqrt(|Ex|^2+|Ey|^2+|Ez|^2) of the parent fields.
+void write_E_magnitude_slice(std::ostream& os, const grid::FieldSet& fs,
+                             SliceAxis axis, int pos);
+
+/// Material palette ids over a slice, CSV.
+void write_material_slice(std::ostream& os, const em::MaterialGrid& mats,
+                          SliceAxis axis, int pos);
+
+/// Whole-domain |E| as legacy VTK STRUCTURED_POINTS (ASCII), one scalar.
+void write_E_magnitude_vtk(std::ostream& os, const grid::FieldSet& fs,
+                           const std::string& field_name = "E_magnitude");
+
+/// Convenience: write to a file path; throws std::runtime_error on failure.
+void write_E_magnitude_slice_file(const std::string& path, const grid::FieldSet& fs,
+                                  SliceAxis axis, int pos);
+void write_E_magnitude_vtk_file(const std::string& path, const grid::FieldSet& fs);
+
+}  // namespace emwd::io

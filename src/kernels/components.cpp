@@ -1,0 +1,10 @@
+#include "kernels/components.hpp"
+
+// The component table is constexpr in the header; this file anchors the
+// translation unit and provides the out-of-line ODR home for kComps uses.
+
+namespace emwd::kernels {
+
+static_assert(kComps.size() == kNumComps);
+
+}  // namespace emwd::kernels

@@ -1,0 +1,29 @@
+#include "kernels/reference.hpp"
+
+#include "kernels/update.hpp"
+
+namespace emwd::kernels {
+
+void reference_component_sweep(grid::FieldSet& fs, Comp comp) {
+  const grid::Layout& layout = fs.layout();
+  const int nx = layout.nx(), ny = layout.ny(), nz = layout.nz();
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      update_comp_row(fs, comp, 0, nx, j, k);
+    }
+  }
+}
+
+void reference_half_step(grid::FieldSet& fs, bool h_phase) {
+  const auto& comps = h_phase ? kHComps : kEComps;
+  for (Comp c : comps) reference_component_sweep(fs, c);
+}
+
+void reference_step(grid::FieldSet& fs, int steps) {
+  for (int s = 0; s < steps; ++s) {
+    reference_half_step(fs, /*h_phase=*/true);
+    reference_half_step(fs, /*h_phase=*/false);
+  }
+}
+
+}  // namespace emwd::kernels

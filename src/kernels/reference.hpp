@@ -1,0 +1,23 @@
+// Single-threaded reference sweeps.
+//
+// The naive sweep is the correctness oracle for every optimized engine: one
+// full-grid loop nest per component per half-step, Ĥ components first, then
+// Ê components (paper Eqs. 3-4: Ĥ^{n+1/2} from Ê^n, then Ê^{n+1} from
+// Ĥ^{n+1/2}).  Kept deliberately simple and obviously correct.
+#pragma once
+
+#include "grid/fieldset.hpp"
+
+namespace emwd::kernels {
+
+/// Advance `fs` by `steps` full time steps with the naive sweep.
+void reference_step(grid::FieldSet& fs, int steps = 1);
+
+/// One half-step: all six Ĥ (is_h = true) or all six Ê components.
+void reference_half_step(grid::FieldSet& fs, bool h_phase);
+
+/// Update a single component over the whole interior (one loop nest, the
+/// unit the paper's code-balance analysis counts).
+void reference_component_sweep(grid::FieldSet& fs, Comp comp);
+
+}  // namespace emwd::kernels

@@ -1,0 +1,123 @@
+#include "kernels/update.hpp"
+
+namespace emwd::kernels {
+namespace {
+
+/// Core loop shared by the src / no-src variants.  `HasSrc` is a compile-time
+/// switch so the no-source kernel carries no dead loads (paper Listing 2).
+template <bool HasSrc>
+inline void update_row_impl(const RowArgs& g) noexcept {
+  double* __restrict x = g.x;
+  const double* __restrict t = g.t;
+  const double* __restrict c = g.c;
+  const double* __restrict src = g.src;
+  const double* __restrict a = g.a;
+  const double* __restrict b = g.b;
+  const double* __restrict as = g.a + 2 * g.shift;
+  const double* __restrict bs = g.b + 2 * g.shift;
+  const double ds = g.ds;
+  const int n2 = 2 * g.n;
+
+  for (int i = 0; i < n2; i += 2) {
+    // Difference of the two partner split parts, base minus shifted (signed).
+    const double re = ds * (a[i] - as[i] + b[i] - bs[i]);
+    const double im = ds * (a[i + 1] - as[i + 1] + b[i + 1] - bs[i + 1]);
+    // Complex X*t - c*(re + i*im) (+ Src), exactly as the paper's listings.
+    double xr = x[i] * t[i] - x[i + 1] * t[i + 1] - c[i] * re + c[i + 1] * im;
+    double xi = x[i] * t[i + 1] + x[i + 1] * t[i] - c[i] * im - c[i + 1] * re;
+    if constexpr (HasSrc) {
+      xr += src[i];
+      xi += src[i + 1];
+    }
+    x[i] = xr;
+    x[i + 1] = xi;
+  }
+}
+
+}  // namespace
+
+void update_row(const RowArgs& args) noexcept {
+  if (args.src != nullptr) {
+    update_row_impl<true>(args);
+  } else {
+    update_row_impl<false>(args);
+  }
+}
+
+std::ptrdiff_t shift_offset(const grid::Layout& layout, Comp comp) {
+  const CompInfo& ci = info(comp);
+  switch (ci.axis) {
+    case Axis::X:
+      return ci.shift * layout.stride_x();
+    case Axis::Y:
+      return ci.shift * layout.stride_y();
+    case Axis::Z:
+    default:
+      return ci.shift * layout.stride_z();
+  }
+}
+
+void update_cell_wrapped(grid::FieldSet& fs, Comp comp, int i, int i_partner, int j,
+                         int k) {
+  const CompInfo& ci = info(comp);
+  const grid::Layout& layout = fs.layout();
+  const std::size_t p = 2 * layout.at(i, j, k);
+  const std::size_t q = 2 * layout.at(i_partner, j, k);
+
+  double* x = fs.field(comp).data();
+  const double* t = fs.coeff_t(comp).data();
+  const double* c = fs.coeff_c(comp).data();
+  const grid::Field* srcf = fs.source_for(comp);
+  const double* a = fs.field(ci.partner_a).data();
+  const double* b = fs.field(ci.partner_b).data();
+  const double ds = static_cast<double>(ci.diff_sign);
+
+  const double re = ds * (a[p] - a[q] + b[p] - b[q]);
+  const double im = ds * (a[p + 1] - a[q + 1] + b[p + 1] - b[q + 1]);
+  double xr = x[p] * t[p] - x[p + 1] * t[p + 1] - c[p] * re + c[p + 1] * im;
+  double xi = x[p] * t[p + 1] + x[p + 1] * t[p] - c[p] * im - c[p + 1] * re;
+  if (srcf != nullptr) {
+    xr += srcf->data()[p];
+    xi += srcf->data()[p + 1];
+  }
+  x[p] = xr;
+  x[p + 1] = xi;
+}
+
+void update_comp_row(grid::FieldSet& fs, Comp comp, int x0, int x1, int j, int k) {
+  if (x1 <= x0) return;
+  const CompInfo& ci = info(comp);
+  const grid::Layout& layout = fs.layout();
+  const int nx = layout.nx();
+
+  // Periodic x: peel the wrap-around cell of the x-shift components.  The
+  // Ĥ components read x-1 (wraps at x = 0 to nx-1); the Ê components read
+  // x+1 (wraps at x = nx-1 to 0).
+  if (fs.x_boundary() == grid::XBoundary::Periodic && ci.axis == Axis::X) {
+    if (ci.shift < 0 && x0 == 0) {
+      update_cell_wrapped(fs, comp, 0, nx - 1, j, k);
+      ++x0;
+    } else if (ci.shift > 0 && x1 == nx) {
+      update_cell_wrapped(fs, comp, nx - 1, 0, j, k);
+      --x1;
+    }
+    if (x1 <= x0) return;
+  }
+
+  const std::size_t base = layout.at(x0, j, k);
+
+  RowArgs args;
+  args.x = fs.field(comp).data() + 2 * base;
+  args.t = fs.coeff_t(comp).data() + 2 * base;
+  args.c = fs.coeff_c(comp).data() + 2 * base;
+  const grid::Field* src = fs.source_for(comp);
+  args.src = src ? src->data() + 2 * base : nullptr;
+  args.a = fs.field(ci.partner_a).data() + 2 * base;
+  args.b = fs.field(ci.partner_b).data() + 2 * base;
+  args.shift = shift_offset(layout, comp);
+  args.ds = static_cast<double>(ci.diff_sign);
+  args.n = x1 - x0;
+  update_row(args);
+}
+
+}  // namespace emwd::kernels

@@ -1,0 +1,86 @@
+#include "kernels/update_simd.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace emwd::kernels {
+
+bool avx2_supported() {
+#if defined(__AVX2__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+#if defined(__AVX2__)
+namespace {
+
+/// Complex multiply of interleaved pairs: [r0 i0 r1 i1] x [s0 j0 s1 j1].
+inline __m256d cmul(__m256d a, __m256d b) {
+  const __m256d a_re = _mm256_movedup_pd(a);        // [r0 r0 r1 r1]
+  const __m256d a_im = _mm256_permute_pd(a, 0xF);   // [i0 i0 i1 i1]
+  const __m256d b_sw = _mm256_permute_pd(b, 0x5);   // [j0 s0 j1 s1]
+  return _mm256_addsub_pd(_mm256_mul_pd(a_re, b),
+                          _mm256_mul_pd(a_im, b_sw));
+}
+
+}  // namespace
+
+void update_row_avx2(const RowArgs& g) noexcept {
+  double* __restrict x = g.x;
+  const double* __restrict t = g.t;
+  const double* __restrict c = g.c;
+  const double* __restrict src = g.src;
+  const double* __restrict a = g.a;
+  const double* __restrict b = g.b;
+  const double* __restrict as = g.a + 2 * g.shift;
+  const double* __restrict bs = g.b + 2 * g.shift;
+  const __m256d ds = _mm256_set1_pd(g.ds);
+  const int n2 = 2 * g.n;
+  const int vec_end = n2 - (n2 % 4);
+
+  for (int i = 0; i < vec_end; i += 4) {
+    const __m256d va = _mm256_loadu_pd(a + i);
+    const __m256d vas = _mm256_loadu_pd(as + i);
+    const __m256d vb = _mm256_loadu_pd(b + i);
+    const __m256d vbs = _mm256_loadu_pd(bs + i);
+    // d = ds * ((A - Ash) + (B - Bsh)), elementwise on re/im lanes.
+    const __m256d d = _mm256_mul_pd(
+        ds, _mm256_add_pd(_mm256_sub_pd(va, vas), _mm256_sub_pd(vb, vbs)));
+    const __m256d vx = _mm256_loadu_pd(x + i);
+    const __m256d vt = _mm256_loadu_pd(t + i);
+    const __m256d vc = _mm256_loadu_pd(c + i);
+    __m256d out = _mm256_sub_pd(cmul(vx, vt), cmul(vc, d));
+    if (src != nullptr) out = _mm256_add_pd(out, _mm256_loadu_pd(src + i));
+    _mm256_storeu_pd(x + i, out);
+  }
+
+  // Scalar tail (odd cell counts).
+  for (int i = vec_end; i < n2; i += 2) {
+    const double re = g.ds * (a[i] - as[i] + b[i] - bs[i]);
+    const double im = g.ds * (a[i + 1] - as[i + 1] + b[i + 1] - bs[i + 1]);
+    double xr = x[i] * t[i] - x[i + 1] * t[i + 1] - c[i] * re + c[i + 1] * im;
+    double xi = x[i] * t[i + 1] + x[i + 1] * t[i] - c[i] * im - c[i + 1] * re;
+    if (src != nullptr) {
+      xr += src[i];
+      xi += src[i + 1];
+    }
+    x[i] = xr;
+    x[i + 1] = xi;
+  }
+}
+#else
+void update_row_avx2(const RowArgs& g) noexcept { update_row(g); }
+#endif
+
+void update_row_isa(const RowArgs& args, KernelIsa isa) noexcept {
+  if (isa == KernelIsa::Avx2 && avx2_supported()) {
+    update_row_avx2(args);
+  } else {
+    update_row(args);
+  }
+}
+
+}  // namespace emwd::kernels

@@ -1,0 +1,28 @@
+// SIMD variants of the row kernel — the paper's Sec. VI future-work item
+// ("we plan to investigate ... in particular the SIMD vectorization", the
+// code running at ~5 % of peak despite being cache-bound).
+//
+// The AVX2 path processes two interleaved double-complex cells per 256-bit
+// vector using the classic movedup/permute/addsub complex-multiply pattern.
+// Results can differ from the scalar kernel in the last ulp (different
+// summation order), so the engines keep the scalar kernel as the bitwise
+// reference; the SIMD kernel is exercised by its own equivalence tests and
+// micro-benchmarks (bench_micro reports the speedup).
+#pragma once
+
+#include "kernels/update.hpp"
+
+namespace emwd::kernels {
+
+enum class KernelIsa { Scalar, Avx2 };
+
+/// True when this binary AND this CPU can run the AVX2 kernel.
+bool avx2_supported();
+
+/// AVX2 implementation of update_row(); requires avx2_supported().
+void update_row_avx2(const RowArgs& args) noexcept;
+
+/// Dispatch by ISA (Scalar falls through to update_row()).
+void update_row_isa(const RowArgs& args, KernelIsa isa) noexcept;
+
+}  // namespace emwd::kernels

@@ -1,0 +1,33 @@
+// Cache block size model (paper Eq. 11).
+//
+//   Cs = 16 * Nx * [ 40 * (Dw^2/2 + Dw*(BZ-1)) + 12 * (Dw + Ww) ],
+//   Ww = Dw + BZ - 1.
+//
+// Every point of the diamond-wavefront tile extends over the full x
+// dimension (16 bytes per double-complex cell); the 40 arrays cover the
+// wavefront-tile area, and the 12 field components add a one-column halo
+// ring of extent Dw + Ww.  The auto-tuner prunes its parameter space to
+// tiles whose Cs fits the usable share of the last-level cache (the paper's
+// rule of thumb: half the L3).
+#pragma once
+
+#include <cstdint>
+
+namespace emwd::models {
+
+/// Wavefront tile width Ww = Dw + BZ - 1 (paper Sec. III-C).
+constexpr int wavefront_width(int dw, int bz) { return dw + bz - 1; }
+
+/// Eq. 11 cache block size in bytes for one tile.
+double cache_block_bytes(int dw, int bz, int nx);
+
+/// Usable LLC share per the paper's rule of thumb (half the cache).
+constexpr double usable_cache_fraction() { return 0.5; }
+
+/// True when `num_tgs` concurrent tiles of this size fit the usable LLC.
+bool fits_cache(int dw, int bz, int nx, std::uint64_t llc_bytes, int num_tgs);
+
+/// Largest diamond width whose tile fits; 0 when even dw=1 does not.
+int max_dw_fitting(int bz, int nx, std::uint64_t llc_bytes, int num_tgs, int dw_limit = 64);
+
+}  // namespace emwd::models

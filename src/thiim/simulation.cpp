@@ -1,0 +1,87 @@
+#include "thiim/simulation.hpp"
+
+#include <stdexcept>
+
+#include "models/machine.hpp"
+#include "tune/autotuner.hpp"
+#include "util/machine_detect.hpp"
+
+namespace emwd::thiim {
+
+Simulation::Simulation(const SimulationConfig& cfg)
+    : cfg_(cfg),
+      layout_(cfg.grid),
+      fields_(layout_),
+      materials_(layout_),
+      params_(em::make_params(cfg.wavelength_cells, cfg.cfl)) {
+  fields_.set_x_boundary(cfg.x_boundary);
+  int threads = cfg.threads;
+  if (threads <= 0) threads = util::detect_host().logical_cpus;
+
+  switch (cfg.engine) {
+    case EngineKind::Naive:
+      engine_ = exec::make_naive_engine(threads);
+      break;
+    case EngineKind::Spatial:
+      engine_ = exec::make_spatial_engine(threads);
+      break;
+    case EngineKind::Mwd: {
+      exec::MwdParams p = cfg.mwd.value_or(exec::MwdParams{});
+      if (!cfg.mwd) p.num_tgs = threads;  // default: 1WD-style, one TG/thread
+      engine_ = exec::make_mwd_engine(p);
+      break;
+    }
+    case EngineKind::Auto: {
+      tune::TuneConfig tc;
+      tc.threads = threads;
+      tc.grid = cfg.grid;
+      tc.machine = models::host_machine();
+      engine_ = exec::make_mwd_engine(tune::autotune(tc).best);
+      break;
+    }
+  }
+}
+
+void Simulation::finalize() {
+  pml_ = em::PmlProfiles(layout_, cfg_.pml, params_.h);
+  em::build_coefficients(fields_, materials_, pml_, params_);
+  fields_.clear_fields();
+  finalized_ = true;
+  steps_done_ = 0;
+}
+
+void Simulation::add_plane_wave(em::SourceField which, int k0,
+                                std::complex<double> amplitude) {
+  if (!finalized_) throw std::logic_error("Simulation: finalize() before adding sources");
+  em::add_plane_wave(fields_, materials_, pml_, params_, which, k0, amplitude);
+}
+
+void Simulation::add_point_dipole(em::SourceField which, int i, int j, int k,
+                                  std::complex<double> amplitude) {
+  if (!finalized_) throw std::logic_error("Simulation: finalize() before adding sources");
+  em::add_point_dipole(fields_, materials_, pml_, params_, which, i, j, k, amplitude);
+}
+
+void Simulation::run(int steps) {
+  if (!finalized_) throw std::logic_error("Simulation: finalize() before run()");
+  engine_->run(fields_, steps);
+  steps_done_ += steps;
+}
+
+double Simulation::run_until_converged(double tol, int max_steps, int check_every) {
+  if (!finalized_) throw std::logic_error("Simulation: finalize() before run()");
+  grid::FieldSet snapshot(layout_);
+  double change = 1.0;
+  int done = 0;
+  while (done < max_steps) {
+    snapshot.copy_fields_from(fields_);
+    const int chunk = std::min(check_every, max_steps - done);
+    run(chunk);
+    done += chunk;
+    change = em::relative_change(fields_, snapshot);
+    if (change < tol) break;
+  }
+  return change;
+}
+
+}  // namespace emwd::thiim

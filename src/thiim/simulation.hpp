@@ -1,0 +1,102 @@
+// Public facade: a complete THIIM solar-cell / photonics simulation.
+//
+// Typical use (see examples/):
+//
+//   thiim::SimulationConfig cfg;
+//   cfg.grid = {64, 64, 128};
+//   cfg.wavelength_cells = 24;
+//   thiim::Simulation sim(cfg);
+//   auto ag = sim.materials().add(em::silver());
+//   em::GeometryBuilder(sim.materials()).layer(ag, 0, 12);
+//   sim.finalize();
+//   sim.add_plane_wave(em::SourceField::Ex, cfg.grid.nz - 12, 1.0);
+//   sim.run(200);
+//   double e = sim.total_energy();
+#pragma once
+
+#include <complex>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "em/coefficients.hpp"
+#include "em/geometry.hpp"
+#include "em/material.hpp"
+#include "em/observables.hpp"
+#include "em/pml.hpp"
+#include "em/source.hpp"
+#include "exec/engine.hpp"
+#include "grid/fieldset.hpp"
+
+namespace emwd::thiim {
+
+enum class EngineKind { Naive, Spatial, Mwd, Auto };
+
+struct SimulationConfig {
+  grid::Extents grid{64, 64, 64};
+  double wavelength_cells = 24.0;  // incident wavelength in mesh cells
+  double cfl = 0.5;                // pseudo-time step CFL factor
+  em::PmlSpec pml{};               // default: absorbing in z, as in the paper
+  /// Lateral boundary along x: periodic matches the paper's production
+  /// setup ("horizontally periodic boundary conditions", Sec. I-A).
+  grid::XBoundary x_boundary = grid::XBoundary::Dirichlet;
+  EngineKind engine = EngineKind::Auto;
+  int threads = 0;                 // 0: hardware concurrency
+  std::optional<exec::MwdParams> mwd;  // explicit MWD parameters (else tuned)
+};
+
+class Simulation {
+ public:
+  explicit Simulation(const SimulationConfig& cfg);
+
+  /// Material map; paint geometry before finalize().
+  em::MaterialGrid& materials() { return materials_; }
+  const em::MaterialGrid& materials() const { return materials_; }
+
+  /// Build coefficients from materials + PML; must be called before sources
+  /// or run().  Re-callable after material changes (sources are reset).
+  void finalize();
+
+  void add_plane_wave(em::SourceField which, int k0, std::complex<double> amplitude);
+  void add_point_dipole(em::SourceField which, int i, int j, int k,
+                        std::complex<double> amplitude);
+
+  /// Advance `steps` THIIM iterations.
+  void run(int steps);
+
+  /// Iterate until the relative field change per `check_every` steps drops
+  /// below `tol` (or `max_steps`).  Returns the last relative change.
+  double run_until_converged(double tol, int max_steps, int check_every = 10);
+
+  double total_energy() const { return em::total_energy(fields_); }
+  double electric_energy() const { return em::electric_energy(fields_); }
+  std::vector<double> absorption_by_material() const {
+    return em::absorption_by_material(fields_, materials_, params_.omega);
+  }
+  std::complex<double> E_at(int axis, int i, int j, int k) const {
+    return em::parent_E(fields_, axis, i, j, k);
+  }
+  std::complex<double> H_at(int axis, int i, int j, int k) const {
+    return em::parent_H(fields_, axis, i, j, k);
+  }
+
+  grid::FieldSet& fields() { return fields_; }
+  const grid::FieldSet& fields() const { return fields_; }
+  const em::ThiimParams& params() const { return params_; }
+  const exec::Engine& engine() const { return *engine_; }
+  const exec::EngineStats& last_stats() const { return engine_->stats(); }
+  int steps_done() const { return steps_done_; }
+
+ private:
+  SimulationConfig cfg_;
+  grid::Layout layout_;
+  grid::FieldSet fields_;
+  em::MaterialGrid materials_;
+  em::PmlProfiles pml_;
+  em::ThiimParams params_;
+  std::unique_ptr<exec::Engine> engine_;
+  bool finalized_ = false;
+  int steps_done_ = 0;
+};
+
+}  // namespace emwd::thiim

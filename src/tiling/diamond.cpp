@@ -1,0 +1,120 @@
+#include "tiling/diamond.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace emwd::tiling {
+namespace {
+
+/// Floor division for possibly-negative numerators (q > 0).
+long floor_div(long p, long q) {
+  long d = p / q;
+  if ((p % q != 0) && ((p < 0) != (q < 0))) --d;
+  return d;
+}
+
+/// Ceiling division for possibly-negative numerators (q > 0).
+long ceil_div(long p, long q) { return -floor_div(-p, q); }
+
+}  // namespace
+
+DiamondTiling::DiamondTiling(int dw, int ny, int nt) : dw_(dw), ny_(ny), nt_(nt) {
+  if (dw < 1) throw std::invalid_argument("DiamondTiling: dw must be >= 1");
+  if (ny < 1 || nt < 1) throw std::invalid_argument("DiamondTiling: ny/nt must be >= 1");
+
+  const long delta = 2L * dw;
+  // Staggered-lattice bounding box: ỹ in [-1, 2ny-2], s in [0, 2nt-1].
+  const long u_min = -1, u_max = (2L * ny - 2) + (2L * nt - 1);
+  const long v_min = -1 - (2L * nt - 1), v_max = 2L * ny - 2;
+  const long a_lo = floor_div(u_min, delta), a_hi = floor_div(u_max, delta);
+  const long b_lo = floor_div(v_min, delta), b_hi = floor_div(v_max, delta);
+
+  for (long a = a_lo; a <= a_hi; ++a) {
+    for (long b = b_lo; b <= b_hi; ++b) {
+      const TileCoord t{a, b};
+      if (tile_nonempty(t)) tiles_.push_back(t);
+    }
+  }
+  // Topological order: ascending wavefront, then ascending b.  Both
+  // predecessors of any tile live on the previous wavefront.
+  std::sort(tiles_.begin(), tiles_.end(), [](const TileCoord& x, const TileCoord& y) {
+    if (x.wavefront() != y.wavefront()) return x.wavefront() < y.wavefront();
+    return x.b < y.b;
+  });
+}
+
+std::vector<RowSlice> DiamondTiling::slices(TileCoord t) const {
+  std::vector<RowSlice> out;
+  const long delta = 2L * dw_;
+  const long w = t.wavefront();
+  const long s_lo = std::max<long>(0, (w - 1) * dw_ + 1);
+  const long s_hi = std::min<long>(2L * nt_ - 1, (w + 1) * dw_ - 1);
+  for (long s = s_lo; s <= s_hi; ++s) {
+    // ỹ bounds of the tile at this half-step (half-open interval).
+    const long yt_lo = std::max(t.a * delta - s, t.b * delta + s);
+    const long yt_hi = std::min((t.a + 1) * delta - s, (t.b + 1) * delta + s);
+    if (yt_lo >= yt_hi) continue;
+    const bool h_phase = (s % 2 == 0);
+    long y_lo, y_hi;
+    if (h_phase) {
+      // Ĥ rows at odd ỹ = 2y - 1.
+      y_lo = ceil_div(yt_lo + 1, 2);
+      y_hi = ceil_div(yt_hi + 1, 2);
+    } else {
+      // Ê rows at even ỹ = 2y.
+      y_lo = ceil_div(yt_lo, 2);
+      y_hi = ceil_div(yt_hi, 2);
+    }
+    y_lo = std::max<long>(y_lo, 0);
+    y_hi = std::min<long>(y_hi, ny_);
+    if (y_lo >= y_hi) continue;
+    out.push_back(RowSlice{static_cast<int>(s), h_phase, static_cast<int>(y_lo),
+                           static_cast<int>(y_hi)});
+  }
+  return out;
+}
+
+bool DiamondTiling::tile_nonempty(TileCoord t) const { return !slices(t).empty(); }
+
+TileCoord DiamondTiling::tile_of(long y_tilde, long s) const {
+  const long delta = 2L * dw_;
+  return TileCoord{floor_div(y_tilde + s, delta), floor_div(y_tilde - s, delta)};
+}
+
+long DiamondTiling::index_of(TileCoord t) const {
+  // tiles_ is sorted by (wavefront, b); binary search on that key.
+  auto cmp = [](const TileCoord& x, const TileCoord& y) {
+    if (x.wavefront() != y.wavefront()) return x.wavefront() < y.wavefront();
+    return x.b < y.b;
+  };
+  auto it = std::lower_bound(tiles_.begin(), tiles_.end(), t, cmp);
+  if (it != tiles_.end() && *it == t) return it - tiles_.begin();
+  return -1;
+}
+
+std::vector<TileCoord> DiamondTiling::deps(TileCoord t) const {
+  std::vector<TileCoord> out;
+  for (TileCoord cand : {TileCoord{t.a - 1, t.b}, TileCoord{t.a, t.b + 1}}) {
+    if (index_of(cand) >= 0) out.push_back(cand);
+  }
+  return out;
+}
+
+std::vector<TileCoord> DiamondTiling::dependents(TileCoord t) const {
+  std::vector<TileCoord> out;
+  for (TileCoord cand : {TileCoord{t.a + 1, t.b}, TileCoord{t.a, t.b - 1}}) {
+    if (index_of(cand) >= 0) out.push_back(cand);
+  }
+  return out;
+}
+
+std::int64_t DiamondTiling::total_half_step_cells() const {
+  std::int64_t total = 0;
+  for (const TileCoord& t : tiles_) {
+    for (const RowSlice& sl : slices(t)) total += sl.width();
+  }
+  return total;
+}
+
+}  // namespace emwd::tiling

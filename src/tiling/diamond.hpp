@@ -1,0 +1,92 @@
+// Diamond tiling of the (y, time) plane for the dual-field THIIM stencil.
+//
+// Half-steps s = 0, 1, 2, ...: even s is the Ĥ update of time step s/2, odd
+// s the Ê update (Ĥ first, as in paper Eqs. 3-4).  Because Ĥ reads Ê at
+// y-1..y and Ê reads Ĥ at y..y+1 (staggered grid), both fields map onto one
+// symmetric radius-1 lattice via the staggered coordinate
+//
+//     ỹ = 2y   for Ê rows,    ỹ = 2y - 1   for Ĥ rows,
+//
+// where every dependency becomes (ỹ±1, s-1) and all cells live on the
+// ỹ+s-odd sublattice.  Diamonds are then axis-aligned boxes of edge
+// Δ = 2*Dw in the skewed coordinates u = ỹ+s, v = ỹ-s:
+//
+//     tile(a, b) = { aΔ <= u < (a+1)Δ } ∩ { bΔ <= v < (b+1)Δ }.
+//
+// This is the paper's Fig. 2 structure: a tile spans 2*Dw-1 half-step rows,
+// its widest row holds Dw grid cells, it holds Dw²/2 full lattice-site
+// updates per (x,z) column, and it depends only on tiles (a-1, b) and
+// (a, b+1) — which also covers all anti-dependencies, so tiles whose
+// predecessors are complete can run concurrently (see tests/tiling).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace emwd::tiling {
+
+struct TileCoord {
+  long a = 0;
+  long b = 0;
+  friend bool operator==(const TileCoord&, const TileCoord&) = default;
+  /// Diamonds on the same wavefront are mutually independent.
+  long wavefront() const { return a - b; }
+};
+
+/// One half-step row slice of a (clipped) tile: grid cells y in [y_lo, y_hi)
+/// at half-step s.  h_phase == (s even).
+struct RowSlice {
+  int s = 0;
+  bool h_phase = true;
+  int y_lo = 0;
+  int y_hi = 0;
+  int width() const { return y_hi - y_lo; }
+};
+
+class DiamondTiling {
+ public:
+  /// dw: diamond width in grid cells (>= 1); ny: domain y extent;
+  /// nt: number of full time steps (half-steps = 2*nt).
+  DiamondTiling(int dw, int ny, int nt);
+
+  int dw() const { return dw_; }
+  int ny() const { return ny_; }
+  int nt() const { return nt_; }
+  int delta() const { return 2 * dw_; }
+
+  /// All non-empty (clipped) tiles in a valid topological order
+  /// (ascending wavefront a-b, then ascending b).
+  const std::vector<TileCoord>& tiles() const { return tiles_; }
+
+  /// Index of a tile in tiles(), or -1 when absent/empty.
+  long index_of(TileCoord t) const;
+
+  /// Clipped row slices of a tile, ascending in s.  Empty rows are omitted.
+  std::vector<RowSlice> slices(TileCoord t) const;
+
+  /// In-domain predecessor tiles ((a-1, b) and (a, b+1) when non-empty).
+  std::vector<TileCoord> deps(TileCoord t) const;
+
+  /// In-domain dependent tiles ((a+1, b) and (a, b-1) when non-empty).
+  std::vector<TileCoord> dependents(TileCoord t) const;
+
+  /// Total lattice-site updates (cell half-step updates / 2) in the tiling;
+  /// equals ny * nz * nt when multiplied by nz (z not tiled here).
+  std::int64_t total_half_step_cells() const;
+
+  /// Tile containing staggered cell (ỹ, s); valid for any in-lattice cell.
+  TileCoord tile_of(long y_tilde, long s) const;
+
+  /// Staggered coordinate of a row: Ê rows sit at 2y, Ĥ rows at 2y-1.
+  static long y_tilde(int y, bool h_phase) { return h_phase ? 2L * y - 1 : 2L * y; }
+
+ private:
+  bool tile_nonempty(TileCoord t) const;
+
+  int dw_;
+  int ny_;
+  int nt_;
+  std::vector<TileCoord> tiles_;
+};
+
+}  // namespace emwd::tiling

@@ -1,0 +1,3 @@
+#include "tiling/wavefront.hpp"
+
+// Header-only; anchors the translation unit.

@@ -1,0 +1,45 @@
+// Wavefront traversal of the z (outer) dimension inside a diamond tile
+// (paper Fig. 4: the "extruded" diamond).
+//
+// The z-window of half-step s lags the wavefront front position by one plane
+// per full time step, plus one extra plane for Ê rows (Ĥ reads Ê at z-1..z
+// of the previous half-step; Ê reads *same-step* Ĥ at z..z+1).  With window
+// height BZ this reproduces the paper's wavefront width Ww = Dw + BZ - 1
+// over a full diamond.
+#pragma once
+
+#include <algorithm>
+
+namespace emwd::tiling {
+
+/// Absolute z-lag of half-step s (s even: Ĥ of step s/2; s odd: Ê of step s/2).
+inline int z_lag(int s) { return s / 2 + (s & 1); }
+
+/// Half-open z-window [lo, hi) of half-step s at wavefront position `front`,
+/// relative to the lag of the tile's first half-step, clipped to [0, nz).
+struct ZWindow {
+  int lo = 0;
+  int hi = 0;
+  bool empty() const { return lo >= hi; }
+  int planes() const { return hi - lo; }
+};
+
+inline ZWindow z_window(int front, int bz, int s, int s_base, int nz) {
+  const int rel = z_lag(s) - z_lag(s_base);
+  return ZWindow{std::max(0, front - rel), std::min(nz, front - rel + bz)};
+}
+
+/// Number of wavefront front positions needed so that every half-step's
+/// windows cover [0, nz): fronts are 0, bz, 2*bz, ... while front < nz + rel_max.
+inline int num_fronts(int nz, int bz, int s_base, int s_top) {
+  const int rel_max = z_lag(s_top) - z_lag(s_base);
+  const int span = nz + rel_max;
+  return (span + bz - 1) / bz;
+}
+
+/// Wavefront tile width Ww (paper Sec. III-C): the spread between the newest
+/// and oldest z-plane simultaneously held by a diamond spanning `dw` full
+/// time steps with block height bz.  Equals dw + bz - 1.
+inline int wavefront_width(int dw, int bz) { return dw + bz - 1; }
+
+}  // namespace emwd::tiling

@@ -1,0 +1,82 @@
+#include "tune/autotuner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "em/coefficients.hpp"
+#include "grid/fieldset.hpp"
+#include "models/cache_model.hpp"
+#include "models/code_balance.hpp"
+#include "models/perf_model.hpp"
+
+namespace emwd::tune {
+
+Candidate score_candidate(const exec::MwdParams& p, const grid::Extents& grid,
+                          const models::Machine& m) {
+  Candidate c;
+  c.params = p;
+  c.cache_bytes = models::cache_block_bytes(p.dw, p.bz, grid.nx) * p.num_tgs;
+  const double usable =
+      models::usable_cache_fraction() * static_cast<double>(m.llc_bytes);
+  c.overflow = usable > 0.0 ? c.cache_bytes / usable : 1e9;
+  const double ideal = models::diamond_bytes_per_lup(p.dw);
+  c.model_bpl = models::degraded_bytes_per_lup(ideal, c.overflow);
+  c.predicted_mlups = models::predict(m, p.threads(), c.model_bpl, /*tiled=*/true).mlups;
+  return c;
+}
+
+bool candidate_better(const Candidate& a, const Candidate& b) {
+  const bool fa = a.overflow <= 1.0, fb = b.overflow <= 1.0;
+  if (fa != fb) return fa;
+  if (a.predicted_mlups != b.predicted_mlups) return a.predicted_mlups > b.predicted_mlups;
+  if (a.params.dw != b.params.dw) return a.params.dw > b.params.dw;
+  // Model ties: prefer the intra-tile split shape the paper's measurements
+  // favour — 2-3 threads across field components, long x rows per thread.
+  const auto comp_pref = [](int tc) { return tc == 2 || tc == 3; };
+  if (comp_pref(a.params.tc) != comp_pref(b.params.tc)) return comp_pref(a.params.tc);
+  if (a.params.tx != b.params.tx) return a.params.tx < b.params.tx;
+  if (a.params.tg_size() != b.params.tg_size()) return a.params.tg_size() > b.params.tg_size();
+  if (a.params.bz != b.params.bz) return a.params.bz < b.params.bz;
+  return a.params.tz < b.params.tz;
+}
+
+TuneResult autotune(const TuneConfig& cfg) {
+  const auto params = enumerate_candidates(cfg.threads, cfg.grid, cfg.limits);
+  if (params.empty()) throw std::runtime_error("autotune: empty parameter space");
+
+  std::vector<Candidate> scored;
+  scored.reserve(params.size());
+  for (const auto& p : params) scored.push_back(score_candidate(p, cfg.grid, cfg.machine));
+
+  std::sort(scored.begin(), scored.end(), candidate_better);
+
+  TuneResult result;
+  result.ranked = scored;
+
+  if (cfg.timed_refinement) {
+    const int k = std::min<int>(cfg.refine_top_k, static_cast<int>(scored.size()));
+    grid::Layout layout(cfg.grid);
+    grid::FieldSet fs(layout);
+    em::build_random_stable(fs, /*seed=*/0x7u);
+    double best_time_mlups = -1.0;
+    int best_idx = 0;
+    for (int i = 0; i < k; ++i) {
+      auto engine = exec::make_mwd_engine(scored[static_cast<std::size_t>(i)].params);
+      fs.clear_fields();
+      engine->run(fs, cfg.refine_steps);
+      scored[static_cast<std::size_t>(i)].measured_mlups = engine->stats().mlups;
+      if (engine->stats().mlups > best_time_mlups) {
+        best_time_mlups = engine->stats().mlups;
+        best_idx = i;
+      }
+    }
+    result.ranked = scored;
+    result.best_candidate = scored[static_cast<std::size_t>(best_idx)];
+  } else {
+    result.best_candidate = scored.front();
+  }
+  result.best = result.best_candidate.params;
+  return result;
+}
+
+}  // namespace emwd::tune

@@ -1,0 +1,59 @@
+// Auto-tuner for the MWD engine (paper Sec. II-A).
+//
+// Two stages, mirroring the Girih tuner: (1) model ranking — every
+// candidate from the parameter space is scored with the cache block size
+// model (Eq. 11) and the bottleneck performance model, discarding tiles
+// that overflow the usable LLC share; (2) optional timed refinement — the
+// top-K surviving candidates are run for a few time steps on the real
+// engine and the fastest wins.
+#pragma once
+
+#include <vector>
+
+#include "exec/engine.hpp"
+#include "models/machine.hpp"
+#include "tune/space.hpp"
+
+namespace emwd::tune {
+
+struct Candidate {
+  exec::MwdParams params;
+  double cache_bytes = 0.0;      // Eq. 11 * num_tgs
+  double overflow = 0.0;         // cache_bytes / usable LLC
+  double model_bpl = 0.0;        // predicted bytes/LUP (possibly degraded)
+  double predicted_mlups = 0.0;  // bottleneck-model score
+  double measured_mlups = 0.0;   // timed refinement result (0 if not timed)
+};
+
+struct TuneConfig {
+  int threads = 1;
+  grid::Extents grid{64, 64, 64};
+  models::Machine machine;
+  SpaceLimits limits;
+  bool timed_refinement = false;  // needs a real FieldSet-sized allocation
+  int refine_top_k = 4;
+  int refine_steps = 2;
+};
+
+struct TuneResult {
+  exec::MwdParams best;
+  Candidate best_candidate;
+  std::vector<Candidate> ranked;  // descending score, post-pruning
+};
+
+/// Score a single candidate with the models (stage 1 unit).
+Candidate score_candidate(const exec::MwdParams& p, const grid::Extents& grid,
+                          const models::Machine& m);
+
+/// Canonical ranking predicate: fitting candidates first, then predicted
+/// performance, larger diamonds, component parallelism of 2-3 (the split
+/// the paper's tuner converges on, Fig. 7b), smaller x splits (longer
+/// per-thread rows), larger groups.
+bool candidate_better(const Candidate& a, const Candidate& b);
+
+/// Full auto-tune.  With timed_refinement the tuner allocates a FieldSet of
+/// `grid` with synthetic coefficients — callers should size grids so this
+/// fits in memory.
+TuneResult autotune(const TuneConfig& cfg);
+
+}  // namespace emwd::tune

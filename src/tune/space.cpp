@@ -1,0 +1,61 @@
+#include "tune/space.hpp"
+
+#include <algorithm>
+
+namespace emwd::tune {
+
+std::vector<int> divisors(int n) {
+  std::vector<int> out;
+  for (int d = 1; d <= n; ++d) {
+    if (n % d == 0) out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<exec::MwdParams> enumerate_candidates(int threads, const grid::Extents& grid,
+                                                  const SpaceLimits& limits) {
+  std::vector<exec::MwdParams> out;
+  const int max_dw = std::min(limits.max_dw, grid.ny);
+  const int max_bz = std::min(limits.max_bz, grid.nz);
+
+  for (int tg : divisors(threads)) {
+    const int num_tgs = threads / tg;
+    // Factor tg into tx * tz * tc with the component split restricted to the
+    // counts that divide six update streams evenly (paper Sec. II-B).
+    for (int tc : {1, 2, 3, 6}) {
+      if (tg % tc != 0) continue;
+      const int rest = tg / tc;
+      for (int tz : divisors(rest)) {
+        const int tx = rest / tz;
+        // Short per-thread rows waste the pipelines (paper Sec. VI); but a
+        // tx of 1 must always remain legal, however small the grid.
+        if (tx > 1 && grid.nx / tx < limits.min_x_per_thread) continue;
+        for (int bz = 1; bz <= max_bz; bz *= 2) {
+          if (tz > bz) continue;  // more z-threads than window planes is waste
+          for (int dw : {1, 2, 4, 6, 8, 12, 16, 20, 24, 32}) {
+            if (dw > max_dw) break;
+            exec::MwdParams p;
+            p.dw = dw;
+            p.bz = bz;
+            p.tx = tx;
+            p.tz = tz;
+            p.tc = tc;
+            p.num_tgs = num_tgs;
+            out.push_back(p);
+          }
+        }
+      }
+    }
+  }
+  // Deterministic order helps tests and reproducibility.
+  std::sort(out.begin(), out.end(), [](const exec::MwdParams& a, const exec::MwdParams& b) {
+    if (a.num_tgs != b.num_tgs) return a.num_tgs < b.num_tgs;
+    if (a.tc != b.tc) return a.tc < b.tc;
+    if (a.tz != b.tz) return a.tz < b.tz;
+    if (a.bz != b.bz) return a.bz < b.bz;
+    return a.dw < b.dw;
+  });
+  return out;
+}
+
+}  // namespace emwd::tune

@@ -1,0 +1,32 @@
+// MWD parameter space enumeration (paper Sec. II-A: "the parameter search
+// space is narrowed down to diamond tiles that fit within a predefined
+// cache size range using a cache block size model").
+#pragma once
+
+#include <vector>
+
+#include "exec/engine.hpp"
+#include "grid/layout.hpp"
+
+namespace emwd::tune {
+
+struct SpaceLimits {
+  int max_dw = 32;
+  int max_bz = 16;
+  /// Minimum x cells per intra-tile x-thread (short rows waste pipelines;
+  /// paper Sec. VI warns below ~50 cells).
+  int min_x_per_thread = 16;
+};
+
+/// All thread-group factorizations and tiling parameters for `threads`
+/// total threads on the given grid.  Every returned candidate satisfies:
+///   tx*tz*tc * num_tgs == threads,  tc in {1,2,3,6},  tz <= bz,
+///   dw <= min(ny, max_dw),  bz <= min(nz, max_bz),
+///   nx / tx >= min_x_per_thread.
+std::vector<exec::MwdParams> enumerate_candidates(int threads, const grid::Extents& grid,
+                                                  const SpaceLimits& limits = {});
+
+/// The divisors of n in ascending order.
+std::vector<int> divisors(int n);
+
+}  // namespace emwd::tune

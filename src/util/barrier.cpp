@@ -1,0 +1,4 @@
+#include "util/barrier.hpp"
+
+// SpinBarrier is header-only; this translation unit anchors the module in the
+// build and hosts nothing else at the moment.

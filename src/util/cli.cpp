@@ -1,0 +1,118 @@
+#include "util/cli.hpp"
+
+// GCC 12 emits a spurious -Wrestrict from inlined std::string assignment at
+// -O3 (GCC bug 105651); the code is plain string handling.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
+
+#include <cstdlib>
+#include <sstream>
+
+namespace emwd::util {
+
+void Cli::add_flag(const std::string& name, const std::string& help,
+                   const std::string& default_value) {
+  declared_[name] = Flag{help, default_value};
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      // (assign+append rather than operator+ to dodge a GCC 12 -Wrestrict
+      // false positive in inlined std::string concatenation)
+      error_.assign("unexpected positional argument: ");
+      error_.append(arg);
+      return false;
+    }
+    std::string name, value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(2, eq - 2);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg.substr(2);
+      // `--flag value` form if the next token is not another flag and the
+      // declared default is non-boolean-ish; otherwise boolean true.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "1";
+      }
+    }
+    if (!declared_.count(name)) {
+      error_.assign("unknown flag: --");
+      error_.append(name);
+      return false;
+    }
+    values_[name] = value;
+  }
+  return true;
+}
+
+bool Cli::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string Cli::get(const std::string& name, const std::string& fallback) const {
+  auto it = values_.find(name);
+  if (it != values_.end()) return it->second;
+  auto d = declared_.find(name);
+  if (d != declared_.end() && !d->second.default_value.empty()) return d->second.default_value;
+  return fallback;
+}
+
+long Cli::get_int(const std::string& name, long fallback) const {
+  const std::string v = get(name);
+  if (v.empty()) return fallback;
+  char* end = nullptr;
+  const long out = std::strtol(v.c_str(), &end, 10);
+  return (end && *end == '\0') ? out : fallback;
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const std::string v = get(name);
+  if (v.empty()) return fallback;
+  char* end = nullptr;
+  const double out = std::strtod(v.c_str(), &end);
+  return (end && *end == '\0') ? out : fallback;
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  const std::string v = get(name);
+  if (v.empty()) return fallback;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::vector<long> Cli::get_int_list(const std::string& name,
+                                    const std::vector<long>& fallback) const {
+  const std::string v = get(name);
+  if (v.empty()) return fallback;
+  std::vector<long> out;
+  std::stringstream ss(v);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    char* end = nullptr;
+    const long x = std::strtol(item.c_str(), &end, 10);
+    if (!end || *end != '\0') return fallback;
+    out.push_back(x);
+  }
+  return out.empty() ? fallback : out;
+}
+
+std::string Cli::help_text(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : declared_) {
+    os << "  --" << name;
+    if (!flag.default_value.empty()) os << " (default: " << flag.default_value << ")";
+    os << "\n      " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace emwd::util

@@ -1,0 +1,50 @@
+// Minimal command-line flag parsing for benches and examples.
+//
+// Supports `--name=value`, `--name value` and boolean `--name` forms with
+// typed lookups and a generated --help listing.  Deliberately tiny: no
+// subcommands, no positional-argument grammar.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace emwd::util {
+
+class Cli {
+ public:
+  /// Declare a flag before parse() so it appears in help and is validated.
+  void add_flag(const std::string& name, const std::string& help,
+                const std::string& default_value = "");
+
+  /// Parse argv; returns false (and fills error()) on unknown or malformed
+  /// flags.  `--help` sets help_requested().
+  bool parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback = "") const;
+  long get_int(const std::string& name, long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  /// Comma-separated list of integers ("64,128,192").
+  std::vector<long> get_int_list(const std::string& name,
+                                 const std::vector<long>& fallback) const;
+
+  bool help_requested() const { return help_requested_; }
+  const std::string& error() const { return error_; }
+  std::string help_text(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string default_value;
+  };
+  std::map<std::string, Flag> declared_;
+  std::map<std::string, std::string> values_;
+  bool help_requested_ = false;
+  std::string error_;
+};
+
+}  // namespace emwd::util

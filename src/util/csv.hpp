@@ -1,0 +1,51 @@
+// CSV / aligned-table emission for bench output.
+//
+// Every bench prints the series from the paper's figures as machine-readable
+// CSV rows plus a human-readable aligned table, so EXPERIMENTS.md can quote
+// them directly.
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace emwd::util {
+
+/// Column-oriented table; all cells are formatted strings.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; throws std::invalid_argument on column-count mismatch.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` significant digits.
+  void add_row_numeric(const std::vector<double>& values, int precision = 6);
+
+  std::size_t rows() const { return cells_.size(); }
+  std::size_t cols() const { return headers_.size(); }
+  const std::vector<std::string>& header() const { return headers_; }
+  const std::vector<std::string>& row(std::size_t r) const { return cells_.at(r); }
+
+  /// RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  std::string to_csv() const;
+
+  /// Space-padded aligned text table for terminal output.
+  std::string to_aligned() const;
+
+  /// Print aligned table followed by CSV block, each under a caption.
+  void print(std::ostream& os, const std::string& caption) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Format a double with `precision` significant digits (shortest form).
+std::string fmt_double(double v, int precision = 6);
+
+/// CSV-escape a single cell.
+std::string csv_escape(const std::string& cell);
+
+}  // namespace emwd::util

@@ -1,0 +1,92 @@
+#include "util/machine_detect.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace emwd::util {
+namespace {
+
+/// Parse "32K" / "2048K" / "45M" style sysfs cache size strings into bytes.
+std::size_t parse_size(const std::string& text) {
+  std::istringstream is(text);
+  double value = 0.0;
+  is >> value;
+  char suffix = '\0';
+  is >> suffix;
+  switch (suffix) {
+    case 'K':
+    case 'k':
+      return static_cast<std::size_t>(value * 1024.0);
+    case 'M':
+    case 'm':
+      return static_cast<std::size_t>(value * 1024.0 * 1024.0);
+    case 'G':
+    case 'g':
+      return static_cast<std::size_t>(value * 1024.0 * 1024.0 * 1024.0);
+    default:
+      return static_cast<std::size_t>(value);
+  }
+}
+
+std::string read_line(const std::string& path) {
+  std::ifstream f(path);
+  std::string line;
+  if (f) std::getline(f, line);
+  return line;
+}
+
+}  // namespace
+
+HostInfo detect_host() {
+  HostInfo info;
+  info.logical_cpus = static_cast<int>(std::thread::hardware_concurrency());
+  if (info.logical_cpus <= 0) info.logical_cpus = 1;
+
+  // Walk cpu0's cache indices; level+type identify L1d/L2/L3.
+  const std::string base = "/sys/devices/system/cpu/cpu0/cache/index";
+  for (int idx = 0; idx < 8; ++idx) {
+    const std::string dir = base + std::to_string(idx) + "/";
+    const std::string level = read_line(dir + "level");
+    if (level.empty()) continue;
+    const std::string type = read_line(dir + "type");
+    const std::string size = read_line(dir + "size");
+    if (size.empty()) continue;
+    const std::size_t bytes = parse_size(size);
+    if (level == "1" && type == "Data") info.l1d_bytes = bytes;
+    if (level == "2" && (type == "Unified" || type == "Data")) info.l2_bytes = bytes;
+    if (level == "3") info.l3_bytes = bytes;
+  }
+
+  {
+    std::ifstream meminfo("/proc/meminfo");
+    std::string key;
+    long long kb = 0;
+    while (meminfo >> key >> kb) {
+      if (key == "MemTotal:") {
+        info.total_ram_bytes = static_cast<std::size_t>(kb) * 1024;
+        break;
+      }
+      meminfo.ignore(1024, '\n');
+    }
+  }
+
+  {
+    std::ifstream cpuinfo("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(cpuinfo, line)) {
+      const auto pos = line.find("model name");
+      if (pos != std::string::npos) {
+        const auto colon = line.find(':');
+        if (colon != std::string::npos && colon + 2 <= line.size()) {
+          info.cpu_model = line.substr(colon + 2);
+        }
+        break;
+      }
+    }
+  }
+
+  return info;
+}
+
+}  // namespace emwd::util

@@ -1,0 +1,24 @@
+// Host hardware introspection (Linux sysfs / sysconf).
+//
+// Used to size default grids and to seed the machine model with real cache
+// sizes when running natively rather than in paper-emulation mode.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace emwd::util {
+
+struct HostInfo {
+  int logical_cpus = 1;
+  std::size_t l1d_bytes = 32 * 1024;
+  std::size_t l2_bytes = 256 * 1024;
+  std::size_t l3_bytes = 8ull * 1024 * 1024;
+  std::size_t total_ram_bytes = 0;
+  std::string cpu_model = "unknown";
+};
+
+/// Best-effort detection; every field has a sane fallback.
+HostInfo detect_host();
+
+}  // namespace emwd::util

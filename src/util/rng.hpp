@@ -1,0 +1,55 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Tests and workload generators need reproducible randomness that is
+// identical across platforms and standard-library versions; <random>
+// distributions do not guarantee that, so we roll the small amount we need.
+#pragma once
+
+#include <cstdint>
+
+namespace emwd::util {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding as recommended by the authors.
+    std::uint64_t z = seed;
+    for (auto& word : s_) {
+      z += 0x9e3779b97f4a7c15ull;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      word = x ^ (x >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) { return n ? next() % n : 0; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace emwd::util

@@ -1,0 +1,50 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace emwd::util {
+
+double Stats::min() const {
+  if (samples_.empty()) throw std::logic_error("Stats::min on empty set");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Stats::max() const {
+  if (samples_.empty()) throw std::logic_error("Stats::max on empty set");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Stats::mean() const {
+  if (samples_.empty()) throw std::logic_error("Stats::mean on empty set");
+  double sum = 0.0;
+  for (double x : samples_) sum += x;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Stats::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double ss = 0.0;
+  for (double x : samples_) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(samples_.size() - 1));
+}
+
+double Stats::percentile(double q) const {
+  if (samples_.empty()) throw std::logic_error("Stats::percentile on empty set");
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(q, 0.0, 100.0);
+  const double pos = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double rel_diff(double a, double b, double eps) {
+  const double denom = std::max({std::fabs(a), std::fabs(b), eps});
+  return std::fabs(a - b) / denom;
+}
+
+}  // namespace emwd::util

@@ -1,0 +1,38 @@
+// Small online statistics used by the auto-tuner and the benches.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace emwd::util {
+
+/// Accumulates a sample set and reports summary statistics.
+class Stats {
+ public:
+  void add(double x) { samples_.push_back(x); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double stddev() const;
+  /// Interpolated percentile, q in [0, 100].
+  double percentile(double q) const;
+  double median() const { return percentile(50.0); }
+
+  const std::vector<double>& samples() const { return samples_; }
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Relative difference |a-b| / max(|a|,|b|,eps); symmetric, safe near zero.
+double rel_diff(double a, double b, double eps = 1e-300);
+
+}  // namespace emwd::util

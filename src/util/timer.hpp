@@ -1,0 +1,36 @@
+// Wall-clock timing helpers used by engines, benches and the auto-tuner.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace emwd::util {
+
+/// Monotonic wall-clock stopwatch with double-precision seconds.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Convert a (cells, steps, seconds) measurement into MLUP/s, the paper's
+/// performance metric.  One LUP = one grid cell through one full time step
+/// (all 12 component updates).
+inline double mlups(std::int64_t cells, std::int64_t steps, double seconds) {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(cells) * static_cast<double>(steps) / seconds / 1e6;
+}
+
+}  // namespace emwd::util

@@ -1,0 +1,218 @@
+// The central correctness property of the whole library: every optimized
+// engine produces bit-identical fields to the naive reference sweep.  All
+// engines execute the exact same per-cell arithmetic (kernels::update_row),
+// so any ordering bug in the tiling, wavefront, scheduler or thread split
+// shows up as a nonzero difference.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "em/coefficients.hpp"
+#include "em/source.hpp"
+#include "exec/engine.hpp"
+#include "grid/fieldset.hpp"
+#include "kernels/reference.hpp"
+
+namespace {
+
+using namespace emwd;
+
+/// Build a reference result once per (grid, steps, seed) and cache it.
+class Fixture {
+ public:
+  Fixture(grid::Extents e, int steps, std::uint64_t seed)
+      : layout_(e), reference_(layout_), steps_(steps), seed_(seed) {
+    em::build_random_stable(reference_, seed);
+    kernels::reference_step(reference_, steps);
+  }
+
+  /// Run `engine` from the same initial state; return max |diff| vs reference.
+  double run_and_diff(exec::Engine& engine) const {
+    grid::FieldSet fs(layout_);
+    em::build_random_stable(fs, seed_);  // identical coefficients AND state
+    engine.run(fs, steps_);
+    return grid::FieldSet::max_field_diff(fs, reference_);
+  }
+
+  const grid::Layout& layout() const { return layout_; }
+
+ private:
+  grid::Layout layout_;
+  grid::FieldSet reference_;
+  int steps_;
+  std::uint64_t seed_;
+};
+
+TEST(Equivalence, NaiveEngineMatchesReference) {
+  Fixture fx({10, 12, 9}, 3, 11);
+  for (int threads : {1, 2, 4}) {
+    auto e = exec::make_naive_engine(threads);
+    EXPECT_EQ(fx.run_and_diff(*e), 0.0) << "threads=" << threads;
+  }
+}
+
+TEST(Equivalence, SpatialEngineMatchesReference) {
+  Fixture fx({10, 12, 9}, 3, 12);
+  for (int threads : {1, 3}) {
+    for (int by : {1, 4, 100}) {
+      auto e = exec::make_spatial_engine(threads, by);
+      EXPECT_EQ(fx.run_and_diff(*e), 0.0) << "threads=" << threads << " by=" << by;
+    }
+  }
+}
+
+struct MwdCase {
+  exec::MwdParams p;
+  std::string label;
+};
+
+class MwdEquivalence : public ::testing::TestWithParam<MwdCase> {};
+
+TEST_P(MwdEquivalence, MatchesReferenceBitExactly) {
+  // Odd-sized grid so clipping paths and non-divisible splits are hit.
+  Fixture fx({11, 13, 10}, 4, 21);
+  auto e = exec::make_mwd_engine(GetParam().p);
+  EXPECT_EQ(fx.run_and_diff(*e), 0.0) << GetParam().p.describe();
+}
+
+std::vector<MwdCase> mwd_cases() {
+  std::vector<MwdCase> cases;
+  auto add = [&](int dw, int bz, int tx, int tz, int tc, int tgs, const char* tag) {
+    exec::MwdParams p;
+    p.dw = dw;
+    p.bz = bz;
+    p.tx = tx;
+    p.tz = tz;
+    p.tc = tc;
+    p.num_tgs = tgs;
+    cases.push_back({p, tag});
+  };
+  // Serial tilings: diamond widths around and beyond the domain size.
+  add(1, 1, 1, 1, 1, 1, "dw1_serial");
+  add(2, 1, 1, 1, 1, 1, "dw2_serial");
+  add(3, 2, 1, 1, 1, 1, "dw3_bz2");
+  add(4, 3, 1, 1, 1, 1, "dw4_bz3");
+  add(8, 2, 1, 1, 1, 1, "dw8_bz2_wider_than_useful");
+  add(16, 4, 1, 1, 1, 1, "dw16_larger_than_domain");
+  // 1WD: several concurrent single-thread groups.
+  add(2, 1, 1, 1, 1, 2, "1wd_2groups");
+  add(2, 2, 1, 1, 1, 4, "1wd_4groups");
+  add(4, 2, 1, 1, 1, 3, "1wd_3groups");
+  // Intra-tile x split.
+  add(2, 1, 2, 1, 1, 1, "tg_x2");
+  add(4, 2, 3, 1, 1, 1, "tg_x3");
+  // Intra-tile z split.
+  add(2, 2, 1, 2, 1, 1, "tg_z2");
+  add(4, 4, 1, 4, 1, 1, "tg_z4");
+  // Component split (2-, 3- and 6-way as in the paper).
+  add(2, 1, 1, 1, 2, 1, "tg_c2");
+  add(2, 1, 1, 1, 3, 1, "tg_c3");
+  add(2, 1, 1, 1, 6, 1, "tg_c6");
+  // Multi-dimensional splits (the paper's contribution).
+  add(2, 2, 2, 2, 1, 1, "tg_x2z2");
+  add(2, 2, 1, 2, 3, 1, "tg_z2c3");
+  add(4, 2, 2, 1, 3, 1, "tg_x2c3");
+  add(2, 2, 2, 2, 2, 1, "tg_x2z2c2");
+  // Multi-dimensional split AND multiple groups (full MWD).
+  add(2, 1, 2, 1, 2, 2, "mwd_x2c2_g2");
+  add(4, 2, 1, 2, 3, 2, "mwd_z2c3_g2");
+  add(2, 2, 2, 1, 1, 3, "mwd_x2_g3");
+  // Static wavefront-synchronous scheduling (ablation baseline).
+  {
+    exec::MwdParams p;
+    p.dw = 2;
+    p.bz = 2;
+    p.num_tgs = 3;
+    p.schedule = exec::TileSchedule::StaticWave;
+    cases.push_back({p, "static_1wd_3groups"});
+    p.dw = 4;
+    p.tx = 2;
+    p.tc = 3;
+    p.num_tgs = 2;
+    cases.push_back({p, "static_mwd_x2c3_g2"});
+    p.num_tgs = 1;
+    p.tx = 1;
+    p.tz = 2;
+    cases.push_back({p, "static_tg_z2c3"});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MwdEquivalence, ::testing::ValuesIn(mwd_cases()),
+                         [](const auto& info) { return info.param.label; });
+
+TEST(Equivalence, MwdAcrossGridShapes) {
+  // Non-cubic and tiny grids, including ny smaller than the diamond width
+  // and nz smaller than bz.
+  exec::MwdParams p;
+  p.dw = 4;
+  p.bz = 3;
+  p.tx = 1;
+  p.tz = 1;
+  p.tc = 2;
+  p.num_tgs = 2;
+  for (grid::Extents e : {grid::Extents{5, 3, 4}, grid::Extents{3, 17, 2},
+                          grid::Extents{16, 4, 16}, grid::Extents{7, 7, 7}}) {
+    Fixture fx(e, 3, 33);
+    auto eng = exec::make_mwd_engine(p);
+    EXPECT_EQ(fx.run_and_diff(*eng), 0.0)
+        << e.nx << "x" << e.ny << "x" << e.nz;
+  }
+}
+
+TEST(Equivalence, MwdAcrossStepCounts) {
+  // Step counts that do not divide the diamond height exercise time
+  // clipping of the leading and trailing tile rows.
+  exec::MwdParams p;
+  p.dw = 3;
+  p.bz = 2;
+  p.num_tgs = 2;
+  for (int steps : {1, 2, 5, 7}) {
+    Fixture fx({9, 11, 8}, steps, 44);
+    auto eng = exec::make_mwd_engine(p);
+    EXPECT_EQ(fx.run_and_diff(*eng), 0.0) << "steps=" << steps;
+  }
+}
+
+TEST(Equivalence, RepeatedRunsContinueCorrectly) {
+  // Two successive engine runs of n1+n2 steps must equal one reference run
+  // of n1+n2 (the tiling restarts cleanly from the fields' current state).
+  grid::Layout L({8, 10, 8});
+  grid::FieldSet ref(L), fs(L);
+  em::build_random_stable(ref, 55);
+  em::build_random_stable(fs, 55);
+  kernels::reference_step(ref, 5);
+  exec::MwdParams p;
+  p.dw = 2;
+  p.bz = 2;
+  p.tc = 3;
+  auto eng = exec::make_mwd_engine(p);
+  eng->run(fs, 2);
+  eng->run(fs, 3);
+  EXPECT_EQ(grid::FieldSet::max_field_diff(fs, ref), 0.0);
+}
+
+TEST(Equivalence, SourcesFeedTiledEnginesIdentically) {
+  // Physical coefficients + plane-wave source, not just random data.
+  grid::Layout L({12, 12, 16});
+  grid::FieldSet ref(L), fs(L);
+  em::MaterialGrid mats(L);
+  const em::ThiimParams params = em::make_params(12.0);
+  em::PmlProfiles pml(L, em::PmlSpec{.thickness = 4}, params.h);
+  for (grid::FieldSet* f : {&ref, &fs}) {
+    em::build_coefficients(*f, mats, pml, params);
+    em::add_plane_wave(*f, mats, pml, params, em::SourceField::Ex, 10, {1.0, 0.5});
+  }
+  kernels::reference_step(ref, 6);
+  exec::MwdParams p;
+  p.dw = 4;
+  p.bz = 2;
+  p.tx = 2;
+  p.tc = 3;
+  p.num_tgs = 1;
+  auto eng = exec::make_mwd_engine(p);
+  eng->run(fs, 6);
+  EXPECT_EQ(grid::FieldSet::max_field_diff(fs, ref), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,206 @@
+// Randomized property tests ("fuzz"): the same invariants the directed
+// suites check, exercised over randomly drawn configurations with fixed
+// seeds for reproducibility.
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <set>
+
+#include "cachesim/cache.hpp"
+#include "em/coefficients.hpp"
+#include "exec/engine.hpp"
+#include "grid/fieldset.hpp"
+#include "kernels/reference.hpp"
+#include "tiling/diamond.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace emwd;
+
+TEST(Fuzz, TilingTessellationRandomShapes) {
+  util::Xoshiro256 rng(1001);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int dw = 1 + static_cast<int>(rng.below(9));
+    const int ny = 1 + static_cast<int>(rng.below(40));
+    const int nt = 1 + static_cast<int>(rng.below(10));
+    tiling::DiamondTiling dt(dw, ny, nt);
+    std::map<std::pair<int, int>, int> cover;
+    for (const auto& t : dt.tiles()) {
+      for (const auto& sl : dt.slices(t)) {
+        for (int y = sl.y_lo; y < sl.y_hi; ++y) cover[{y, sl.s}]++;
+      }
+    }
+    ASSERT_EQ(cover.size(), static_cast<std::size_t>(ny) * (2 * nt))
+        << "dw=" << dw << " ny=" << ny << " nt=" << nt;
+    for (const auto& [cell, count] : cover) {
+      ASSERT_EQ(count, 1) << "dw=" << dw << " ny=" << ny << " nt=" << nt << " cell ("
+                          << cell.first << "," << cell.second << ")";
+    }
+  }
+}
+
+TEST(Fuzz, TilingDependencyLegalityRandomShapes) {
+  util::Xoshiro256 rng(2002);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int dw = 1 + static_cast<int>(rng.below(7));
+    const int ny = 2 + static_cast<int>(rng.below(24));
+    const int nt = 1 + static_cast<int>(rng.below(6));
+    tiling::DiamondTiling dt(dw, ny, nt);
+    for (const auto& t : dt.tiles()) {
+      const auto deps = dt.deps(t);
+      for (const auto& sl : dt.slices(t)) {
+        if (sl.s == 0) continue;
+        for (int y = sl.y_lo; y < sl.y_hi; ++y) {
+          const long yt = tiling::DiamondTiling::y_tilde(y, sl.h_phase);
+          for (long dy : {-1L, +1L}) {
+            const long nyt = yt + dy;
+            if (nyt < -1 || nyt > 2L * ny - 2) continue;
+            const auto src = dt.tile_of(nyt, sl.s - 1);
+            const bool ok = src == t ||
+                            std::find(deps.begin(), deps.end(), src) != deps.end();
+            ASSERT_TRUE(ok) << "dw=" << dw << " ny=" << ny << " nt=" << nt;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Fuzz, MwdEquivalenceRandomParams) {
+  util::Xoshiro256 rng(3003);
+  for (int trial = 0; trial < 10; ++trial) {
+    const grid::Extents e{3 + static_cast<int>(rng.below(10)),
+                          3 + static_cast<int>(rng.below(12)),
+                          3 + static_cast<int>(rng.below(10))};
+    const int steps = 1 + static_cast<int>(rng.below(5));
+    exec::MwdParams p;
+    p.dw = 1 + static_cast<int>(rng.below(6));
+    p.bz = 1 + static_cast<int>(rng.below(4));
+    p.tx = 1 + static_cast<int>(rng.below(3));
+    p.tz = 1 + static_cast<int>(rng.below(2));
+    const int tcs[] = {1, 2, 3, 6};
+    p.tc = tcs[rng.below(4)];
+    p.num_tgs = 1 + static_cast<int>(rng.below(3));
+    p.schedule = rng.below(2) ? exec::TileSchedule::StaticWave
+                              : exec::TileSchedule::FifoQueue;
+
+    grid::Layout L(e);
+    grid::FieldSet ref(L), fs(L);
+    const std::uint64_t seed = 5000 + trial;
+    em::build_random_stable(ref, seed);
+    em::build_random_stable(fs, seed);
+    kernels::reference_step(ref, steps);
+    auto eng = exec::make_mwd_engine(p);
+    eng->run(fs, steps);
+    ASSERT_EQ(grid::FieldSet::max_field_diff(fs, ref), 0.0)
+        << p.describe() << " grid " << e.nx << "x" << e.ny << "x" << e.nz
+        << " steps=" << steps;
+  }
+}
+
+/// Reference fully-associative LRU: an std::list front = MRU.
+struct RefLru {
+  std::size_t capacity;
+  std::list<std::uint64_t> order;  // line ids
+  std::uint64_t misses = 0;
+
+  explicit RefLru(std::size_t cap) : capacity(cap) {}
+
+  void access(std::uint64_t line) {
+    auto it = std::find(order.begin(), order.end(), line);
+    if (it != order.end()) {
+      order.erase(it);
+    } else {
+      ++misses;
+      if (order.size() >= capacity) order.pop_back();
+    }
+    order.push_front(line);
+  }
+};
+
+TEST(Fuzz, CacheMatchesReferenceLruFullyAssociative) {
+  util::Xoshiro256 rng(4004);
+  for (int trial = 0; trial < 5; ++trial) {
+    const int cap_lines = 16 << rng.below(3);  // 16, 32, 64
+    cachesim::CacheConfig cfg;
+    cfg.size_bytes = static_cast<std::uint64_t>(cap_lines) * 64;
+    cfg.associativity = cap_lines;  // one set: fully associative
+    cachesim::Cache cache(cfg);
+    RefLru ref(static_cast<std::size_t>(cap_lines));
+    for (int i = 0; i < 5000; ++i) {
+      const std::uint64_t line = rng.below(static_cast<std::uint64_t>(cap_lines) * 3);
+      cache.access(line * 64, rng.below(4) == 0);
+      ref.access(line);
+    }
+    EXPECT_EQ(cache.stats().misses(), ref.misses) << "cap=" << cap_lines;
+  }
+}
+
+TEST(Fuzz, CacheSetAssociativeMatchesPerSetReference) {
+  // Each set behaves as an independent LRU of `assoc` lines.
+  util::Xoshiro256 rng(5005);
+  cachesim::CacheConfig cfg;
+  cfg.size_bytes = 64 * 4 * 8;  // 8 sets x 4 ways
+  cfg.associativity = 4;
+  cachesim::Cache cache(cfg);
+  std::map<std::uint64_t, RefLru> sets;
+  std::uint64_t ref_misses = 0;
+  for (int i = 0; i < 8000; ++i) {
+    const std::uint64_t line = rng.below(200);
+    cache.access(line * 64, false);
+    const std::uint64_t set = line % 8;
+    auto [it, inserted] = sets.try_emplace(set, 4u);
+    const std::uint64_t before = it->second.misses;
+    it->second.access(line);
+    ref_misses += it->second.misses - before;
+  }
+  EXPECT_EQ(cache.stats().misses(), ref_misses);
+}
+
+TEST(Fuzz, LayoutIndexBijectiveRandomExtents) {
+  util::Xoshiro256 rng(6006);
+  for (int trial = 0; trial < 10; ++trial) {
+    const grid::Extents e{1 + static_cast<int>(rng.below(12)),
+                          1 + static_cast<int>(rng.below(12)),
+                          1 + static_cast<int>(rng.below(12))};
+    grid::Layout L(e);
+    std::set<std::size_t> seen;
+    for (int k = -1; k <= e.nz; ++k) {
+      for (int j = -1; j <= e.ny; ++j) {
+        for (int i = -1; i <= e.nx; ++i) {
+          const auto idx = L.at(i, j, k);
+          ASSERT_LT(idx, L.padded_cells());
+          ASSERT_TRUE(seen.insert(idx).second) << "collision in trial " << trial;
+        }
+      }
+    }
+  }
+}
+
+TEST(Fuzz, PeriodicEquivalenceRandomParams) {
+  util::Xoshiro256 rng(7007);
+  for (int trial = 0; trial < 5; ++trial) {
+    const grid::Extents e{2 + static_cast<int>(rng.below(9)),
+                          3 + static_cast<int>(rng.below(9)),
+                          3 + static_cast<int>(rng.below(9))};
+    exec::MwdParams p;
+    p.dw = 1 + static_cast<int>(rng.below(4));
+    p.bz = 1 + static_cast<int>(rng.below(3));
+    p.tx = 1 + static_cast<int>(rng.below(2));
+    p.num_tgs = 1 + static_cast<int>(rng.below(2));
+    grid::Layout L(e);
+    grid::FieldSet ref(L), fs(L);
+    ref.set_x_boundary(grid::XBoundary::Periodic);
+    fs.set_x_boundary(grid::XBoundary::Periodic);
+    const std::uint64_t seed = 8000 + trial;
+    em::build_random_stable(ref, seed);
+    em::build_random_stable(fs, seed);
+    kernels::reference_step(ref, 3);
+    exec::make_mwd_engine(p)->run(fs, 3);
+    ASSERT_EQ(grid::FieldSet::max_field_diff(fs, ref), 0.0) << p.describe();
+  }
+}
+
+}  // namespace

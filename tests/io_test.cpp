@@ -1,0 +1,141 @@
+// Export module tests: slice CSV and VTK structure.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <fstream>
+
+#include "em/material.hpp"
+#include "io/export.hpp"
+#include "io/checkpoint.hpp"
+
+namespace {
+
+using namespace emwd;
+using io::SliceAxis;
+
+grid::FieldSet make_fields() {
+  grid::Layout L({4, 3, 5});
+  grid::FieldSet fs(L);
+  fs.field(kernels::Comp::Exy).set(1, 2, 3, {3.0, 4.0});  // |Ex| = 5 there
+  return fs;
+}
+
+TEST(IoExport, SliceHasHeaderAndAllCells) {
+  const auto fs = make_fields();
+  std::ostringstream os;
+  io::write_E_magnitude_slice(os, fs, SliceAxis::Z, 3);
+  const std::string text = os.str();
+  EXPECT_EQ(text.rfind("u,v,E_mag\n", 0), 0u);
+  // 4x3 cells + header.
+  int lines = 0;
+  for (char c : text) lines += (c == '\n');
+  EXPECT_EQ(lines, 1 + 4 * 3);
+  // The magnitude 5 appears on the slice through the set cell.
+  EXPECT_NE(text.find("1,2,5"), std::string::npos);
+}
+
+TEST(IoExport, SliceAxesSelectCorrectPlanes) {
+  const auto fs = make_fields();
+  // Slice x=1 contains the cell; x=0 does not.
+  std::ostringstream hit, miss;
+  io::write_E_magnitude_slice(hit, fs, SliceAxis::X, 1);
+  io::write_E_magnitude_slice(miss, fs, SliceAxis::X, 0);
+  EXPECT_NE(hit.str().find(",5"), std::string::npos);
+  EXPECT_EQ(miss.str().find(",5"), std::string::npos);
+  // y slice too (u=i=1, v=k=3).
+  std::ostringstream ys;
+  io::write_E_magnitude_slice(ys, fs, SliceAxis::Y, 2);
+  EXPECT_NE(ys.str().find("1,3,5"), std::string::npos);
+}
+
+TEST(IoExport, SliceOutOfRangeThrows) {
+  const auto fs = make_fields();
+  std::ostringstream os;
+  EXPECT_THROW(io::write_E_magnitude_slice(os, fs, SliceAxis::Z, 5), std::out_of_range);
+  EXPECT_THROW(io::write_E_magnitude_slice(os, fs, SliceAxis::X, -1), std::out_of_range);
+}
+
+TEST(IoExport, MaterialSliceNamesMaterials) {
+  grid::Layout L({3, 3, 3});
+  em::MaterialGrid mats(L);
+  const auto ag = mats.add(em::silver());
+  mats.set(1, 1, 1, ag);
+  std::ostringstream os;
+  io::write_material_slice(os, mats, SliceAxis::Z, 1);
+  EXPECT_NE(os.str().find("silver"), std::string::npos);
+  EXPECT_NE(os.str().find("vacuum"), std::string::npos);
+}
+
+TEST(IoExport, VtkHeaderAndCellCount) {
+  const auto fs = make_fields();
+  std::ostringstream os;
+  io::write_E_magnitude_vtk(os, fs);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# vtk DataFile"), std::string::npos);
+  EXPECT_NE(text.find("DIMENSIONS 4 3 5"), std::string::npos);
+  EXPECT_NE(text.find("POINT_DATA 60"), std::string::npos);
+  // 60 data lines after the LOOKUP_TABLE line.
+  const auto table = text.find("LOOKUP_TABLE default\n");
+  ASSERT_NE(table, std::string::npos);
+  int lines = 0;
+  for (std::size_t i = table + 21; i < text.size(); ++i) lines += (text[i] == '\n');
+  EXPECT_EQ(lines, 60);
+}
+
+TEST(Checkpoint, RoundTripsFieldsExactly) {
+  grid::Layout L({5, 6, 7});
+  grid::FieldSet a(L), b(L);
+  // Distinctive per-cell values in every component.
+  for (const auto& c : kernels::kComps) {
+    for (int k = 0; k < 7; ++k) {
+      for (int j = 0; j < 6; ++j) {
+        for (int i = 0; i < 5; ++i) {
+          a.field(c.self).set(i, j, k,
+                              {i + 10.0 * j + 100.0 * k, 0.5 * kernels::idx(c.self)});
+        }
+      }
+    }
+  }
+  std::stringstream buffer;
+  io::save_fields(buffer, a);
+  io::load_fields(buffer, b);
+  EXPECT_EQ(grid::FieldSet::max_field_diff(a, b), 0.0);
+  // Halo of the loaded set stays zero (Dirichlet preserved).
+  EXPECT_EQ(b.field(kernels::Comp::Exy).at(-1, 0, 0), std::complex<double>(0, 0));
+}
+
+TEST(Checkpoint, RejectsMismatchedGridsAndGarbage) {
+  grid::Layout L({4, 4, 4});
+  grid::FieldSet a(L);
+  std::stringstream buffer;
+  io::save_fields(buffer, a);
+  grid::FieldSet wrong(grid::Layout({4, 4, 5}));
+  EXPECT_THROW(io::load_fields(buffer, wrong), std::runtime_error);
+  std::stringstream garbage("this is not a checkpoint");
+  grid::FieldSet b(L);
+  EXPECT_THROW(io::load_fields(garbage, b), std::runtime_error);
+}
+
+TEST(Checkpoint, FileRoundTripAndMissingFile) {
+  grid::Layout L({3, 3, 3});
+  grid::FieldSet a(L), b(L);
+  a.field(kernels::Comp::Hzx).set(1, 1, 1, {7.0, -2.0});
+  const std::string path = testing::TempDir() + "/emwd_ckpt.bin";
+  io::save_fields_file(path, a);
+  io::load_fields_file(path, b);
+  EXPECT_EQ(grid::FieldSet::max_field_diff(a, b), 0.0);
+  EXPECT_THROW(io::load_fields_file("/no/such/file.bin", b), std::runtime_error);
+}
+
+TEST(IoExport, FileWritersCreateFiles) {
+  const auto fs = make_fields();
+  const std::string path = testing::TempDir() + "/emwd_slice.csv";
+  io::write_E_magnitude_slice_file(path, fs, SliceAxis::Z, 0);
+  std::ifstream check(path);
+  EXPECT_TRUE(check.good());
+  EXPECT_THROW(
+      io::write_E_magnitude_vtk_file("/nonexistent-dir/x.vtk", fs),
+      std::runtime_error);
+}
+
+}  // namespace

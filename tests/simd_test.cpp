@@ -1,0 +1,109 @@
+// SIMD kernel equivalence (paper Sec. VI future-work investigation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "kernels/update.hpp"
+#include "kernels/update_simd.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace emwd;
+using kernels::RowArgs;
+
+struct RowData {
+  std::vector<double> x, t, c, src, a, b;
+  int n;
+
+  explicit RowData(int cells, std::uint64_t seed) : n(cells) {
+    util::Xoshiro256 rng(seed);
+    auto fill = [&](std::vector<double>& v, int len) {
+      v.resize(static_cast<std::size_t>(len));
+      for (auto& e : v) e = rng.uniform(-1.0, 1.0);
+    };
+    fill(x, 2 * n);
+    fill(t, 2 * n);
+    fill(c, 2 * n);
+    fill(src, 2 * n);
+    fill(a, 2 * 3 * n);
+    fill(b, 2 * 3 * n);
+  }
+
+  RowArgs args(std::vector<double>& xbuf, std::ptrdiff_t shift, bool with_src) {
+    RowArgs g;
+    g.x = xbuf.data();
+    g.t = t.data();
+    g.c = c.data();
+    g.src = with_src ? src.data() : nullptr;
+    g.a = a.data() + 2 * n;
+    g.b = b.data() + 2 * n;
+    g.shift = shift;
+    g.ds = 1.0;
+    g.n = n;
+    return g;
+  }
+};
+
+TEST(Simd, ReportsAvailability) {
+  // Must not crash; value is hardware-dependent.
+  const bool ok = kernels::avx2_supported();
+  (void)ok;
+  SUCCEED();
+}
+
+TEST(Simd, Avx2MatchesScalarAcrossShapes) {
+  if (!kernels::avx2_supported()) GTEST_SKIP() << "no AVX2 on this machine";
+  // Odd and even cell counts (tail path), both shift directions, both
+  // source variants, several random seeds.
+  for (int n : {1, 2, 3, 8, 17, 64, 129}) {
+    for (std::uint64_t seed : {1ull, 2ull}) {
+      RowData d(n, seed);
+      for (std::ptrdiff_t shift : {-static_cast<std::ptrdiff_t>(n), +static_cast<std::ptrdiff_t>(n), static_cast<std::ptrdiff_t>(-1)}) {
+        for (bool with_src : {true, false}) {
+          std::vector<double> x_scalar = d.x;
+          std::vector<double> x_simd = d.x;
+          kernels::update_row(d.args(x_scalar, shift, with_src));
+          kernels::update_row_avx2(d.args(x_simd, shift, with_src));
+          for (int i = 0; i < 2 * n; ++i) {
+            EXPECT_NEAR(x_simd[static_cast<std::size_t>(i)],
+                        x_scalar[static_cast<std::size_t>(i)], 1e-13)
+                << "n=" << n << " shift=" << shift << " src=" << with_src
+                << " i=" << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Simd, DiffSignHonoured) {
+  if (!kernels::avx2_supported()) GTEST_SKIP() << "no AVX2 on this machine";
+  RowData d(16, 3);
+  for (double ds : {+1.0, -1.0}) {
+    std::vector<double> x_scalar = d.x, x_simd = d.x;
+    RowArgs gs = d.args(x_scalar, -16, true);
+    gs.ds = ds;
+    RowArgs gv = d.args(x_simd, -16, true);
+    gv.ds = ds;
+    kernels::update_row(gs);
+    kernels::update_row_avx2(gv);
+    for (int i = 0; i < 32; ++i) {
+      EXPECT_NEAR(x_simd[static_cast<std::size_t>(i)],
+                  x_scalar[static_cast<std::size_t>(i)], 1e-13);
+    }
+  }
+}
+
+TEST(Simd, DispatchFallsBackToScalar) {
+  RowData d(8, 5);
+  std::vector<double> x_scalar = d.x, x_disp = d.x;
+  kernels::update_row(d.args(x_scalar, 8, false));
+  kernels::update_row_isa(d.args(x_disp, 8, false), kernels::KernelIsa::Scalar);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(x_disp[static_cast<std::size_t>(i)], x_scalar[static_cast<std::size_t>(i)]);
+  }
+}
+
+}  // namespace

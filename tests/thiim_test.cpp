@@ -1,0 +1,117 @@
+// Facade tests: the public Simulation API.
+#include <gtest/gtest.h>
+
+#include "thiim/simulation.hpp"
+
+namespace {
+
+using namespace emwd;
+using thiim::EngineKind;
+using thiim::Simulation;
+using thiim::SimulationConfig;
+
+SimulationConfig small_cfg(EngineKind kind) {
+  SimulationConfig cfg;
+  cfg.grid = {12, 12, 20};
+  cfg.wavelength_cells = 10.0;
+  cfg.pml.thickness = 4;
+  cfg.engine = kind;
+  cfg.threads = 2;
+  return cfg;
+}
+
+TEST(Simulation, LifecycleEnforced) {
+  Simulation sim(small_cfg(EngineKind::Naive));
+  EXPECT_THROW(sim.run(1), std::logic_error);
+  EXPECT_THROW(sim.add_plane_wave(em::SourceField::Ex, 5, {1.0, 0.0}), std::logic_error);
+  sim.finalize();
+  sim.add_plane_wave(em::SourceField::Ex, 15, {1.0, 0.0});
+  sim.run(3);
+  EXPECT_EQ(sim.steps_done(), 3);
+  sim.run(2);
+  EXPECT_EQ(sim.steps_done(), 5);
+}
+
+TEST(Simulation, SourceDrivesEnergy) {
+  Simulation sim(small_cfg(EngineKind::Naive));
+  sim.finalize();
+  EXPECT_DOUBLE_EQ(sim.total_energy(), 0.0);
+  sim.add_plane_wave(em::SourceField::Ex, 15, {1.0, 0.0});
+  sim.run(10);
+  EXPECT_GT(sim.total_energy(), 0.0);
+  EXPECT_GT(sim.electric_energy(), 0.0);
+}
+
+TEST(Simulation, AllEngineKindsAgree) {
+  // Same physical setup run through naive / spatial / MWD / auto must give
+  // identical fields (the equivalence suite in miniature, via the facade).
+  std::vector<double> energies;
+  for (EngineKind kind :
+       {EngineKind::Naive, EngineKind::Spatial, EngineKind::Mwd, EngineKind::Auto}) {
+    Simulation sim(small_cfg(kind));
+    const auto ag = sim.materials().add(em::silver());
+    em::GeometryBuilder(sim.materials()).layer(ag, 0, 3);
+    sim.finalize();
+    sim.add_point_dipole(em::SourceField::Ey, 6, 6, 12, {1.0, 0.0});
+    sim.run(8);
+    energies.push_back(sim.total_energy());
+  }
+  for (std::size_t i = 1; i < energies.size(); ++i) {
+    EXPECT_DOUBLE_EQ(energies[i], energies[0]);
+  }
+}
+
+TEST(Simulation, ExplicitMwdParamsHonoured) {
+  auto cfg = small_cfg(EngineKind::Mwd);
+  exec::MwdParams p;
+  p.dw = 2;
+  p.bz = 2;
+  p.tc = 2;
+  p.num_tgs = 1;
+  cfg.mwd = p;
+  cfg.threads = 2;
+  Simulation sim(cfg);
+  sim.finalize();
+  sim.run(2);
+  EXPECT_NE(sim.engine().name().find("dw=2"), std::string::npos);
+  EXPECT_EQ(sim.engine().threads(), 2);
+}
+
+TEST(Simulation, ConvergenceLoopTerminates) {
+  Simulation sim(small_cfg(EngineKind::Naive));
+  sim.finalize();
+  sim.add_point_dipole(em::SourceField::Ex, 6, 6, 10, {1.0, 0.0});
+  const double change = sim.run_until_converged(/*tol=*/1e-30, /*max_steps=*/20,
+                                                /*check_every=*/5);
+  EXPECT_EQ(sim.steps_done(), 20);  // tol unreachable -> runs to max_steps
+  EXPECT_GT(change, 0.0);
+  // A zero-source run converges instantly.
+  Simulation quiet(small_cfg(EngineKind::Naive));
+  quiet.finalize();
+  EXPECT_DOUBLE_EQ(quiet.run_until_converged(1e-12, 10, 2), 0.0);
+  EXPECT_EQ(quiet.steps_done(), 2);
+}
+
+TEST(Simulation, FieldAccessorsMatchFieldSet) {
+  Simulation sim(small_cfg(EngineKind::Naive));
+  sim.finalize();
+  sim.fields().field(kernels::Comp::Exy).set(3, 4, 5, {1.5, 0.0});
+  sim.fields().field(kernels::Comp::Exz).set(3, 4, 5, {0.5, 0.0});
+  EXPECT_EQ(sim.E_at(0, 3, 4, 5), std::complex<double>(2.0, 0.0));
+  sim.fields().field(kernels::Comp::Hzx).set(1, 1, 1, {0.0, 1.0});
+  EXPECT_EQ(sim.H_at(2, 1, 1, 1), std::complex<double>(0.0, 1.0));
+}
+
+TEST(Simulation, AbsorptionReportCoversPalette) {
+  Simulation sim(small_cfg(EngineKind::Naive));
+  const auto asi = sim.materials().add(em::amorphous_silicon());
+  em::GeometryBuilder(sim.materials()).layer(asi, 5, 10);
+  sim.finalize();
+  sim.add_plane_wave(em::SourceField::Ex, 15, {1.0, 0.0});
+  sim.run(30);
+  const auto abs = sim.absorption_by_material();
+  ASSERT_EQ(abs.size(), 2u);
+  EXPECT_GT(abs[asi], 0.0);  // absorbing layer dissipates
+}
+
+}  // namespace

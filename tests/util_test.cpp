@@ -1,0 +1,240 @@
+// Unit tests for the util subsystem.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/aligned.hpp"
+#include "util/barrier.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/machine_detect.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace emwd::util;
+
+TEST(Aligned, VectorStorageIsCacheLineAligned) {
+  for (std::size_t n : {1u, 7u, 64u, 1000u}) {
+    std::vector<double, AlignedAllocator<double>> v(n, 0.0);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kCacheLineBytes, 0u);
+  }
+}
+
+TEST(Aligned, RoundUp) {
+  EXPECT_EQ(round_up(0, 8), 0u);
+  EXPECT_EQ(round_up(1, 8), 8u);
+  EXPECT_EQ(round_up(8, 8), 8u);
+  EXPECT_EQ(round_up(9, 8), 16u);
+  EXPECT_EQ(round_up(63, 64), 64u);
+}
+
+TEST(SpinBarrier, SingleParticipantNeverBlocks) {
+  SpinBarrier b(1);
+  for (int i = 0; i < 100; ++i) b.arrive_and_wait();
+  SUCCEED();
+}
+
+TEST(SpinBarrier, SynchronizesPhases) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 200;
+  SpinBarrier b(kThreads);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> threads;
+  std::atomic<bool> ok{true};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        counter.fetch_add(1);
+        b.arrive_and_wait();
+        // After the barrier every thread of round r has incremented.
+        if (counter.load() < (r + 1) * kThreads) ok = false;
+        b.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(counter.load(), kThreads * kRounds);
+}
+
+TEST(SpinBarrier, ReusableManyTimes) {
+  SpinBarrier b(2);
+  std::atomic<int> sum{0};
+  std::thread other([&] {
+    for (int i = 0; i < 1000; ++i) {
+      b.arrive_and_wait();
+      sum.fetch_add(1);
+      b.arrive_and_wait();
+    }
+  });
+  for (int i = 0; i < 1000; ++i) {
+    b.arrive_and_wait();
+    b.arrive_and_wait();
+    ASSERT_EQ(sum.load(), i + 1);
+  }
+  other.join();
+}
+
+TEST(CountingBarrier, CountsEpisodes) {
+  CountingBarrier b(1);
+  for (int i = 0; i < 5; ++i) b.arrive_and_wait();
+  EXPECT_EQ(b.episodes(), 5);
+}
+
+TEST(Timer, MeasuresElapsedAndResets) {
+  Timer t;
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  asm volatile("" : : "g"(&sink) : "memory");
+  const double s1 = t.seconds();
+  EXPECT_GE(s1, 0.0);
+  t.reset();
+  EXPECT_LE(t.seconds(), s1 + 1.0);
+  // milliseconds() and seconds() are separate clock reads; only the scale
+  // is checked (within a generous 10 ms of drift).
+  EXPECT_NEAR(t.milliseconds(), t.seconds() * 1e3, 10.0);
+}
+
+TEST(Timer, MlupsConversion) {
+  EXPECT_DOUBLE_EQ(mlups(1000000, 10, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(mlups(1000000, 10, 0.0), 0.0);
+}
+
+TEST(Stats, SummaryStatistics) {
+  Stats s;
+  for (double x : {4.0, 1.0, 3.0, 2.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_NEAR(s.stddev(), 1.29099, 1e-4);
+  EXPECT_DOUBLE_EQ(s.median(), 2.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 4.0);
+}
+
+TEST(Stats, EmptyThrows) {
+  Stats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.mean(), std::logic_error);
+  EXPECT_THROW(s.min(), std::logic_error);
+  EXPECT_THROW(s.percentile(50), std::logic_error);
+}
+
+TEST(Stats, RelDiff) {
+  EXPECT_DOUBLE_EQ(rel_diff(1.0, 1.0), 0.0);
+  EXPECT_NEAR(rel_diff(1.0, 1.1), 0.1 / 1.1, 1e-12);
+  EXPECT_DOUBLE_EQ(rel_diff(0.0, 0.0), 0.0);
+}
+
+TEST(Table, AlignedAndCsvOutput) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row_numeric({2.5, 3.25});
+  EXPECT_EQ(t.rows(), 2u);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("name,value"), std::string::npos);
+  EXPECT_NE(csv.find("alpha,1"), std::string::npos);
+  EXPECT_NE(csv.find("2.5,3.25"), std::string::npos);
+  const std::string aligned = t.to_aligned();
+  EXPECT_NE(aligned.find("alpha"), std::string::npos);
+}
+
+TEST(Table, RowSizeMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscaping) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("q\"x"), "\"q\"\"x\"");
+}
+
+TEST(FmtDouble, SignificantDigits) {
+  EXPECT_EQ(fmt_double(1344.0, 6), "1344");
+  EXPECT_EQ(fmt_double(0.18452, 3), "0.185");
+}
+
+TEST(Cli, ParsesAllForms) {
+  Cli cli;
+  cli.add_flag("size", "grid size", "64");
+  cli.add_flag("verbose", "chatty");
+  cli.add_flag("ratio", "a double");
+  const char* argv[] = {"prog", "--size=128", "--verbose", "--ratio", "2.5"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get_int("size", 0), 128);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio", 0.0), 2.5);
+}
+
+TEST(Cli, DefaultsAndFallbacks) {
+  Cli cli;
+  cli.add_flag("size", "grid size", "64");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("size", 0), 64);     // declared default
+  EXPECT_EQ(cli.get_int("missing", 7), 7);   // caller fallback
+  EXPECT_FALSE(cli.has("size"));
+}
+
+TEST(Cli, RejectsUnknownFlagsAndPositionals) {
+  Cli cli;
+  cli.add_flag("x", "");
+  const char* bad1[] = {"prog", "--nope=1"};
+  EXPECT_FALSE(cli.parse(2, bad1));
+  EXPECT_NE(cli.error().find("nope"), std::string::npos);
+  Cli cli2;
+  const char* bad2[] = {"prog", "stray"};
+  EXPECT_FALSE(cli2.parse(2, bad2));
+}
+
+TEST(Cli, IntListAndHelp) {
+  Cli cli;
+  cli.add_flag("sizes", "comma separated", "8,16");
+  const char* argv[] = {"prog", "--sizes=64,128,192", "--help"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_TRUE(cli.help_requested());
+  const auto v = cli.get_int_list("sizes", {});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], 192);
+  EXPECT_NE(cli.help_text("prog").find("sizes"), std::string::npos);
+}
+
+TEST(Xoshiro, DeterministicAcrossInstances) {
+  Xoshiro256 a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  bool differs = false;
+  Xoshiro256 a2(42);
+  for (int i = 0; i < 100; ++i) differs |= (a2.next() != c.next());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Xoshiro, UniformRanges) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+    EXPECT_LT(rng.below(10), 10u);
+  }
+}
+
+TEST(MachineDetect, SaneFallbacks) {
+  const HostInfo info = detect_host();
+  EXPECT_GE(info.logical_cpus, 1);
+  EXPECT_GT(info.l1d_bytes, 0u);
+  EXPECT_GT(info.l3_bytes, 0u);
+}
+
+}  // namespace
