@@ -1,0 +1,98 @@
+// Shard-scaling study for the dist/ subsystem.
+//
+// Aggregate MLUP/s vs. z-shard count for naive and MWD inner engines, on
+// one grid with a thread budget split across shards (every shard keeps at
+// least one thread, so K > --threads oversubscribes; the threads/shard
+// column records what each row actually ran).  On a single-socket host this
+// mostly measures the decomposition overhead (scatter/gather once, ghost
+// re-compute and halo copies every exchange interval); on a multi-socket
+// host the NUMA-local shard placement turns it into a socket-scaling study.
+// The halo columns quantify the exchange cost the overlap scheme pays for
+// keeping every inner engine bit-exact.
+#include "common.hpp"
+
+#include "dist/numa.hpp"
+#include "dist/sharded_engine.hpp"
+#include "em/coefficients.hpp"
+#include "grid/fieldset.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emwd;
+  using namespace emwd::bench;
+
+  util::Cli cli;
+  cli.add_flag("nx", "grid extent x", "48");
+  cli.add_flag("ny", "grid extent y", "48");
+  cli.add_flag("nz", "grid extent z (the sharded dimension)", "96");
+  cli.add_flag("steps", "time steps per run", "8");
+  cli.add_flag("threads", "total thread budget, split across shards", "2");
+  cli.add_flag("shards", "shard counts to sweep", "1,2,4");
+  cli.add_flag("interval", "steps between halo exchanges", "1");
+  cli.add_flag("numa", "bind shards to NUMA nodes", "true");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n", cli.error().c_str());
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::printf("%s", cli.help_text("bench_shard_scaling").c_str());
+    return 0;
+  }
+  const int nx = static_cast<int>(cli.get_int("nx", 48));
+  const int ny = static_cast<int>(cli.get_int("ny", 48));
+  const int nz = static_cast<int>(cli.get_int("nz", 96));
+  const int steps = static_cast<int>(cli.get_int("steps", 8));
+  const int threads = static_cast<int>(cli.get_int("threads", 2));
+  const int interval = static_cast<int>(cli.get_int("interval", 1));
+  const bool numa = cli.get_bool("numa", true);
+  const std::vector<long> shard_counts = cli.get_int_list("shards", {1, 2, 4});
+
+  banner("bench_shard_scaling",
+         "dist/ subsystem: aggregate MLUP/s vs. z-shard count");
+  const dist::NumaTopology topo = dist::NumaTopology::detect();
+  std::printf("host: %d NUMA node(s), %d thread budget, grid %dx%dx%d, "
+              "exchange interval %d\n\n",
+              topo.num_nodes, threads, nx, ny, nz, interval);
+
+  const grid::Layout layout({nx, ny, nz});
+
+  util::Table t({"inner", "shards", "threads/shard", "MLUP/s", "vs K=1",
+                 "halo MB/exchg", "halo s (thread)", "redundant LUP %"});
+  for (const char* inner : {"naive", "mwd"}) {
+    double base_mlups = 0.0;
+    for (long k : shard_counts) {
+      dist::ShardedParams p;
+      p.num_shards = static_cast<int>(k);
+      p.exchange_interval = interval;
+      p.inner = dist::inner_kind_from_string(inner);
+      p.threads_per_shard = std::max(1, threads / std::max(1, static_cast<int>(k)));
+      p.numa_bind = numa;
+
+      grid::FieldSet fs(layout);
+      em::build_random_stable(fs, /*seed=*/0x5eedu + static_cast<unsigned>(k));
+      auto engine = dist::make_sharded_engine(p);
+      engine->run(fs, steps);
+      const exec::EngineStats& st = engine->stats();
+
+      if (st.shards == 1) base_mlups = st.mlups;
+      const std::int64_t useful =
+          static_cast<std::int64_t>(layout.interior().cells()) * steps;
+      const double redundant_pct =
+          useful > 0 ? 100.0 * static_cast<double>(st.lups - useful) /
+                           static_cast<double>(useful)
+                     : 0.0;
+      const double halo_mb_per_exchange =
+          st.halo_bytes_moved > 0 && steps > interval
+              ? static_cast<double>(st.halo_bytes_moved) /
+                    (1024.0 * 1024.0 * static_cast<double>((steps - 1) / interval))
+              : 0.0;
+      t.add_row({inner, std::to_string(st.shards), std::to_string(p.threads_per_shard),
+                 util::fmt_double(st.mlups, 4),
+                 base_mlups > 0 ? util::fmt_double(st.mlups / base_mlups, 3) : "-",
+                 util::fmt_double(halo_mb_per_exchange, 3),
+                 util::fmt_double(st.halo_exchange_seconds, 3),
+                 util::fmt_double(redundant_pct, 3)});
+    }
+  }
+  t.print(std::cout, "shard scaling (" + std::to_string(steps) + " steps)");
+  return 0;
+}

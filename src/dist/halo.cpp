@@ -1,0 +1,70 @@
+#include "dist/halo.hpp"
+
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace emwd::dist {
+
+HaloStats& HaloStats::operator+=(const HaloStats& o) {
+  exchanges += o.exchanges;
+  planes_copied += o.planes_copied;
+  bytes_moved += o.bytes_moved;
+  seconds += o.seconds;
+  return *this;
+}
+
+HaloExchange::HaloExchange(const Partitioner& part,
+                           std::vector<grid::FieldSet*> shard_sets)
+    : part_(part), shards_(std::move(shard_sets)),
+      stats_(static_cast<std::size_t>(part.num_shards())) {
+  if (static_cast<int>(shards_.size()) != part_.num_shards()) {
+    throw std::invalid_argument("HaloExchange: one FieldSet per shard required");
+  }
+}
+
+void HaloExchange::exchange_for(int s) {
+  const ShardExtent& e = part_.shard(s);
+  grid::FieldSet& mine = *shards_.at(static_cast<std::size_t>(s));
+  HaloStats& st = stats_[static_cast<std::size_t>(s)];
+  util::Timer timer;
+  std::int64_t planes = 0;
+
+  if (e.lo > 0) {  // ghost planes below come from the lower neighbor
+    const ShardExtent& n = part_.shard(s - 1);
+    const grid::FieldSet& theirs = *shards_[static_cast<std::size_t>(s - 1)];
+    mine.copy_field_planes_from(theirs, n.to_local(e.z0 - e.lo),
+                                e.to_local(e.z0 - e.lo), e.lo);
+    planes += e.lo;
+  }
+  if (e.hi > 0) {  // ghost planes above come from the upper neighbor
+    const ShardExtent& n = part_.shard(s + 1);
+    const grid::FieldSet& theirs = *shards_[static_cast<std::size_t>(s + 1)];
+    mine.copy_field_planes_from(theirs, n.to_local(e.z1), e.to_local(e.z1), e.hi);
+    planes += e.hi;
+  }
+
+  const std::int64_t plane_bytes =
+      static_cast<std::int64_t>(mine.layout().stride_z()) * 16;  // complex cells
+  st.exchanges += 1;
+  st.planes_copied += planes * kernels::kNumComps;
+  st.bytes_moved += planes * kernels::kNumComps * plane_bytes;
+  st.seconds += timer.seconds();
+}
+
+HaloStats HaloExchange::total() const {
+  HaloStats sum;
+  for (const HaloStats& st : stats_) sum += st;
+  return sum;
+}
+
+std::int64_t HaloExchange::bytes_per_exchange() const {
+  std::int64_t planes = 0;
+  for (const ShardExtent& e : part_.shards()) planes += e.lo + e.hi;
+  const std::int64_t plane_bytes =
+      static_cast<std::int64_t>(grid::Layout({part_.global().nx, part_.global().ny, 1})
+                                    .stride_z()) * 16;
+  return planes * kernels::kNumComps * plane_bytes;
+}
+
+}  // namespace emwd::dist

@@ -1,0 +1,54 @@
+// Halo exchange between neighboring z-shards.
+//
+// Shared-memory formulation of the classic ghost-zone swap: every
+// `exchange_interval` steps, each shard PULLS its overlap planes of all 12
+// field arrays from the neighbor that owns them.  Pulls read only the
+// neighbors' owned (exact) planes and write only the puller's own ghost
+// planes, so all shards may pull concurrently between two barriers with no
+// per-pair synchronization.  Pulling (rather than pushing) also writes into
+// the puller's NUMA-local memory.  An MPI backend would replace the plane
+// memcpy with Irecv/Isend of the same plane ranges — the interface is
+// deliberately shaped so only exchange_for() changes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/partition.hpp"
+#include "grid/fieldset.hpp"
+
+namespace emwd::dist {
+
+struct HaloStats {
+  std::int64_t exchanges = 0;      // pull episodes performed
+  std::int64_t planes_copied = 0;  // z-planes moved (x 12 field arrays)
+  std::int64_t bytes_moved = 0;    // payload bytes
+  double seconds = 0.0;            // thread-seconds spent copying
+
+  HaloStats& operator+=(const HaloStats& o);
+};
+
+class HaloExchange {
+ public:
+  /// `shard_sets[s]` must outlive the exchanger and use part.shard_layout(s).
+  HaloExchange(const Partitioner& part, std::vector<grid::FieldSet*> shard_sets);
+
+  /// Refresh shard `s`'s ghost planes from its neighbors' owned planes.
+  /// Must run between barriers (no shard may be stepping concurrently).
+  void exchange_for(int s);
+
+  const HaloStats& stats(int s) const {
+    return stats_.at(static_cast<std::size_t>(s));
+  }
+  HaloStats total() const;
+
+  /// Payload bytes one full exchange episode moves across all shards.
+  std::int64_t bytes_per_exchange() const;
+
+ private:
+  const Partitioner& part_;
+  std::vector<grid::FieldSet*> shards_;
+  std::vector<HaloStats> stats_;
+};
+
+}  // namespace emwd::dist

@@ -1,0 +1,84 @@
+#include "dist/numa.hpp"
+
+#include "util/machine_detect.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace emwd::dist {
+
+NumaTopology NumaTopology::detect() {
+  const util::HostInfo host = util::detect_host();
+  NumaTopology topo;
+  topo.num_nodes = host.num_numa_nodes;
+  topo.node_cpus = host.numa_node_cpus;
+  if (topo.num_nodes < 1 || topo.node_cpus.empty()) {
+    return single_node(host.logical_cpus);
+  }
+  return topo;
+}
+
+NumaTopology NumaTopology::single_node(int cpus) {
+  NumaTopology topo;
+  topo.num_nodes = 1;
+  topo.node_cpus.emplace_back();
+  for (int c = 0; c < cpus; ++c) topo.node_cpus[0].push_back(c);
+  return topo;
+}
+
+int node_for_shard(const NumaTopology& topo, int shard, int num_shards) {
+  if (topo.num_nodes <= 1 || num_shards <= 0) return 0;
+  // Contiguous blocks: shards 0..K/N-1 on node 0, etc.  Neighboring shards
+  // land on the same or adjacent nodes, which keeps most halo traffic local.
+  return shard * topo.num_nodes / num_shards;
+}
+
+#if defined(__linux__)
+
+namespace {
+
+bool set_affinity(const std::vector<int>& cpus) {
+  if (cpus.empty()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int c : cpus) {
+    if (c >= 0 && c < CPU_SETSIZE) CPU_SET(c, &set);
+  }
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+}  // namespace
+
+bool bind_current_thread_to_node(const NumaTopology& topo, int node) {
+  if (topo.num_nodes <= 1) return false;  // nothing to gain; keep the OS free
+  if (node < 0 || node >= static_cast<int>(topo.node_cpus.size())) return false;
+  return set_affinity(topo.node_cpus[static_cast<std::size_t>(node)]);
+}
+
+SavedAffinity save_current_affinity() {
+  SavedAffinity saved;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (pthread_getaffinity_np(pthread_self(), sizeof(set), &set) != 0) return saved;
+  for (int c = 0; c < CPU_SETSIZE; ++c) {
+    if (CPU_ISSET(c, &set)) saved.cpus.push_back(c);
+  }
+  saved.valid = !saved.cpus.empty();
+  return saved;
+}
+
+void restore_affinity(const SavedAffinity& saved) {
+  if (saved.valid) set_affinity(saved.cpus);
+}
+
+#else  // !__linux__
+
+bool bind_current_thread_to_node(const NumaTopology&, int) { return false; }
+SavedAffinity save_current_affinity() { return {}; }
+void restore_affinity(const SavedAffinity&) {}
+
+#endif
+
+}  // namespace emwd::dist

@@ -1,0 +1,157 @@
+#include "dist/sharded_engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "dist/halo.hpp"
+#include "dist/numa.hpp"
+#include "dist/partition.hpp"
+#include "exec/thread_pool.hpp"
+#include "util/barrier.hpp"
+#include "util/timer.hpp"
+
+namespace emwd::dist {
+
+std::string to_string(InnerKind kind) {
+  switch (kind) {
+    case InnerKind::Naive: return "naive";
+    case InnerKind::Spatial: return "spatial";
+    case InnerKind::Mwd: return "mwd";
+  }
+  return "naive";
+}
+
+InnerKind inner_kind_from_string(const std::string& name) {
+  if (name == "naive") return InnerKind::Naive;
+  if (name == "spatial") return InnerKind::Spatial;
+  if (name == "mwd") return InnerKind::Mwd;
+  throw std::invalid_argument("unknown inner engine kind: " + name);
+}
+
+std::string ShardedParams::describe() const {
+  std::ostringstream os;
+  os << "sharded{K=" << num_shards << ",T=" << exchange_interval
+     << ",inner=" << to_string(inner) << ",tps=" << threads_per_shard
+     << (numa_bind ? ",numa" : "") << "}";
+  return os.str();
+}
+
+namespace {
+
+class ShardedEngine final : public exec::Engine {
+ public:
+  explicit ShardedEngine(const ShardedParams& p) : p_(p) {
+    if (p.num_shards < 1) {
+      throw std::invalid_argument("ShardedParams: num_shards must be >= 1");
+    }
+    if (p.exchange_interval < 1) {
+      throw std::invalid_argument("ShardedParams: exchange_interval must be >= 1");
+    }
+    if (p.threads_per_shard < 1) {
+      throw std::invalid_argument("ShardedParams: threads_per_shard must be >= 1");
+    }
+    // Validate inner-engine parameters here, on the caller thread: a factory
+    // throwing inside one shard thread would leave the others at a barrier.
+    (void)make_inner(p.threads_per_shard);
+  }
+
+  std::string name() const override { return p_.describe(); }
+  int threads() const override { return p_.threads(); }
+
+  void run(grid::FieldSet& fs, int steps) override {
+    const grid::Layout& L = fs.layout();
+    const int nz = L.nz();
+    // A shard must own at least `overlap` planes so its neighbors' pulls
+    // read exact data; silently shrink K for small grids rather than fail.
+    const int K = Partitioner::clamp_shards(nz, p_.num_shards, p_.exchange_interval);
+    const int overlap = (K > 1) ? p_.exchange_interval : 1;
+    const Partitioner part(L.interior(), K, overlap);
+    const NumaTopology topo =
+        p_.numa_bind ? NumaTopology::detect() : NumaTopology::single_node(p_.threads());
+
+    std::vector<std::unique_ptr<grid::FieldSet>> shard_sets(
+        static_cast<std::size_t>(K));
+    std::vector<grid::FieldSet*> shard_ptrs(static_cast<std::size_t>(K), nullptr);
+    std::vector<exec::EngineStats> shard_work(static_cast<std::size_t>(K));
+    std::unique_ptr<HaloExchange> halo;
+    util::SpinBarrier barrier(K);
+
+    util::Timer timer;
+    exec::ThreadTeam::run(K, [&](int s) {
+      const SavedAffinity saved = save_current_affinity();
+      const bool bound =
+          p_.numa_bind && bind_current_thread_to_node(topo, node_for_shard(topo, s, K));
+
+      // First touch: allocate and zero-fill this shard's 40 arrays from the
+      // bound thread so the pages land on the shard's NUMA node.
+      auto fsp = std::make_unique<grid::FieldSet>(part.shard_layout(s));
+      part.scatter(fs, *fsp, s);
+      auto inner = make_inner(p_.threads_per_shard);
+      shard_sets[static_cast<std::size_t>(s)] = std::move(fsp);
+      shard_ptrs[static_cast<std::size_t>(s)] =
+          shard_sets[static_cast<std::size_t>(s)].get();
+      barrier.arrive_and_wait();
+      if (s == 0) halo = std::make_unique<HaloExchange>(part, shard_ptrs);
+      barrier.arrive_and_wait();
+
+      grid::FieldSet& local = *shard_ptrs[static_cast<std::size_t>(s)];
+      exec::EngineStats& work = shard_work[static_cast<std::size_t>(s)];
+      int remaining = steps;
+      while (remaining > 0) {
+        const int chunk = std::min(p_.exchange_interval, remaining);
+        inner->run(local, chunk);
+        exec::accumulate_work(work, inner->stats());
+        remaining -= chunk;
+        if (remaining == 0) break;
+        // All shards finished the round before anyone reads owned planes.
+        barrier.arrive_and_wait();
+        halo->exchange_for(s);
+        barrier.arrive_and_wait();
+      }
+
+      // Owned plane ranges are disjoint, so shards gather concurrently.
+      part.gather(local, fs, s);
+
+      if (bound) restore_affinity(saved);
+    });
+
+    stats_ = exec::EngineStats{};
+    for (const auto& work : shard_work) exec::accumulate_work(stats_, work);
+    const HaloStats hs = halo ? halo->total() : HaloStats{};
+    stats_.seconds = timer.seconds();
+    stats_.steps = steps;
+    stats_.shards = K;
+    stats_.halo_exchange_seconds = hs.seconds;
+    stats_.halo_bytes_moved = hs.bytes_moved;
+    stats_.mlups = util::mlups(static_cast<std::int64_t>(L.interior().cells()), steps,
+                               stats_.seconds);
+  }
+
+ private:
+  std::unique_ptr<exec::Engine> make_inner(int threads) const {
+    switch (p_.inner) {
+      case InnerKind::Naive:
+        return exec::make_naive_engine(threads);
+      case InnerKind::Spatial:
+        return exec::make_spatial_engine(threads);
+      case InnerKind::Mwd: {
+        exec::MwdParams mp = p_.mwd.value_or(exec::MwdParams{});
+        if (!p_.mwd) mp.num_tgs = threads;  // default: 1WD, one group per thread
+        return exec::make_mwd_engine(mp);
+      }
+    }
+    return exec::make_naive_engine(threads);
+  }
+
+  ShardedParams p_;
+};
+
+}  // namespace
+
+std::unique_ptr<exec::Engine> make_sharded_engine(const ShardedParams& params) {
+  return std::make_unique<ShardedEngine>(params);
+}
+
+}  // namespace emwd::dist

@@ -4,6 +4,16 @@
 
 namespace emwd::exec {
 
+void accumulate_work(EngineStats& into, const EngineStats& from) {
+  into.lups += from.lups;
+  into.tiles_executed += from.tiles_executed;
+  into.barrier_episodes += from.barrier_episodes;
+  into.queue_wait_seconds += from.queue_wait_seconds;
+  into.barrier_wait_seconds += from.barrier_wait_seconds;
+  into.halo_exchange_seconds += from.halo_exchange_seconds;
+  into.halo_bytes_moved += from.halo_bytes_moved;
+}
+
 std::string MwdParams::describe() const {
   std::ostringstream os;
   os << "mwd{dw=" << dw << ",bz=" << bz << ",tg=" << tx << "x" << tz << "x" << tc

@@ -26,7 +26,19 @@ struct EngineStats {
   double queue_wait_seconds = 0.0;
   /// Cumulative thread-seconds inside intra-group barriers.
   double barrier_wait_seconds = 0.0;
+  /// Domain shards the run was decomposed into (1 for single-domain engines).
+  int shards = 1;
+  /// Cumulative thread-seconds copying ghost z-planes between shards.
+  double halo_exchange_seconds = 0.0;
+  /// Payload bytes moved by halo exchanges over the whole run.
+  std::int64_t halo_bytes_moved = 0;
 };
+
+/// Accumulate `from`'s work counters (lups, tiles, barrier episodes, wait
+/// and halo times) into `into`.  Wall-clock `seconds`, `steps`, `mlups` and
+/// `shards` are aggregation-policy decisions left to the caller; the
+/// sharded engine sums counters across shards and rounds this way.
+void accumulate_work(EngineStats& into, const EngineStats& from);
 
 class Engine {
  public:

@@ -39,13 +39,9 @@ class WavefrontEngine final : public Engine {
       const int block = std::min(steps, steps_per_block_);
       inner_->run(fs, block);
       const EngineStats& s = inner_->stats();
+      accumulate_work(stats_, s);
       stats_.seconds += s.seconds;
       stats_.steps += s.steps;
-      stats_.lups += s.lups;
-      stats_.tiles_executed += s.tiles_executed;
-      stats_.barrier_episodes += s.barrier_episodes;
-      stats_.queue_wait_seconds += s.queue_wait_seconds;
-      stats_.barrier_wait_seconds += s.barrier_wait_seconds;
       steps -= block;
     }
     stats_.mlups = stats_.seconds > 0.0

@@ -40,6 +40,27 @@ void Field::clear_halo() {
   }
 }
 
+void Field::copy_z_planes_from(const Field& src, int k_src, int k_dst, int count) {
+  const Layout& ls = src.layout_;
+  const Layout& ld = layout_;
+  if (ls.nx() != ld.nx() || ls.ny() != ld.ny() || ls.halo() != ld.halo() ||
+      ls.stride_z() != ld.stride_z()) {
+    throw std::invalid_argument("copy_z_planes_from: incompatible plane shapes");
+  }
+  if (count < 0 || k_src < -ls.halo() || k_src + count > ls.nz() + ls.halo() ||
+      k_dst < -ld.halo() || k_dst + count > ld.nz() + ld.halo()) {
+    throw std::out_of_range("copy_z_planes_from: plane range outside padded extent");
+  }
+  if (count == 0) return;
+  // Padded z-planes are contiguous runs of stride_z complex cells.
+  const std::size_t plane = static_cast<std::size_t>(ld.stride_z()) * 2;
+  const double* from = src.data_.data() + static_cast<std::size_t>(k_src + ls.halo()) *
+                                              static_cast<std::size_t>(ls.stride_z()) * 2;
+  double* to = data_.data() + static_cast<std::size_t>(k_dst + ld.halo()) *
+                                  static_cast<std::size_t>(ld.stride_z()) * 2;
+  std::copy(from, from + plane * static_cast<std::size_t>(count), to);
+}
+
 double Field::norm() const {
   double sum = 0.0;
   const int nx = layout_.nx(), ny = layout_.ny(), nz = layout_.nz();

@@ -41,6 +41,14 @@ class Field {
   /// Zero only the halo cells; used to restore Dirichlet boundaries.
   void clear_halo();
 
+  /// Copy `count` whole padded z-planes (interior plus x/y halo rows) from
+  /// `src`, planes [k_src, k_src + count) into [k_dst, k_dst + count).
+  /// Plane indices are logical (0 = first interior plane) and may extend
+  /// `halo()` planes past either end.  Both layouts must share x/y extents
+  /// and halo so the planes are laid out identically; used by the dist
+  /// subsystem to slice shards and exchange halo planes.
+  void copy_z_planes_from(const Field& src, int k_src, int k_dst, int count);
+
   /// Interior L2 norm sqrt(sum |v|^2); halo excluded.
   double norm() const;
   /// Max interior |a - b| between two fields on the same layout.

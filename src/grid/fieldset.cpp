@@ -32,6 +32,24 @@ void FieldSet::copy_fields_from(const FieldSet& other) {
   for (int c = 0; c < kernels::kNumComps; ++c) fields_[c] = other.fields_[c];
 }
 
+void FieldSet::copy_field_planes_from(const FieldSet& src, int k_src, int k_dst,
+                                      int count) {
+  for (int c = 0; c < kernels::kNumComps; ++c) {
+    fields_[c].copy_z_planes_from(src.fields_[c], k_src, k_dst, count);
+  }
+}
+
+void FieldSet::copy_static_planes_from(const FieldSet& src, int k_src, int k_dst,
+                                       int count) {
+  for (int c = 0; c < kernels::kNumComps; ++c) {
+    coeff_t_[c].copy_z_planes_from(src.coeff_t_[c], k_src, k_dst, count);
+    coeff_c_[c].copy_z_planes_from(src.coeff_c_[c], k_src, k_dst, count);
+  }
+  for (int s = 0; s < kernels::kNumSources; ++s) {
+    sources_[s].copy_z_planes_from(src.sources_[s], k_src, k_dst, count);
+  }
+}
+
 double FieldSet::max_field_diff(const FieldSet& a, const FieldSet& b) {
   double worst = 0.0;
   for (int c = 0; c < kernels::kNumComps; ++c) {

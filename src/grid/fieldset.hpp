@@ -54,6 +54,15 @@ class FieldSet {
   /// Copy the 12 field arrays from another set (layouts must match).
   void copy_fields_from(const FieldSet& other);
 
+  /// Shard-view slicing: copy `count` z-planes of the 12 field arrays from
+  /// `src` planes [k_src, ...) into [k_dst, ...).  See
+  /// Field::copy_z_planes_from for plane semantics; layouts may differ in nz.
+  void copy_field_planes_from(const FieldSet& src, int k_src, int k_dst, int count);
+
+  /// Same plane copy for the 28 static arrays (24 coefficients + 4 sources);
+  /// used once at shard setup.
+  void copy_static_planes_from(const FieldSet& src, int k_src, int k_dst, int count);
+
   /// Max abs elementwise difference over all 12 field arrays.
   static double max_field_diff(const FieldSet& a, const FieldSet& b);
 

@@ -1,7 +1,11 @@
 #include "thiim/simulation.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "dist/numa.hpp"
+#include "dist/partition.hpp"
+#include "dist/sharded_engine.hpp"
 #include "models/machine.hpp"
 #include "tune/autotuner.hpp"
 #include "util/machine_detect.hpp"
@@ -37,6 +41,43 @@ Simulation::Simulation(const SimulationConfig& cfg)
       tc.grid = cfg.grid;
       tc.machine = models::host_machine();
       engine_ = exec::make_mwd_engine(tune::autotune(tc).best);
+      break;
+    }
+    case EngineKind::Sharded: {
+      dist::ShardedParams p;
+      int shards = cfg.num_shards;
+      if (shards <= 0) shards = dist::NumaTopology::detect().num_nodes;
+      shards = std::min(shards, threads);  // a shard needs a thread of the budget
+      p.exchange_interval = std::max(1, cfg.shard_exchange_interval);
+      p.num_shards =
+          dist::Partitioner::clamp_shards(cfg.grid.nz, shards, p.exchange_interval);
+      p.threads_per_shard = std::max(1, threads / p.num_shards);
+      switch (cfg.shard_engine) {
+        case EngineKind::Naive:
+          p.inner = dist::InnerKind::Naive;
+          break;
+        case EngineKind::Spatial:
+          p.inner = dist::InnerKind::Spatial;
+          break;
+        case EngineKind::Mwd:
+          p.inner = dist::InnerKind::Mwd;
+          p.mwd = cfg.mwd;
+          break;
+        case EngineKind::Auto: {
+          // Tune MWD for the per-shard grid and thread budget.
+          tune::TuneConfig tc;
+          tc.threads = p.threads_per_shard;
+          tc.grid = cfg.grid;
+          tc.grid.nz = std::max(1, cfg.grid.nz / p.num_shards);
+          tc.machine = models::host_machine();
+          p.inner = dist::InnerKind::Mwd;
+          p.mwd = tune::autotune(tc).best;
+          break;
+        }
+        case EngineKind::Sharded:
+          throw std::invalid_argument("SimulationConfig: shard_engine cannot be Sharded");
+      }
+      engine_ = dist::make_sharded_engine(p);
       break;
     }
   }

@@ -30,7 +30,7 @@
 
 namespace emwd::thiim {
 
-enum class EngineKind { Naive, Spatial, Mwd, Auto };
+enum class EngineKind { Naive, Spatial, Mwd, Auto, Sharded };
 
 struct SimulationConfig {
   grid::Extents grid{64, 64, 64};
@@ -43,6 +43,12 @@ struct SimulationConfig {
   EngineKind engine = EngineKind::Auto;
   int threads = 0;                 // 0: hardware concurrency
   std::optional<exec::MwdParams> mwd;  // explicit MWD parameters (else tuned)
+  /// EngineKind::Sharded only: z-shards (0 = one per detected NUMA node),
+  /// the engine advancing each shard (Naive/Spatial/Mwd; Auto tunes MWD for
+  /// the per-shard grid), and steps between halo exchanges.
+  int num_shards = 0;
+  EngineKind shard_engine = EngineKind::Naive;
+  int shard_exchange_interval = 1;
 };
 
 class Simulation {

@@ -79,4 +79,33 @@ TuneResult autotune(const TuneConfig& cfg) {
   return result;
 }
 
+ShardChoice choose_shard_count(const TuneConfig& cfg) {
+  ShardChoice best;
+  bool first = true;
+  for (int k : enumerate_shard_counts(cfg.threads, cfg.grid, cfg.limits)) {
+    TuneConfig sub = cfg;
+    sub.timed_refinement = false;
+    sub.threads = std::max(1, cfg.threads / k);
+    sub.grid.nz = std::max(1, cfg.grid.nz / k);  // smallest owned block
+    const TuneResult r = autotune(sub);
+
+    // Halo penalty: with exchange interval 1 each interior shard re-streams
+    // 2 ghost planes of the 12 field arrays per step, against the ~40-array
+    // stream traffic of one step over its own nz planes.
+    const double halo_fraction =
+        (k > 1) ? (2.0 * 12.0) / (40.0 * static_cast<double>(sub.grid.nz)) : 0.0;
+    const double aggregate =
+        static_cast<double>(k) * r.best_candidate.predicted_mlups / (1.0 + halo_fraction);
+
+    if (first || aggregate > best.predicted_mlups) {
+      best.num_shards = k;
+      best.exchange_interval = 1;
+      best.inner = r.best_candidate;
+      best.predicted_mlups = aggregate;
+      first = false;
+    }
+  }
+  return best;
+}
+
 }  // namespace emwd::tune

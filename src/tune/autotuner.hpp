@@ -56,4 +56,19 @@ bool candidate_better(const Candidate& a, const Candidate& b);
 /// fits in memory.
 TuneResult autotune(const TuneConfig& cfg);
 
+/// Result of extending the search space over z-shard counts (the
+/// ShardedEngine's domain decomposition).
+struct ShardChoice {
+  int num_shards = 1;
+  int exchange_interval = 1;
+  Candidate inner;               // best per-shard MWD candidate
+  double predicted_mlups = 0.0;  // aggregate across shards, halo-penalized
+};
+
+/// For every shard count from enumerate_shard_counts, tune MWD on the
+/// per-shard grid with the per-shard thread budget and score the aggregate
+/// K * per-shard MLUP/s with a halo-traffic penalty; returns the best.
+/// Model-stage only (no timed refinement of the sharded runs).
+ShardChoice choose_shard_count(const TuneConfig& cfg);
+
 }  // namespace emwd::tune

@@ -58,4 +58,15 @@ std::vector<exec::MwdParams> enumerate_candidates(int threads, const grid::Exten
   return out;
 }
 
+std::vector<int> enumerate_shard_counts(int threads, const grid::Extents& grid,
+                                        const SpaceLimits& limits) {
+  std::vector<int> out{1};
+  const int cap = std::max(1, std::min(limits.max_shards, threads));
+  for (int k = 2; k <= cap; ++k) {
+    if (grid.nz / k < limits.min_shard_planes) break;
+    out.push_back(k);
+  }
+  return out;
+}
+
 }  // namespace emwd::tune

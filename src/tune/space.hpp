@@ -16,6 +16,10 @@ struct SpaceLimits {
   /// Minimum x cells per intra-tile x-thread (short rows waste pipelines;
   /// paper Sec. VI warns below ~50 cells).
   int min_x_per_thread = 16;
+  /// Domain-decomposition axis of the space: largest z-shard count to try
+  /// and the fewest owned z-planes a shard may be left with.
+  int max_shards = 8;
+  int min_shard_planes = 8;
 };
 
 /// All thread-group factorizations and tiling parameters for `threads`
@@ -28,5 +32,11 @@ std::vector<exec::MwdParams> enumerate_candidates(int threads, const grid::Exten
 
 /// The divisors of n in ascending order.
 std::vector<int> divisors(int n);
+
+/// Shard counts worth trying for a domain-decomposed (ShardedEngine) run:
+/// ascending K with K <= max_shards, K <= threads (a shard needs a thread)
+/// and nz/K >= min_shard_planes.  Always contains K = 1.
+std::vector<int> enumerate_shard_counts(int threads, const grid::Extents& grid,
+                                        const SpaceLimits& limits = {});
 
 }  // namespace emwd::tune

@@ -1,5 +1,6 @@
 #include "util/machine_detect.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <thread>
@@ -36,7 +37,44 @@ std::string read_line(const std::string& path) {
   return line;
 }
 
+/// Highest numbered physical_package_id over all cpus, or -1 when unreadable.
+int max_package_id(int logical_cpus) {
+  int max_id = -1;
+  for (int cpu = 0; cpu < logical_cpus; ++cpu) {
+    const std::string line =
+        read_line("/sys/devices/system/cpu/cpu" + std::to_string(cpu) +
+                  "/topology/physical_package_id");
+    if (line.empty()) continue;
+    try {
+      max_id = std::max(max_id, std::stoi(line));
+    } catch (const std::exception&) {
+    }
+  }
+  return max_id;
+}
+
 }  // namespace
+
+std::vector<int> parse_cpulist(const std::string& text) {
+  std::vector<int> cpus;
+  std::istringstream is(text);
+  std::string piece;
+  while (std::getline(is, piece, ',')) {
+    const auto dash = piece.find('-');
+    try {
+      if (dash == std::string::npos) {
+        cpus.push_back(std::stoi(piece));
+      } else {
+        const int lo = std::stoi(piece.substr(0, dash));
+        const int hi = std::stoi(piece.substr(dash + 1));
+        for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+      }
+    } catch (const std::exception&) {
+      // Skip malformed pieces; callers fall back to a single node.
+    }
+  }
+  return cpus;
+}
 
 HostInfo detect_host() {
   HostInfo info;
@@ -85,6 +123,27 @@ HostInfo detect_host() {
       }
     }
   }
+
+  // NUMA topology: nodeN directories with a readable cpulist.  Node numbers
+  // may have gaps (offline nodes) and some nodes have no cpus at all (CXL /
+  // HBM memory-only nodes) — both are skipped without ending the scan, since
+  // shard placement only cares about nodes that can run threads.
+  for (int node = 0; node < 256; ++node) {
+    const std::string cpulist = read_line("/sys/devices/system/node/node" +
+                                          std::to_string(node) + "/cpulist");
+    if (cpulist.empty()) continue;
+    std::vector<int> cpus = parse_cpulist(cpulist);
+    if (!cpus.empty()) info.numa_node_cpus.push_back(std::move(cpus));
+  }
+  if (info.numa_node_cpus.empty()) {
+    // Single-node fallback: all logical cpus on one node.
+    std::vector<int> all(static_cast<std::size_t>(info.logical_cpus));
+    for (int c = 0; c < info.logical_cpus; ++c) all[static_cast<std::size_t>(c)] = c;
+    info.numa_node_cpus.push_back(std::move(all));
+  }
+  info.num_numa_nodes = static_cast<int>(info.numa_node_cpus.size());
+
+  info.num_sockets = std::max(1, max_package_id(info.logical_cpus) + 1);
 
   return info;
 }

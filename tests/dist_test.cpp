@@ -1,0 +1,334 @@
+// The sharded domain-decomposition subsystem: partitioner extents, plane
+// slicing, halo round-trips, NUMA helpers, and — the property everything
+// hangs on — bit-exact equivalence of sharded runs with the undecomposed
+// reference, for every inner engine kind and for exchange intervals > 1.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "dist/halo.hpp"
+#include "dist/numa.hpp"
+#include "dist/partition.hpp"
+#include "dist/sharded_engine.hpp"
+#include "em/coefficients.hpp"
+#include "grid/fieldset.hpp"
+#include "kernels/reference.hpp"
+#include "models/machine.hpp"
+#include "tune/autotuner.hpp"
+#include "util/machine_detect.hpp"
+
+namespace {
+
+using namespace emwd;
+using dist::Partitioner;
+using dist::ShardExtent;
+using grid::Extents;
+using grid::FieldSet;
+using grid::Layout;
+
+// ---------------------------------------------------------------- partition
+
+TEST(Partitioner, OwnedBlocksTileTheDomainAndBalance) {
+  for (int nz : {7, 8, 24, 31}) {
+    for (int k = 1; k <= std::min(nz, 5); ++k) {
+      Partitioner part({6, 5, nz}, k, 1);
+      int sum = 0, min_owned = nz, max_owned = 0;
+      int expect_z0 = 0;
+      for (const ShardExtent& e : part.shards()) {
+        EXPECT_EQ(e.z0, expect_z0);  // contiguous, no gaps
+        expect_z0 = e.z1;
+        sum += e.owned();
+        min_owned = std::min(min_owned, e.owned());
+        max_owned = std::max(max_owned, e.owned());
+      }
+      EXPECT_EQ(sum, nz) << "nz=" << nz << " k=" << k;
+      EXPECT_LE(max_owned - min_owned, 1) << "nz=" << nz << " k=" << k;
+    }
+  }
+}
+
+TEST(Partitioner, OverlapClampsAtDomainEdges) {
+  Partitioner part({4, 4, 12}, 3, 2);
+  EXPECT_EQ(part.shard(0).lo, 0);
+  EXPECT_EQ(part.shard(0).hi, 2);
+  EXPECT_EQ(part.shard(1).lo, 2);
+  EXPECT_EQ(part.shard(1).hi, 2);
+  EXPECT_EQ(part.shard(2).lo, 2);
+  EXPECT_EQ(part.shard(2).hi, 0);
+  EXPECT_EQ(part.shard(1).ext_nz(), 4 + 4);
+  EXPECT_EQ(part.shard_layout(1).nz(), 8);
+  EXPECT_EQ(part.shard_layout(1).nx(), 4);
+}
+
+TEST(Partitioner, RejectsBadArguments) {
+  EXPECT_THROW(Partitioner({4, 4, 8}, 0, 1), std::invalid_argument);
+  EXPECT_THROW(Partitioner({4, 4, 8}, 9, 1), std::invalid_argument);   // K > nz
+  EXPECT_THROW(Partitioner({4, 4, 8}, 2, 0), std::invalid_argument);   // no overlap
+  EXPECT_THROW(Partitioner({4, 4, 8}, 2, 5), std::invalid_argument);   // > min owned
+  EXPECT_NO_THROW(Partitioner({4, 4, 8}, 2, 4));
+  EXPECT_NO_THROW(Partitioner({4, 4, 8}, 1, 0));  // single shard needs no overlap
+}
+
+TEST(Partitioner, ClampShards) {
+  EXPECT_EQ(Partitioner::clamp_shards(64, 4, 1), 4);
+  EXPECT_EQ(Partitioner::clamp_shards(64, 100, 1), 64);
+  EXPECT_EQ(Partitioner::clamp_shards(64, 8, 16), 4);  // owned must cover overlap
+  EXPECT_EQ(Partitioner::clamp_shards(8, 4, 16), 1);
+  EXPECT_EQ(Partitioner::clamp_shards(8, 0, 1), 1);
+}
+
+// ------------------------------------------------------------ plane slicing
+
+TEST(PlaneSlicing, ScatterGatherRoundTripsAllArrays) {
+  Layout L({5, 6, 13});
+  FieldSet global(L);
+  em::build_random_stable(global, 3);
+  global.set_x_boundary(grid::XBoundary::Periodic);
+
+  Partitioner part(L.interior(), 3, 2);
+  FieldSet out(L);  // gather target, initially zero
+  for (int s = 0; s < part.num_shards(); ++s) {
+    FieldSet shard(part.shard_layout(s));
+    part.scatter(global, shard, s);
+    EXPECT_EQ(shard.x_boundary(), grid::XBoundary::Periodic);
+    // Spot-check a sliced coefficient value.
+    const ShardExtent& e = part.shard(s);
+    EXPECT_EQ(shard.coeff_t(kernels::Comp::Exy).at(1, 2, e.to_local(e.z0)),
+              global.coeff_t(kernels::Comp::Exy).at(1, 2, e.z0));
+    part.gather(shard, out, s);
+  }
+  EXPECT_EQ(FieldSet::max_field_diff(out, global), 0.0);
+}
+
+TEST(PlaneSlicing, FieldPlaneCopyValidatesRanges) {
+  grid::Field a(Layout({4, 4, 6})), b(Layout({4, 4, 8}));
+  EXPECT_NO_THROW(a.copy_z_planes_from(b, 0, 0, 6));
+  EXPECT_NO_THROW(a.copy_z_planes_from(b, -1, -1, 8));  // halo planes included
+  EXPECT_THROW(a.copy_z_planes_from(b, 0, 0, 8), std::out_of_range);
+  EXPECT_THROW(a.copy_z_planes_from(b, 4, 0, 6), std::out_of_range);  // past src top halo
+  grid::Field c(Layout({5, 4, 6}));
+  EXPECT_THROW(a.copy_z_planes_from(c, 0, 0, 1), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ halo exchange
+
+TEST(HaloExchange, PullRefreshesGhostPlanesExactly) {
+  Layout L({4, 5, 12});
+  FieldSet global(L);
+  em::build_random_stable(global, 7);
+
+  Partitioner part(L.interior(), 3, 2);
+  std::vector<std::unique_ptr<FieldSet>> sets;
+  std::vector<FieldSet*> ptrs;
+  for (int s = 0; s < 3; ++s) {
+    sets.push_back(std::make_unique<FieldSet>(part.shard_layout(s)));
+    part.scatter(global, *sets.back(), s);
+    ptrs.push_back(sets.back().get());
+  }
+  // Corrupt every ghost plane, then pull: ghosts must return to the global
+  // values while owned planes stay untouched.
+  for (int s = 0; s < 3; ++s) {
+    const ShardExtent& e = part.shard(s);
+    for (int c = 0; c < kernels::kNumComps; ++c) {
+      grid::Field& f = sets[s]->field(static_cast<kernels::Comp>(c));
+      for (int g = e.ext_z0(); g < e.z0; ++g)
+        for (int j = 0; j < 5; ++j)
+          for (int i = 0; i < 4; ++i) f.set(i, j, e.to_local(g), {1e9, -1e9});
+      for (int g = e.z1; g < e.ext_z1(); ++g)
+        for (int j = 0; j < 5; ++j)
+          for (int i = 0; i < 4; ++i) f.set(i, j, e.to_local(g), {1e9, -1e9});
+    }
+  }
+  dist::HaloExchange halo(part, ptrs);
+  for (int s = 0; s < 3; ++s) halo.exchange_for(s);
+
+  for (int s = 0; s < 3; ++s) {
+    const ShardExtent& e = part.shard(s);
+    double worst = 0.0;
+    for (int c = 0; c < kernels::kNumComps; ++c) {
+      const grid::Field& f = sets[s]->field(static_cast<kernels::Comp>(c));
+      const grid::Field& g = global.field(static_cast<kernels::Comp>(c));
+      for (int gz = e.ext_z0(); gz < e.ext_z1(); ++gz)
+        for (int j = 0; j < 5; ++j)
+          for (int i = 0; i < 4; ++i)
+            worst = std::max(worst,
+                             std::abs(f.at(i, j, e.to_local(gz)) - g.at(i, j, gz)));
+    }
+    EXPECT_EQ(worst, 0.0) << "shard " << s;
+  }
+  EXPECT_EQ(halo.total().exchanges, 3);
+  EXPECT_EQ(halo.total().planes_copied, (2 + 4 + 2) * 12);
+  EXPECT_GT(halo.bytes_per_exchange(), 0);
+}
+
+// ------------------------------------------------------- sharded equivalence
+
+class ShardedEquivalence : public ::testing::Test {
+ protected:
+  /// Max |diff| between a sharded run and the serial reference on a small
+  /// random-coefficient grid.
+  double run_diff(dist::ShardedParams p, Extents e, int steps, grid::XBoundary bc,
+                  std::uint64_t seed) {
+    Layout layout(e);
+    FieldSet reference(layout);
+    em::build_random_stable(reference, seed);
+    reference.set_x_boundary(bc);
+    FieldSet fs(layout);
+    em::build_random_stable(fs, seed);
+    fs.set_x_boundary(bc);
+
+    kernels::reference_step(reference, steps);
+    auto engine = dist::make_sharded_engine(p);
+    engine->run(fs, steps);
+    last_stats_ = engine->stats();
+    return FieldSet::max_field_diff(fs, reference);
+  }
+
+  exec::EngineStats last_stats_;
+};
+
+TEST_F(ShardedEquivalence, NaiveInnerMatchesBitForBit) {
+  for (int k : {1, 2, 3}) {
+    dist::ShardedParams p;
+    p.num_shards = k;
+    p.inner = dist::InnerKind::Naive;
+    EXPECT_EQ(run_diff(p, {6, 7, 13}, 4, grid::XBoundary::Dirichlet, 31), 0.0)
+        << "K=" << k;
+    EXPECT_EQ(last_stats_.shards, k);
+  }
+}
+
+TEST_F(ShardedEquivalence, PeriodicXMatchesBitForBit) {
+  for (int k : {2, 3}) {
+    dist::ShardedParams p;
+    p.num_shards = k;
+    p.inner = dist::InnerKind::Naive;
+    EXPECT_EQ(run_diff(p, {6, 7, 13}, 4, grid::XBoundary::Periodic, 33), 0.0)
+        << "K=" << k;
+  }
+}
+
+TEST_F(ShardedEquivalence, DeepOverlapExchangeIntervalMatches) {
+  for (int interval : {2, 3}) {
+    dist::ShardedParams p;
+    p.num_shards = 2;
+    p.exchange_interval = interval;
+    p.inner = dist::InnerKind::Naive;
+    // 7 steps: exercises a partial final round as well.
+    EXPECT_EQ(run_diff(p, {5, 6, 14}, 7, grid::XBoundary::Dirichlet, 35), 0.0)
+        << "interval=" << interval;
+  }
+}
+
+TEST_F(ShardedEquivalence, SpatialAndMwdInnersMatch) {
+  dist::ShardedParams p;
+  p.num_shards = 2;
+  p.threads_per_shard = 2;
+  p.inner = dist::InnerKind::Spatial;
+  EXPECT_EQ(run_diff(p, {6, 8, 12}, 3, grid::XBoundary::Dirichlet, 41), 0.0);
+
+  p.inner = dist::InnerKind::Mwd;
+  p.exchange_interval = 2;  // let the diamonds block two steps in time
+  exec::MwdParams mwd;
+  mwd.dw = 4;
+  mwd.num_tgs = 2;
+  p.mwd = mwd;
+  p.threads_per_shard = 2;
+  EXPECT_EQ(run_diff(p, {6, 8, 12}, 4, grid::XBoundary::Dirichlet, 43), 0.0);
+}
+
+TEST_F(ShardedEquivalence, ClampsShardCountOnTinyGrids) {
+  dist::ShardedParams p;
+  p.num_shards = 64;  // far more shards than planes
+  p.exchange_interval = 2;
+  p.inner = dist::InnerKind::Naive;
+  EXPECT_EQ(run_diff(p, {5, 5, 6}, 3, grid::XBoundary::Dirichlet, 47), 0.0);
+  EXPECT_LE(last_stats_.shards, 3);
+  EXPECT_GE(last_stats_.shards, 1);
+}
+
+// ------------------------------------------------------------ shard tuning
+
+TEST(ShardTuning, EnumerateShardCountsRespectsLimits) {
+  tune::SpaceLimits limits;
+  limits.max_shards = 8;
+  limits.min_shard_planes = 8;
+  // Plenty of planes: capped by threads, then max_shards.
+  EXPECT_EQ(tune::enumerate_shard_counts(4, {32, 32, 256}, limits),
+            (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(tune::enumerate_shard_counts(16, {32, 32, 256}, limits),
+            (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}));
+  // Few planes: capped by min_shard_planes.
+  EXPECT_EQ(tune::enumerate_shard_counts(16, {32, 32, 17}, limits),
+            (std::vector<int>{1, 2}));
+  // Always contains K = 1, even when nothing else fits.
+  EXPECT_EQ(tune::enumerate_shard_counts(1, {32, 32, 4}, limits),
+            (std::vector<int>{1}));
+}
+
+TEST(ShardTuning, ChooseShardCountReturnsAFeasibleChoice) {
+  tune::TuneConfig tc;
+  tc.threads = 4;
+  tc.grid = {64, 64, 128};
+  tc.machine = models::haswell18();
+  const tune::ShardChoice choice = tune::choose_shard_count(tc);
+  EXPECT_GE(choice.num_shards, 1);
+  EXPECT_LE(choice.num_shards, 4);
+  EXPECT_GE(choice.exchange_interval, 1);
+  EXPECT_GT(choice.predicted_mlups, 0.0);
+  // The inner candidate must fit the per-shard thread budget.
+  EXPECT_EQ(choice.inner.params.threads(), std::max(1, tc.threads / choice.num_shards));
+
+  // One thread, thin grid: decomposition cannot help, K must stay 1.
+  tc.threads = 1;
+  tc.grid = {32, 32, 12};
+  EXPECT_EQ(tune::choose_shard_count(tc).num_shards, 1);
+}
+
+// ----------------------------------------------------------------- topology
+
+TEST(NumaTopology, DetectAlwaysYieldsAUsableTopology) {
+  const dist::NumaTopology topo = dist::NumaTopology::detect();
+  ASSERT_GE(topo.num_nodes, 1);
+  ASSERT_EQ(static_cast<int>(topo.node_cpus.size()), topo.num_nodes);
+  std::set<int> seen;
+  for (const auto& node : topo.node_cpus) {
+    EXPECT_FALSE(node.empty());
+    for (int c : node) {
+      EXPECT_GE(c, 0);
+      EXPECT_TRUE(seen.insert(c).second) << "cpu " << c << " on two nodes";
+    }
+  }
+}
+
+TEST(NumaTopology, NodeForShardCoversAllNodesInOrder) {
+  dist::NumaTopology topo;
+  topo.num_nodes = 2;
+  topo.node_cpus = {{0, 1}, {2, 3}};
+  EXPECT_EQ(dist::node_for_shard(topo, 0, 4), 0);
+  EXPECT_EQ(dist::node_for_shard(topo, 1, 4), 0);
+  EXPECT_EQ(dist::node_for_shard(topo, 2, 4), 1);
+  EXPECT_EQ(dist::node_for_shard(topo, 3, 4), 1);
+  EXPECT_EQ(dist::node_for_shard(dist::NumaTopology::single_node(4), 3, 4), 0);
+}
+
+TEST(MachineDetect, ReportsNumaAndSocketTopology) {
+  const util::HostInfo host = util::detect_host();
+  EXPECT_GE(host.num_sockets, 1);
+  EXPECT_GE(host.num_numa_nodes, 1);
+  ASSERT_EQ(static_cast<int>(host.numa_node_cpus.size()), host.num_numa_nodes);
+  int cpus = 0;
+  for (const auto& node : host.numa_node_cpus) cpus += static_cast<int>(node.size());
+  EXPECT_GE(cpus, 1);
+}
+
+TEST(MachineDetect, ParseCpulist) {
+  EXPECT_EQ(util::parse_cpulist("0-3"), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(util::parse_cpulist("0,2,4-5"), (std::vector<int>{0, 2, 4, 5}));
+  EXPECT_EQ(util::parse_cpulist("7"), (std::vector<int>{7}));
+  EXPECT_TRUE(util::parse_cpulist("").empty());
+  EXPECT_TRUE(util::parse_cpulist("junk").empty());
+}
+
+}  // namespace
