@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Fail when the shard-scaling smoke CSV shows a redundant-LUP regression.
+
+bench_shard_scaling --csv writes one row per (inner engine, shard count).
+With K shards and exchange interval T, every interior cut adds 2*T ghost
+planes of recompute per round, so the expected redundant-LUP fraction for
+the CI smoke (nz=64, K=2, T=1) is ~3.1% per inner engine.  A jump past the
+threshold means the overlap bookkeeping regressed — shards stepping more
+ghost planes than the exchange interval requires — which exit-status-only
+checks would never catch.
+"""
+import argparse
+import csv
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("csv_path", help="CSV written by bench_shard_scaling --csv")
+    ap.add_argument("--shards", type=int, default=2, help="shard-count rows to check")
+    ap.add_argument("--max-redundant-pct", type=float, default=10.0)
+    args = ap.parse_args()
+
+    with open(args.csv_path, newline="") as f:
+        rows = list(csv.DictReader(f))
+
+    checked = 0
+    worst = 0.0
+    for row in rows:
+        if int(row["shards"]) != args.shards:
+            continue
+        pct = float(row["redundant LUP %"])
+        checked += 1
+        worst = max(worst, pct)
+        print(
+            f"{row['inner']}: K={row['shards']} redundant LUP "
+            f"{pct:.3f}% (threshold {args.max_redundant_pct}%)"
+        )
+        if pct > args.max_redundant_pct:
+            print("FAIL: redundant-LUP fraction regressed", file=sys.stderr)
+            return 1
+
+    if not checked:
+        print(f"FAIL: no rows with shards == {args.shards} in {args.csv_path}",
+              file=sys.stderr)
+        return 1
+    print(f"OK: {checked} row(s) checked, worst {worst:.3f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

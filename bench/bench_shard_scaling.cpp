@@ -11,6 +11,8 @@
 // keeping every inner engine bit-exact.
 #include "common.hpp"
 
+#include <fstream>
+
 #include "dist/numa.hpp"
 #include "dist/sharded_engine.hpp"
 #include "em/coefficients.hpp"
@@ -29,6 +31,7 @@ int main(int argc, char** argv) {
   cli.add_flag("shards", "shard counts to sweep", "1,2,4");
   cli.add_flag("interval", "steps between halo exchanges", "1");
   cli.add_flag("numa", "bind shards to NUMA nodes", "true");
+  cli.add_flag("csv", "also write the table as CSV to this file", "");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n", cli.error().c_str());
     return 1;
@@ -94,5 +97,15 @@ int main(int argc, char** argv) {
     }
   }
   t.print(std::cout, "shard scaling (" + std::to_string(steps) + " steps)");
+  const std::string csv_path = cli.get("csv", "");
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    out << t.to_csv();
+    if (!out) {
+      std::fprintf(stderr, "FAIL: could not write %s\n", csv_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", csv_path.c_str());
+  }
   return 0;
 }

@@ -58,11 +58,13 @@ HaloStats HaloExchange::total() const {
   return sum;
 }
 
-std::int64_t HaloExchange::bytes_per_exchange() const {
+std::int64_t HaloExchange::bytes_per_exchange() const { return bytes_per_exchange(part_); }
+
+std::int64_t HaloExchange::bytes_per_exchange(const Partitioner& part) {
   std::int64_t planes = 0;
-  for (const ShardExtent& e : part_.shards()) planes += e.lo + e.hi;
+  for (const ShardExtent& e : part.shards()) planes += e.lo + e.hi;
   const std::int64_t plane_bytes =
-      static_cast<std::int64_t>(grid::Layout({part_.global().nx, part_.global().ny, 1})
+      static_cast<std::int64_t>(grid::Layout({part.global().nx, part.global().ny, 1})
                                     .stride_z()) * 16;
   return planes * kernels::kNumComps * plane_bytes;
 }

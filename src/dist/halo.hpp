@@ -45,6 +45,11 @@ class HaloExchange {
   /// Payload bytes one full exchange episode moves across all shards.
   std::int64_t bytes_per_exchange() const;
 
+  /// Same quantity computed from the partition alone — no shard FieldSets
+  /// needed, so the tuner's analytic stage can cost a candidate decomposition
+  /// without allocating it.
+  static std::int64_t bytes_per_exchange(const Partitioner& part);
+
  private:
   const Partitioner& part_;
   std::vector<grid::FieldSet*> shards_;

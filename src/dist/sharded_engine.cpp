@@ -1,6 +1,8 @@
 #include "dist/sharded_engine.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -9,6 +11,7 @@
 #include "dist/numa.hpp"
 #include "dist/partition.hpp"
 #include "exec/thread_pool.hpp"
+#include "grid/fieldset.hpp"
 #include "util/barrier.hpp"
 #include "util/timer.hpp"
 
@@ -34,13 +37,34 @@ std::string ShardedParams::describe() const {
   std::ostringstream os;
   os << "sharded{K=" << num_shards << ",T=" << exchange_interval
      << ",inner=" << to_string(inner) << ",tps=" << threads_per_shard
-     << (numa_bind ? ",numa" : "") << "}";
+     << (per_shard_mwd.empty() ? "" : ",per-shard") << (numa_bind ? ",numa" : "")
+     << "}";
   return os.str();
 }
 
 namespace {
 
-class ShardedEngine final : public exec::Engine {
+/// Binds the current thread to a shard's NUMA node and restores the saved
+/// affinity on scope exit — including exceptional exits (ThreadTeam's tid 0
+/// runs on the caller thread, which must not stay pinned after a throw).
+class ScopedNodeBinding {
+ public:
+  ScopedNodeBinding(bool enable, const NumaTopology& topo, int shard, int num_shards)
+      : saved_(save_current_affinity()),
+        bound_(enable &&
+               bind_current_thread_to_node(topo, node_for_shard(topo, shard, num_shards))) {}
+  ~ScopedNodeBinding() {
+    if (bound_) restore_affinity(saved_);
+  }
+  ScopedNodeBinding(const ScopedNodeBinding&) = delete;
+  ScopedNodeBinding& operator=(const ScopedNodeBinding&) = delete;
+
+ private:
+  SavedAffinity saved_;
+  bool bound_;
+};
+
+class ShardedEngine final : public PreparableEngine {
  public:
   explicit ShardedEngine(const ShardedParams& p) : p_(p) {
     if (p.num_shards < 1) {
@@ -53,90 +77,150 @@ class ShardedEngine final : public exec::Engine {
       throw std::invalid_argument("ShardedParams: threads_per_shard must be >= 1");
     }
     // Validate inner-engine parameters here, on the caller thread: a factory
-    // throwing inside one shard thread would leave the others at a barrier.
-    (void)make_inner(p.threads_per_shard);
+    // throwing inside one shard thread is recoverable (run() drains the
+    // barriers) but an early error message beats a mid-run abort.  The
+    // inner_factory hook opts out — tests use it to inject failing engines.
+    if (!p.inner_factory) {
+      const int variants = std::max<int>(1, static_cast<int>(p.per_shard_mwd.size()));
+      for (int s = 0; s < variants; ++s) (void)make_inner(s, p.threads_per_shard);
+    }
   }
 
   std::string name() const override { return p_.describe(); }
   int threads() const override { return p_.threads(); }
 
+  void prepare(const grid::Extents& e) override {
+    if (prepared_ && prepared_->extents == e) return;
+    prepared_.reset();
+    auto st = std::make_unique<PreparedState>();
+    st->extents = e;
+    const int K = Partitioner::clamp_shards(e.nz, p_.num_shards, p_.exchange_interval);
+    const int overlap = (K > 1) ? p_.exchange_interval : 1;
+    st->part = std::make_unique<Partitioner>(e, K, overlap);
+    st->topo = p_.numa_bind ? NumaTopology::detect() : NumaTopology::single_node(p_.threads());
+    st->sets.resize(static_cast<std::size_t>(K));
+    st->ptrs.assign(static_cast<std::size_t>(K), nullptr);
+    st->inners.resize(static_cast<std::size_t>(K));
+
+    // First touch: allocate and zero-fill each shard's 40 arrays from a
+    // thread bound to the shard's NUMA node so the pages land there.
+    exec::ThreadTeam::run(K, [&](int s) {
+      const ScopedNodeBinding binding(p_.numa_bind, st->topo, s, K);
+      st->sets[static_cast<std::size_t>(s)] =
+          std::make_unique<grid::FieldSet>(st->part->shard_layout(s));
+      st->ptrs[static_cast<std::size_t>(s)] = st->sets[static_cast<std::size_t>(s)].get();
+      st->inners[static_cast<std::size_t>(s)] = make_inner(s, p_.threads_per_shard);
+    });
+    st->halo = std::make_unique<HaloExchange>(*st->part, st->ptrs);
+    prepared_ = std::move(st);
+  }
+
+  void reset_prepared() override { prepared_.reset(); }
+
   void run(grid::FieldSet& fs, int steps) override {
     const grid::Layout& L = fs.layout();
-    const int nz = L.nz();
-    // A shard must own at least `overlap` planes so its neighbors' pulls
-    // read exact data; silently shrink K for small grids rather than fail.
-    const int K = Partitioner::clamp_shards(nz, p_.num_shards, p_.exchange_interval);
-    const int overlap = (K > 1) ? p_.exchange_interval : 1;
-    const Partitioner part(L.interior(), K, overlap);
-    const NumaTopology topo =
-        p_.numa_bind ? NumaTopology::detect() : NumaTopology::single_node(p_.threads());
+    prepare(L.interior());
+    PreparedState& st = *prepared_;
+    const Partitioner& part = *st.part;
+    const int K = part.num_shards();
 
-    std::vector<std::unique_ptr<grid::FieldSet>> shard_sets(
-        static_cast<std::size_t>(K));
-    std::vector<grid::FieldSet*> shard_ptrs(static_cast<std::size_t>(K), nullptr);
     std::vector<exec::EngineStats> shard_work(static_cast<std::size_t>(K));
-    std::unique_ptr<HaloExchange> halo;
     util::SpinBarrier barrier(K);
+    const HaloStats halo_before = st.halo->total();
+
+    // Failure protocol: a shard that throws (scatter, inner step or halo
+    // pull) records the first exception, raises `failed`, and keeps walking
+    // the SAME barrier schedule as everyone else with the work skipped —
+    // the schedule depends only on `steps`, so no shard can be left spinning
+    // at a barrier the failed shard never reaches.  The exception is
+    // rethrown on the caller once every shard thread has joined.
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+    const auto record_failure = [&]() {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+      failed.store(true, std::memory_order_release);
+    };
 
     util::Timer timer;
     exec::ThreadTeam::run(K, [&](int s) {
-      const SavedAffinity saved = save_current_affinity();
-      const bool bound =
-          p_.numa_bind && bind_current_thread_to_node(topo, node_for_shard(topo, s, K));
+      const ScopedNodeBinding binding(p_.numa_bind, st.topo, s, K);
 
-      // First touch: allocate and zero-fill this shard's 40 arrays from the
-      // bound thread so the pages land on the shard's NUMA node.
-      auto fsp = std::make_unique<grid::FieldSet>(part.shard_layout(s));
-      part.scatter(fs, *fsp, s);
-      auto inner = make_inner(p_.threads_per_shard);
-      shard_sets[static_cast<std::size_t>(s)] = std::move(fsp);
-      shard_ptrs[static_cast<std::size_t>(s)] =
-          shard_sets[static_cast<std::size_t>(s)].get();
-      barrier.arrive_and_wait();
-      if (s == 0) halo = std::make_unique<HaloExchange>(part, shard_ptrs);
-      barrier.arrive_and_wait();
-
-      grid::FieldSet& local = *shard_ptrs[static_cast<std::size_t>(s)];
+      grid::FieldSet& local = *st.ptrs[static_cast<std::size_t>(s)];
+      exec::Engine& inner = *st.inners[static_cast<std::size_t>(s)];
       exec::EngineStats& work = shard_work[static_cast<std::size_t>(s)];
+
+      try {
+        part.scatter(fs, local, s);
+      } catch (...) {
+        record_failure();
+      }
+      // All shards finish scattering before anyone's first exchange could
+      // read a neighbor's owned planes (the first round barrier also orders
+      // this; scatter-before-step is what the inner engines need locally).
+      barrier.arrive_and_wait();
+
       int remaining = steps;
       while (remaining > 0) {
         const int chunk = std::min(p_.exchange_interval, remaining);
-        inner->run(local, chunk);
-        exec::accumulate_work(work, inner->stats());
+        if (!failed.load(std::memory_order_acquire)) {
+          try {
+            inner.run(local, chunk);
+            exec::accumulate_work(work, inner.stats());
+          } catch (...) {
+            record_failure();
+          }
+        }
         remaining -= chunk;
         if (remaining == 0) break;
         // All shards finished the round before anyone reads owned planes.
         barrier.arrive_and_wait();
-        halo->exchange_for(s);
+        if (!failed.load(std::memory_order_acquire)) {
+          try {
+            st.halo->exchange_for(s);
+          } catch (...) {
+            record_failure();
+          }
+        }
         barrier.arrive_and_wait();
       }
 
       // Owned plane ranges are disjoint, so shards gather concurrently.
-      part.gather(local, fs, s);
-
-      if (bound) restore_affinity(saved);
+      if (!failed.load(std::memory_order_acquire)) part.gather(local, fs, s);
     });
+    const double seconds = timer.seconds();
 
+    // Clear before the rethrow so a caller that catches and inspects
+    // stats() never sees a previous successful run's numbers.
     stats_ = exec::EngineStats{};
+    if (first_error) std::rethrow_exception(first_error);
+
     for (const auto& work : shard_work) exec::accumulate_work(stats_, work);
-    const HaloStats hs = halo ? halo->total() : HaloStats{};
-    stats_.seconds = timer.seconds();
+    const HaloStats halo_after = st.halo->total();
+    stats_.seconds = seconds;
     stats_.steps = steps;
     stats_.shards = K;
-    stats_.halo_exchange_seconds = hs.seconds;
-    stats_.halo_bytes_moved = hs.bytes_moved;
+    stats_.halo_exchange_seconds = halo_after.seconds - halo_before.seconds;
+    stats_.halo_bytes_moved = halo_after.bytes_moved - halo_before.bytes_moved;
     stats_.mlups = util::mlups(static_cast<std::int64_t>(L.interior().cells()), steps,
                                stats_.seconds);
   }
 
  private:
-  std::unique_ptr<exec::Engine> make_inner(int threads) const {
+  std::unique_ptr<exec::Engine> make_inner(int shard, int threads) const {
+    if (p_.inner_factory) return p_.inner_factory(shard, threads);
     switch (p_.inner) {
       case InnerKind::Naive:
         return exec::make_naive_engine(threads);
       case InnerKind::Spatial:
         return exec::make_spatial_engine(threads);
       case InnerKind::Mwd: {
+        if (!p_.per_shard_mwd.empty()) {
+          const std::size_t i =
+              std::min(static_cast<std::size_t>(shard), p_.per_shard_mwd.size() - 1);
+          return exec::make_mwd_engine(p_.per_shard_mwd[i]);
+        }
         exec::MwdParams mp = p_.mwd.value_or(exec::MwdParams{});
         if (!p_.mwd) mp.num_tgs = threads;  // default: 1WD, one group per thread
         return exec::make_mwd_engine(mp);
@@ -145,12 +229,24 @@ class ShardedEngine final : public exec::Engine {
     return exec::make_naive_engine(threads);
   }
 
+  /// Layout-dependent state reused across run() calls (see PreparableEngine).
+  struct PreparedState {
+    grid::Extents extents{};
+    std::unique_ptr<Partitioner> part;
+    NumaTopology topo;
+    std::vector<std::unique_ptr<grid::FieldSet>> sets;
+    std::vector<grid::FieldSet*> ptrs;
+    std::vector<std::unique_ptr<exec::Engine>> inners;
+    std::unique_ptr<HaloExchange> halo;
+  };
+
   ShardedParams p_;
+  std::unique_ptr<PreparedState> prepared_;
 };
 
 }  // namespace
 
-std::unique_ptr<exec::Engine> make_sharded_engine(const ShardedParams& params) {
+std::unique_ptr<PreparableEngine> make_sharded_engine(const ShardedParams& params) {
   return std::make_unique<ShardedEngine>(params);
 }
 

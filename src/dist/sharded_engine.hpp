@@ -13,11 +13,14 @@
 // deep domains, independent per-shard tiling.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "exec/engine.hpp"
+#include "grid/layout.hpp"
 
 namespace emwd::dist {
 
@@ -35,9 +38,36 @@ struct ShardedParams {
   int threads_per_shard = 1;
   bool numa_bind = true;     // pin shard teams to NUMA nodes (no-op on 1 node)
   std::optional<exec::MwdParams> mwd;  // explicit inner-MWD parameters
+  /// Per-shard inner-MWD parameters (InnerKind::Mwd only): shard s uses
+  /// per_shard_mwd[s], letting uneven shards (PML-heavy boundary blocks,
+  /// remainder planes) each run their own tuned tiling.  When the engine
+  /// clamps the shard count below per_shard_mwd.size(), shard s falls back
+  /// to entry min(s, size-1); an empty vector defers to `mwd`.
+  std::vector<exec::MwdParams> per_shard_mwd;
+  /// Test/instrumentation hook: when set, shard `s` is advanced by
+  /// inner_factory(s, threads_per_shard) instead of the built-in kinds and
+  /// no inner parameter pre-validation happens on the caller thread.
+  std::function<std::unique_ptr<exec::Engine>(int shard, int threads)> inner_factory;
 
   int threads() const { return num_shards * threads_per_shard; }
   std::string describe() const;
+};
+
+/// Engine with a separable preparation phase.  prepare() builds everything
+/// that depends only on the grid layout — the partition, one NUMA-first-touch
+/// FieldSet per shard, the halo exchanger and the inner engines — and keeps
+/// it cached; run() reuses the cached state whenever the incoming FieldSet
+/// has the same interior extents, paying only the scatter/step/gather cost.
+/// That makes back-to-back timed runs (auto-tuner refinement, benches) cheap:
+/// the 40-array shard allocations happen once, not once per repetition.
+/// run() prepares on demand, so calling prepare() explicitly is optional.
+class PreparableEngine : public exec::Engine {
+ public:
+  /// Build (or rebuild, when extents changed) the cached shard state for
+  /// grids of interior extents `e`.  Idempotent for unchanged extents.
+  virtual void prepare(const grid::Extents& e) = 0;
+  /// Drop the cached shard state (frees the shard FieldSets).
+  virtual void reset_prepared() = 0;
 };
 
 /// Engine-interface wrapper; usable anywhere the other engines are.
@@ -45,6 +75,10 @@ struct ShardedParams {
 /// redundant ghost-plane updates), while `mlups` is useful throughput —
 /// global interior cells * steps / wall seconds.  `shards`,
 /// `halo_exchange_seconds` and `halo_bytes_moved` describe the exchange.
-std::unique_ptr<exec::Engine> make_sharded_engine(const ShardedParams& params);
+/// If an inner engine throws in any shard, the remaining shards drain their
+/// barrier schedule and finish the run as a no-op; the first exception is
+/// rethrown on the caller after every shard thread has joined (the global
+/// FieldSet's field values are unspecified in that case).
+std::unique_ptr<PreparableEngine> make_sharded_engine(const ShardedParams& params);
 
 }  // namespace emwd::dist

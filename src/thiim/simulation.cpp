@@ -44,38 +44,44 @@ Simulation::Simulation(const SimulationConfig& cfg)
       break;
     }
     case EngineKind::Sharded: {
+      if (cfg.shard_engine == EngineKind::Sharded) {
+        throw std::invalid_argument("SimulationConfig: shard_engine cannot be Sharded");
+      }
       dist::ShardedParams p;
-      int shards = cfg.num_shards;
-      if (shards <= 0) shards = dist::NumaTopology::detect().num_nodes;
-      shards = std::min(shards, threads);  // a shard needs a thread of the budget
-      p.exchange_interval = std::max(1, cfg.shard_exchange_interval);
-      p.num_shards =
-          dist::Partitioner::clamp_shards(cfg.grid.nz, shards, p.exchange_interval);
-      p.threads_per_shard = std::max(1, threads / p.num_shards);
-      switch (cfg.shard_engine) {
-        case EngineKind::Naive:
-          p.inner = dist::InnerKind::Naive;
-          break;
-        case EngineKind::Spatial:
-          p.inner = dist::InnerKind::Spatial;
-          break;
-        case EngineKind::Mwd:
-          p.inner = dist::InnerKind::Mwd;
-          p.mwd = cfg.mwd;
-          break;
-        case EngineKind::Auto: {
-          // Tune MWD for the per-shard grid and thread budget.
-          tune::TuneConfig tc;
-          tc.threads = p.threads_per_shard;
-          tc.grid = cfg.grid;
-          tc.grid.nz = std::max(1, cfg.grid.nz / p.num_shards);
-          tc.machine = models::host_machine();
-          p.inner = dist::InnerKind::Mwd;
-          p.mwd = tune::autotune(tc).best;
-          break;
+      if (cfg.shard_engine == EngineKind::Auto) {
+        // Two-stage sharded tuner: per-shard MWD against the real sub-grids,
+        // with the shard-count / exchange-interval axes searched unless the
+        // config pins them; Measured mode also times the top plans on the
+        // real ShardedEngine before committing.
+        tune::ShardedTuneConfig sc;
+        sc.threads = threads;
+        sc.grid = cfg.grid;
+        sc.machine = models::host_machine();
+        sc.fixed_shards = std::max(0, cfg.num_shards);
+        sc.fixed_interval = std::max(0, cfg.shard_exchange_interval);
+        sc.timed_refinement = cfg.shard_tune_mode == ShardTuneMode::Measured;
+        p = tune::to_sharded_params(tune::autotune_sharded(sc).best.plan);
+      } else {
+        int shards = cfg.num_shards;
+        if (shards <= 0) shards = dist::NumaTopology::detect().num_nodes;
+        shards = std::min(shards, threads);  // a shard needs a thread of the budget
+        p.exchange_interval = std::max(1, cfg.shard_exchange_interval);
+        p.num_shards =
+            dist::Partitioner::clamp_shards(cfg.grid.nz, shards, p.exchange_interval);
+        p.threads_per_shard = std::max(1, threads / p.num_shards);
+        switch (cfg.shard_engine) {
+          case EngineKind::Naive:
+            p.inner = dist::InnerKind::Naive;
+            break;
+          case EngineKind::Spatial:
+            p.inner = dist::InnerKind::Spatial;
+            break;
+          default:  // Mwd
+            p.inner = dist::InnerKind::Mwd;
+            p.mwd = cfg.mwd;
+            p.per_shard_mwd = cfg.shard_mwd;
+            break;
         }
-        case EngineKind::Sharded:
-          throw std::invalid_argument("SimulationConfig: shard_engine cannot be Sharded");
       }
       engine_ = dist::make_sharded_engine(p);
       break;

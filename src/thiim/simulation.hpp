@@ -32,6 +32,12 @@ namespace emwd::thiim {
 
 enum class EngineKind { Naive, Spatial, Mwd, Auto, Sharded };
 
+/// How EngineKind::Sharded + shard_engine == Auto picks its plan: Model
+/// ranks (num_shards, exchange_interval, per-shard MwdParams) with the
+/// analytic cost model only; Measured additionally times the top plans on
+/// the real ShardedEngine for a few steps (slower startup, better plans).
+enum class ShardTuneMode { Model, Measured };
+
 struct SimulationConfig {
   grid::Extents grid{64, 64, 64};
   double wavelength_cells = 24.0;  // incident wavelength in mesh cells
@@ -43,12 +49,21 @@ struct SimulationConfig {
   EngineKind engine = EngineKind::Auto;
   int threads = 0;                 // 0: hardware concurrency
   std::optional<exec::MwdParams> mwd;  // explicit MWD parameters (else tuned)
-  /// EngineKind::Sharded only: z-shards (0 = one per detected NUMA node),
-  /// the engine advancing each shard (Naive/Spatial/Mwd; Auto tunes MWD for
-  /// the per-shard grid), and steps between halo exchanges.
+  /// EngineKind::Sharded only: z-shards (with a fixed inner engine, 0 = one
+  /// per detected NUMA node; with shard_engine == Auto, 0 = let the tuner
+  /// search the shard-count axis), the engine advancing each shard
+  /// (Naive/Spatial/Mwd; Auto runs the sharded tuner, emitting per-shard
+  /// MwdParams), and steps between halo exchanges (0 = 1 for fixed inner
+  /// engines; for Auto, 0 = let the tuner search the interval axis).
   int num_shards = 0;
   EngineKind shard_engine = EngineKind::Naive;
-  int shard_exchange_interval = 1;
+  int shard_exchange_interval = 0;
+  /// Sharded + Auto only: Model (default) scores plans analytically;
+  /// Measured also times the top plans on the real ShardedEngine.
+  ShardTuneMode shard_tune_mode = ShardTuneMode::Model;
+  /// Sharded + Mwd only: explicit per-shard MWD parameters (shard s runs
+  /// shard_mwd[s]); empty defers to `mwd` for every shard.
+  std::vector<exec::MwdParams> shard_mwd;
 };
 
 class Simulation {

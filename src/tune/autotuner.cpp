@@ -1,13 +1,18 @@
 #include "tune/autotuner.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <map>
 #include <stdexcept>
 
+#include "dist/halo.hpp"
+#include "dist/partition.hpp"
 #include "em/coefficients.hpp"
 #include "grid/fieldset.hpp"
 #include "models/cache_model.hpp"
 #include "models/code_balance.hpp"
 #include "models/perf_model.hpp"
+#include "util/timer.hpp"
 
 namespace emwd::tune {
 
@@ -79,32 +84,197 @@ TuneResult autotune(const TuneConfig& cfg) {
   return result;
 }
 
-ShardChoice choose_shard_count(const TuneConfig& cfg) {
-  ShardChoice best;
-  bool first = true;
-  for (int k : enumerate_shard_counts(cfg.threads, cfg.grid, cfg.limits)) {
-    TuneConfig sub = cfg;
-    sub.timed_refinement = false;
-    sub.threads = std::max(1, cfg.threads / k);
-    sub.grid.nz = std::max(1, cfg.grid.nz / k);  // smallest owned block
-    const TuneResult r = autotune(sub);
+// ------------------------------------------------------ sharded two-stage
 
-    // Halo penalty: with exchange interval 1 each interior shard re-streams
-    // 2 ghost planes of the 12 field arrays per step, against the ~40-array
-    // stream traffic of one step over its own nz planes.
-    const double halo_fraction =
-        (k > 1) ? (2.0 * 12.0) / (40.0 * static_cast<double>(sub.grid.nz)) : 0.0;
-    const double aggregate =
-        static_cast<double>(k) * r.best_candidate.predicted_mlups / (1.0 + halo_fraction);
+ShardedCandidate score_sharded_candidate(int num_shards, int exchange_interval,
+                                         const ShardedTuneConfig& cfg) {
+  ShardedCandidate c;
+  c.plan.num_shards = num_shards;
+  c.plan.exchange_interval = exchange_interval;
 
-    if (first || aggregate > best.predicted_mlups) {
-      best.num_shards = k;
-      best.exchange_interval = 1;
-      best.inner = r.best_candidate;
-      best.predicted_mlups = aggregate;
-      first = false;
+  const int tps = std::max(1, cfg.threads / num_shards);
+  const dist::Partitioner part(cfg.grid, num_shards,
+                               num_shards > 1 ? exchange_interval : 1);
+
+  // Tune each shard against its REAL extended sub-grid.  A balanced split
+  // yields at most a handful of distinct extended heights (remainder blocks,
+  // one- vs two-sided ghosts), so memoize the per-height tuning.
+  std::map<int, std::pair<Candidate, exec::MwdParams>> by_height;
+  double bottleneck_step_seconds = 0.0;
+  double total_ext_planes = 0.0;
+  for (int s = 0; s < num_shards; ++s) {
+    const int ext_nz = part.shard(s).ext_nz();
+    auto it = by_height.find(ext_nz);
+    if (it == by_height.end()) {
+      TuneConfig sub;
+      sub.threads = tps;
+      sub.grid = {cfg.grid.nx, cfg.grid.ny, ext_nz};
+      sub.machine = cfg.machine;
+      sub.limits = cfg.limits;
+      sub.timed_refinement = false;
+      const TuneResult r = autotune(sub);
+      it = by_height.emplace(ext_nz, std::make_pair(r.best_candidate, r.best)).first;
+    }
+    c.per_shard.push_back(it->second.first);
+    c.plan.per_shard.push_back(it->second.second);
+    const double shard_cells = static_cast<double>(cfg.grid.nx) * cfg.grid.ny * ext_nz;
+    const double mlups = std::max(1e-9, it->second.first.predicted_mlups);
+    bottleneck_step_seconds = std::max(bottleneck_step_seconds, shard_cells / (mlups * 1e6));
+    total_ext_planes += static_cast<double>(ext_nz);
+  }
+
+  // Shards advance concurrently, so a round of T steps costs T times the
+  // slowest shard's step (the redundant ghost-plane planes are inside each
+  // shard's extended grid and thus inside its step time) plus one exchange
+  // streaming bytes_per_exchange over the machine's bandwidth roof.
+  const std::int64_t halo_bytes = dist::HaloExchange::bytes_per_exchange(part);
+  const double interval = static_cast<double>(exchange_interval);
+  c.halo_bytes_per_step = static_cast<double>(halo_bytes) / interval;
+  c.redundant_lup_fraction =
+      (total_ext_planes - static_cast<double>(cfg.grid.nz)) /
+      static_cast<double>(cfg.grid.nz);
+  const double halo_seconds =
+      static_cast<double>(halo_bytes) / std::max(1.0, cfg.machine.bandwidth_bytes_per_s);
+  const double round_seconds = interval * bottleneck_step_seconds + halo_seconds;
+  const double useful = static_cast<double>(cfg.grid.cells());
+  c.predicted_mlups = useful * interval / (round_seconds * 1e6);
+  return c;
+}
+
+ShardedTuneResult autotune_sharded(const ShardedTuneConfig& cfg) {
+  ShardedTuneResult result;
+  std::vector<int> shard_axis;
+  if (cfg.fixed_shards > 0) {
+    // A pinned count is still capped by the thread budget (a shard needs a
+    // thread) and by what the grid can be partitioned into.
+    const int by_threads = std::min(cfg.fixed_shards, std::max(1, cfg.threads));
+    shard_axis.push_back(dist::Partitioner::clamp_shards(cfg.grid.nz, by_threads, 1));
+  } else {
+    shard_axis = enumerate_shard_counts(cfg.threads, cfg.grid, cfg.limits);
+  }
+  for (int k : shard_axis) {
+    std::vector<int> interval_axis;
+    if (cfg.fixed_interval > 0) {
+      // Clamp a pinned interval to the partition's feasibility bound.
+      const int min_owned = std::max(1, cfg.grid.nz / k);
+      interval_axis.push_back(k > 1 ? std::min(cfg.fixed_interval, min_owned)
+                                    : cfg.fixed_interval);
+    } else {
+      interval_axis = enumerate_exchange_intervals(k, cfg.grid, cfg.limits);
+    }
+    for (int t : interval_axis) {
+      result.ranked.push_back(score_sharded_candidate(k, t, cfg));
     }
   }
+  if (result.ranked.empty()) throw std::runtime_error("autotune_sharded: empty space");
+  std::sort(result.ranked.begin(), result.ranked.end(),
+            [](const ShardedCandidate& a, const ShardedCandidate& b) {
+              if (a.predicted_mlups != b.predicted_mlups) {
+                return a.predicted_mlups > b.predicted_mlups;
+              }
+              // Prefer fewer shards and shallower overlap on model ties.
+              if (a.plan.num_shards != b.plan.num_shards) {
+                return a.plan.num_shards < b.plan.num_shards;
+              }
+              return a.plan.exchange_interval < b.plan.exchange_interval;
+            });
+
+  if (cfg.timed_refinement) {
+    const int k = std::min<int>(cfg.refine_top_k, static_cast<int>(result.ranked.size()));
+    grid::Layout layout(cfg.grid);
+    grid::FieldSet fs(layout);
+    em::build_random_stable(fs, /*seed=*/0x7u);
+    const std::int64_t useful = static_cast<std::int64_t>(cfg.grid.cells());
+    int best_idx = 0;
+    double best_mlups = -1.0;
+    for (int i = 0; i < k; ++i) {
+      ShardedCandidate& cand = result.ranked[static_cast<std::size_t>(i)];
+      cand.measured_seconds = time_sharded_plan(cand.plan, fs, cfg);
+      cand.measured_mlups = util::mlups(useful, cfg.refine_steps, cand.measured_seconds);
+      if (cand.measured_mlups > best_mlups) {
+        best_mlups = cand.measured_mlups;
+        best_idx = i;
+      }
+    }
+    result.best = result.ranked[static_cast<std::size_t>(best_idx)];
+  } else {
+    result.best = result.ranked.front();
+  }
+  return result;
+}
+
+double time_sharded_plan(const ShardPlan& plan, grid::FieldSet& fs,
+                         const ShardedTuneConfig& cfg) {
+  auto engine = dist::make_sharded_engine(to_sharded_params(plan, cfg.numa_bind));
+  // prepare() allocates the shard FieldSets outside the timed region; the
+  // warmup run scatters once and faults every page in.
+  engine->prepare(cfg.grid);
+  if (cfg.warmup_steps > 0) engine->run(fs, cfg.warmup_steps);
+  double best_seconds = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < std::max(1, cfg.repeats); ++r) {
+    fs.clear_fields();
+    engine->run(fs, cfg.refine_steps);
+    best_seconds = std::min(best_seconds, engine->stats().seconds);
+  }
+  return best_seconds;
+}
+
+dist::ShardedParams to_sharded_params(const ShardPlan& plan, bool numa_bind) {
+  dist::ShardedParams p;
+  p.num_shards = std::max(1, plan.num_shards);
+  p.exchange_interval = std::max(1, plan.exchange_interval);
+  p.inner = dist::InnerKind::Mwd;
+  p.threads_per_shard = plan.per_shard.empty() ? 1 : plan.per_shard.front().threads();
+  p.per_shard_mwd = plan.per_shard;
+  p.numa_bind = numa_bind;
+  return p;
+}
+
+util::Table ShardedTuneResult::to_table() const {
+  util::Table t({"shards", "interval", "redundant_frac", "halo_MB_per_step",
+                 "predicted_mlups", "measured_mlups", "measured_s", "plan"});
+  for (const ShardedCandidate& c : ranked) {
+    t.add_row({std::to_string(c.plan.num_shards), std::to_string(c.plan.exchange_interval),
+               util::fmt_double(c.redundant_lup_fraction, 4),
+               util::fmt_double(c.halo_bytes_per_step / (1024.0 * 1024.0), 4),
+               util::fmt_double(c.predicted_mlups, 5),
+               util::fmt_double(c.measured_mlups, 5),
+               util::fmt_double(c.measured_seconds, 5), c.plan.describe()});
+  }
+  return t;
+}
+
+std::string ShardedTuneResult::to_csv() const { return to_table().to_csv(); }
+
+ShardChoice choose_shard_count(const TuneConfig& cfg) {
+  ShardedTuneConfig scfg;
+  scfg.threads = cfg.threads;
+  scfg.grid = cfg.grid;
+  scfg.machine = cfg.machine;
+  scfg.limits = cfg.limits;
+  scfg.timed_refinement = false;
+  const ShardedTuneResult r = autotune_sharded(scfg);
+
+  ShardChoice best;
+  best.num_shards = r.best.plan.num_shards;
+  best.exchange_interval = r.best.plan.exchange_interval;
+  best.predicted_mlups = r.best.predicted_mlups;
+  // Representative inner candidate: the bottleneck (slowest-step) shard.
+  const dist::Partitioner part(cfg.grid, best.num_shards,
+                               best.num_shards > 1 ? best.exchange_interval : 1);
+  std::size_t bottleneck = 0;
+  double worst = -1.0;
+  for (std::size_t s = 0; s < r.best.per_shard.size(); ++s) {
+    const double mlups = std::max(1e-9, r.best.per_shard[s].predicted_mlups);
+    const double cells = static_cast<double>(cfg.grid.nx) * cfg.grid.ny *
+                         part.shard(static_cast<int>(s)).ext_nz();
+    const double step_seconds = cells / (mlups * 1e6);
+    if (step_seconds > worst) {
+      worst = step_seconds;
+      bottleneck = s;
+    }
+  }
+  if (!r.best.per_shard.empty()) best.inner = r.best.per_shard[bottleneck];
   return best;
 }
 

@@ -6,13 +6,26 @@
 // that overflow the usable LLC share; (2) optional timed refinement — the
 // top-K surviving candidates are run for a few time steps on the real
 // engine and the fastest wins.
+//
+// The sharded tuner (autotune_sharded) extends the same two-stage scheme
+// over the domain-decomposition axes: stage 1 enumerates every feasible
+// (num_shards, exchange_interval) pair, tunes one MwdParams per shard
+// against that shard's REAL extended sub-grid (uneven remainder blocks and
+// ghost-heavy interior shards differ), and scores the aggregate with an
+// analytic redundant-LUP + halo-bytes penalty; stage 2 runs the top-K plans
+// on the actual ShardedEngine for a truncated step budget (warmup + timed
+// repeats, reusing the engine's prepared shard state) and the fastest
+// measured plan wins.
 #pragma once
 
+#include <string>
 #include <vector>
 
+#include "dist/sharded_engine.hpp"
 #include "exec/engine.hpp"
 #include "models/machine.hpp"
 #include "tune/space.hpp"
+#include "util/csv.hpp"
 
 namespace emwd::tune {
 
@@ -61,14 +74,85 @@ TuneResult autotune(const TuneConfig& cfg);
 struct ShardChoice {
   int num_shards = 1;
   int exchange_interval = 1;
-  Candidate inner;               // best per-shard MWD candidate
+  Candidate inner;               // bottleneck shard's MWD candidate
   double predicted_mlups = 0.0;  // aggregate across shards, halo-penalized
 };
 
-/// For every shard count from enumerate_shard_counts, tune MWD on the
-/// per-shard grid with the per-shard thread budget and score the aggregate
-/// K * per-shard MLUP/s with a halo-traffic penalty; returns the best.
-/// Model-stage only (no timed refinement of the sharded runs).
+/// For every feasible (shard count, exchange interval) pair, tune MWD per
+/// shard sub-grid with the per-shard thread budget and score the aggregate
+/// MLUP/s with the redundant-LUP + halo-traffic penalty; returns the best.
+/// Model-stage only (no timed refinement of the sharded runs).  The choice
+/// is always feasible: the exchange interval (== overlap depth) never
+/// exceeds any shard's owned z-extent.
 ShardChoice choose_shard_count(const TuneConfig& cfg);
+
+// ------------------------------------------------------ sharded two-stage
+
+/// One point of the sharded search space: the full per-shard plan plus its
+/// analytic score and (for stage-2 survivors) the measured result.
+struct ShardedCandidate {
+  ShardPlan plan;
+  std::vector<Candidate> per_shard;     // model score of each shard's tiling
+  double redundant_lup_fraction = 0.0;  // ghost-plane recompute per useful LUP
+  double halo_bytes_per_step = 0.0;     // exchange payload amortized over T
+  double predicted_mlups = 0.0;         // aggregate, penalized (stage 1)
+  double measured_mlups = 0.0;          // stage 2 (0 if not timed)
+  double measured_seconds = 0.0;        // best timed repeat over refine_steps
+};
+
+struct ShardedTuneConfig {
+  int threads = 1;
+  grid::Extents grid{64, 64, 64};
+  models::Machine machine;
+  SpaceLimits limits;
+  /// Pin an axis instead of searching it (0 = search).  Pinned values are
+  /// clamped to what the grid can actually support, so the emitted plan is
+  /// always feasible.
+  int fixed_shards = 0;
+  int fixed_interval = 0;
+  /// Stage 2: run the top-K stage-1 plans on the real ShardedEngine.  Each
+  /// plan gets `warmup_steps` untimed steps (also triggers the engine's
+  /// prepare() allocation outside the timed region) and `repeats` timed runs
+  /// of `refine_steps`; the best repeat is the plan's time.  Requires a
+  /// FieldSet-sized allocation of `grid` plus one per shard.
+  bool timed_refinement = true;
+  int refine_top_k = 3;
+  int refine_steps = 4;
+  int warmup_steps = 1;
+  int repeats = 2;
+  bool numa_bind = true;
+};
+
+struct ShardedTuneResult {
+  ShardedCandidate best;
+  std::vector<ShardedCandidate> ranked;  // stage-1 order (predicted desc)
+
+  /// One row per ranked candidate: decomposition knobs, analytic costs,
+  /// stage-1 and stage-2 scores, and the serialized plan.
+  util::Table to_table() const;
+  /// RFC-4180-ish CSV of to_table() — benches archive this as an artifact.
+  std::string to_csv() const;
+};
+
+/// Analytic (stage-1) score of one (num_shards, exchange_interval) point:
+/// per-shard MWD tuning against the real sub-grids plus the redundant-LUP
+/// and halo-bandwidth penalties.  The pair must be feasible for cfg.grid.
+ShardedCandidate score_sharded_candidate(int num_shards, int exchange_interval,
+                                         const ShardedTuneConfig& cfg);
+
+/// The full two-stage sharded auto-tune described above.
+ShardedTuneResult autotune_sharded(const ShardedTuneConfig& cfg);
+
+/// Stage-2 measurement unit, shared with the benches so chosen-vs-exhaustive
+/// comparisons use one methodology: build the plan's engine, prepare() it
+/// for cfg.grid, run cfg.warmup_steps untimed, then max(1, cfg.repeats)
+/// timed runs of cfg.refine_steps on zeroed fields of `fs`; returns the
+/// best repeat's wall seconds.  `fs` must have extents cfg.grid; its field
+/// values are clobbered.
+double time_sharded_plan(const ShardPlan& plan, grid::FieldSet& fs,
+                         const ShardedTuneConfig& cfg);
+
+/// Engine parameters executing `plan` (per-shard MWD inners).
+dist::ShardedParams to_sharded_params(const ShardPlan& plan, bool numa_bind = true);
 
 }  // namespace emwd::tune

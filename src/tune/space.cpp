@@ -1,6 +1,7 @@
 #include "tune/space.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 namespace emwd::tune {
 
@@ -67,6 +68,30 @@ std::vector<int> enumerate_shard_counts(int threads, const grid::Extents& grid,
     out.push_back(k);
   }
   return out;
+}
+
+std::vector<int> enumerate_exchange_intervals(int num_shards, const grid::Extents& grid,
+                                              const SpaceLimits& limits) {
+  if (num_shards <= 1) return {1};
+  // The overlap (== interval) must not exceed the smallest owned z-block of
+  // a balanced K-way split, or the Partitioner would need planes a neighbor
+  // does not own exactly.
+  const int min_owned = grid.nz / num_shards;
+  const int cap = std::min(std::max(1, limits.max_exchange_interval), std::max(1, min_owned));
+  std::vector<int> out;
+  for (int t = 1; t <= cap; ++t) out.push_back(t);
+  return out;
+}
+
+std::string ShardPlan::describe() const {
+  std::ostringstream os;
+  os << "plan{K=" << num_shards << ",T=" << exchange_interval << ",[";
+  for (std::size_t s = 0; s < per_shard.size(); ++s) {
+    if (s) os << " ";
+    os << per_shard[s].describe();
+  }
+  os << "]}";
+  return os.str();
 }
 
 }  // namespace emwd::tune

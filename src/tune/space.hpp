@@ -20,6 +20,10 @@ struct SpaceLimits {
   /// and the fewest owned z-planes a shard may be left with.
   int max_shards = 8;
   int min_shard_planes = 8;
+  /// Largest halo-exchange interval (== overlap depth) to try.  Deeper
+  /// intervals trade redundant ghost-plane compute for fewer
+  /// synchronizations; the sweet spot is grid- and machine-dependent.
+  int max_exchange_interval = 4;
 };
 
 /// All thread-group factorizations and tiling parameters for `threads`
@@ -38,5 +42,25 @@ std::vector<int> divisors(int n);
 /// and nz/K >= min_shard_planes.  Always contains K = 1.
 std::vector<int> enumerate_shard_counts(int threads, const grid::Extents& grid,
                                         const SpaceLimits& limits = {});
+
+/// Exchange intervals worth trying for `num_shards` z-shards of `grid`:
+/// ascending T with T <= max_exchange_interval and, for K > 1, T no deeper
+/// than the smallest owned z-block (the Partitioner's feasibility bound —
+/// a neighbor must own every plane it donates).  K == 1 needs no exchange,
+/// so the axis collapses to {1}.  Never empty.
+std::vector<int> enumerate_exchange_intervals(int num_shards, const grid::Extents& grid,
+                                              const SpaceLimits& limits = {});
+
+/// A complete sharded execution plan as emitted by the sharded tuner: the
+/// decomposition knobs plus one MwdParams per shard, tuned against that
+/// shard's real extended sub-grid (uneven remainder blocks and PML-heavy
+/// boundary shards each get their own tiling).
+struct ShardPlan {
+  int num_shards = 1;
+  int exchange_interval = 1;
+  std::vector<exec::MwdParams> per_shard;  // size == num_shards
+
+  std::string describe() const;
+};
 
 }  // namespace emwd::tune

@@ -248,6 +248,114 @@ TEST_F(ShardedEquivalence, ClampsShardCountOnTinyGrids) {
   EXPECT_GE(last_stats_.shards, 1);
 }
 
+TEST_F(ShardedEquivalence, PerShardMwdParamsMatchBitForBit) {
+  dist::ShardedParams p;
+  p.num_shards = 2;
+  p.exchange_interval = 2;
+  p.inner = dist::InnerKind::Mwd;
+  p.threads_per_shard = 2;
+  exec::MwdParams a;  // shard 0: two thread groups of one
+  a.dw = 4;
+  a.num_tgs = 2;
+  exec::MwdParams b = a;  // shard 1: one group of two across components
+  b.num_tgs = 1;
+  b.tc = 2;
+  p.per_shard_mwd = {a, b};
+  EXPECT_EQ(run_diff(p, {6, 8, 12}, 4, grid::XBoundary::Dirichlet, 51), 0.0);
+}
+
+// ------------------------------------------------- prepared-state reuse
+
+TEST(ShardedPrepare, RepeatedRunsReuseShardStateAndStayExact) {
+  const Layout layout({5, 6, 12});
+  dist::ShardedParams p;
+  p.num_shards = 2;
+  p.inner = dist::InnerKind::Naive;
+  auto engine = dist::make_sharded_engine(p);
+  engine->prepare(layout.interior());  // explicit, ahead of the first run
+
+  for (int rep = 0; rep < 3; ++rep) {
+    FieldSet reference(layout);
+    em::build_random_stable(reference, 61 + static_cast<unsigned>(rep));
+    FieldSet fs(layout);
+    em::build_random_stable(fs, 61 + static_cast<unsigned>(rep));
+    kernels::reference_step(reference, 3);
+    engine->run(fs, 3);
+    EXPECT_EQ(FieldSet::max_field_diff(fs, reference), 0.0) << "rep " << rep;
+  }
+
+  // A different grid forces a transparent re-prepare.
+  const Layout other({4, 5, 9});
+  FieldSet reference(other);
+  em::build_random_stable(reference, 67);
+  FieldSet fs(other);
+  em::build_random_stable(fs, 67);
+  kernels::reference_step(reference, 2);
+  engine->run(fs, 2);
+  EXPECT_EQ(FieldSet::max_field_diff(fs, reference), 0.0);
+  engine->reset_prepared();  // dropping the cache is always safe
+}
+
+// ------------------------------------------------- shard failure handling
+
+namespace failure {
+
+/// Inner engine that throws after `good_chunks` successful chunk runs.
+class FlakyEngine final : public exec::Engine {
+ public:
+  FlakyEngine(int threads, int good_chunks)
+      : threads_(threads), good_chunks_(good_chunks),
+        real_(exec::make_naive_engine(threads)) {}
+
+  std::string name() const override { return "flaky"; }
+  int threads() const override { return threads_; }
+  void run(grid::FieldSet& fs, int steps) override {
+    if (runs_++ >= good_chunks_) throw std::runtime_error("injected shard failure");
+    real_->run(fs, steps);
+    stats_ = real_->stats();
+  }
+
+ private:
+  int threads_;
+  int good_chunks_;
+  int runs_ = 0;
+  std::unique_ptr<exec::Engine> real_;
+};
+
+}  // namespace failure
+
+TEST(ShardedFailure, ThrowingInnerEngineCannotDeadlockOtherShards) {
+  // Shard 1 of 3 throws — immediately, or mid-run after one good exchange
+  // round — while shards 0 and 2 keep draining the barrier schedule.  The
+  // run must terminate (no deadlock at the SpinBarrier / halo handshake)
+  // and rethrow the injected exception on the caller.
+  for (int good_chunks : {0, 1}) {
+    dist::ShardedParams p;
+    p.num_shards = 3;
+    p.exchange_interval = 1;
+    p.inner_factory = [good_chunks](int shard, int threads) -> std::unique_ptr<exec::Engine> {
+      if (shard == 1) return std::make_unique<failure::FlakyEngine>(threads, good_chunks);
+      return exec::make_naive_engine(threads);
+    };
+    const Layout layout({5, 5, 12});
+    FieldSet fs(layout);
+    em::build_random_stable(fs, 71);
+    auto engine = dist::make_sharded_engine(p);
+    EXPECT_THROW(engine->run(fs, 5), std::runtime_error) << "good_chunks=" << good_chunks;
+  }
+}
+
+TEST(ShardedFailure, ThrowingInnerFactoryPropagatesFromPrepare) {
+  dist::ShardedParams p;
+  p.num_shards = 2;
+  p.inner_factory = [](int shard, int threads) -> std::unique_ptr<exec::Engine> {
+    if (shard == 1) throw std::runtime_error("injected factory failure");
+    return exec::make_naive_engine(threads);
+  };
+  auto engine = dist::make_sharded_engine(p);  // hook skips ctor pre-validation
+  EXPECT_THROW(engine->prepare({5, 5, 12}), std::runtime_error);
+}
+
 // ------------------------------------------------------------ shard tuning
 
 TEST(ShardTuning, EnumerateShardCountsRespectsLimits) {

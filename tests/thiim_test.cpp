@@ -61,6 +61,56 @@ TEST(Simulation, AllEngineKindsAgree) {
   }
 }
 
+TEST(Simulation, ShardedAutoTunedEnginesAgreeWithNaive) {
+  // The sharded tuner's plans (Model and Measured modes, searched or pinned
+  // axes, explicit per-shard params) must all reproduce the undecomposed
+  // fields bit-for-bit through the facade.
+  auto reference_energy = [] {
+    Simulation sim(small_cfg(EngineKind::Naive));
+    sim.finalize();
+    sim.add_point_dipole(em::SourceField::Ey, 6, 6, 12, {1.0, 0.0});
+    sim.run(6);
+    return sim.total_energy();
+  }();
+
+  std::vector<SimulationConfig> configs;
+  {
+    auto cfg = small_cfg(EngineKind::Sharded);  // Auto inner, searched axes
+    cfg.shard_engine = EngineKind::Auto;
+    configs.push_back(cfg);
+  }
+  {
+    auto cfg = small_cfg(EngineKind::Sharded);  // Auto inner, pinned axes
+    cfg.shard_engine = EngineKind::Auto;
+    cfg.num_shards = 2;
+    cfg.shard_exchange_interval = 2;
+    configs.push_back(cfg);
+  }
+  {
+    auto cfg = small_cfg(EngineKind::Sharded);  // Auto inner, measured plans
+    cfg.shard_engine = EngineKind::Auto;
+    cfg.shard_tune_mode = thiim::ShardTuneMode::Measured;
+    configs.push_back(cfg);
+  }
+  {
+    auto cfg = small_cfg(EngineKind::Sharded);  // explicit per-shard MWD
+    cfg.shard_engine = EngineKind::Mwd;
+    cfg.num_shards = 2;
+    exec::MwdParams a;
+    a.dw = 2;
+    a.num_tgs = 1;
+    cfg.shard_mwd = {a, a};
+    configs.push_back(cfg);
+  }
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    Simulation sim(configs[i]);
+    sim.finalize();
+    sim.add_point_dipole(em::SourceField::Ey, 6, 6, 12, {1.0, 0.0});
+    sim.run(6);
+    EXPECT_DOUBLE_EQ(sim.total_energy(), reference_energy) << "config " << i;
+  }
+}
+
 TEST(Simulation, ExplicitMwdParamsHonoured) {
   auto cfg = small_cfg(EngineKind::Mwd);
   exec::MwdParams p;

@@ -1,0 +1,237 @@
+// Two-stage sharded autotuner: the exchange-interval axis, per-shard plans
+// tuned against real (uneven) sub-grids, timed refinement on the actual
+// ShardedEngine, plan serialization — and the safety properties every plan
+// the tuner can emit must satisfy: partition feasibility (overlap depth
+// never exceeds a shard's owned z-extent) and bit-exact equivalence with
+// the undecomposed reference.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dist/partition.hpp"
+#include "dist/sharded_engine.hpp"
+#include "em/coefficients.hpp"
+#include "grid/fieldset.hpp"
+#include "kernels/reference.hpp"
+#include "models/machine.hpp"
+#include "tune/autotuner.hpp"
+#include "tune/space.hpp"
+
+namespace {
+
+using namespace emwd;
+using grid::Extents;
+using grid::FieldSet;
+using grid::Layout;
+using tune::ShardedTuneConfig;
+using tune::ShardedTuneResult;
+using tune::SpaceLimits;
+
+// ---------------------------------------------------- exchange-interval axis
+
+TEST(ExchangeIntervals, SingleShardNeedsNoExchange) {
+  EXPECT_EQ(tune::enumerate_exchange_intervals(1, {32, 32, 64}), (std::vector<int>{1}));
+}
+
+TEST(ExchangeIntervals, CappedByLimitThenByOwnedPlanes) {
+  SpaceLimits limits;
+  limits.max_exchange_interval = 4;
+  // Plenty of planes: the limit caps the axis.
+  EXPECT_EQ(tune::enumerate_exchange_intervals(4, {32, 32, 64}, limits),
+            (std::vector<int>{1, 2, 3, 4}));
+  // 8 planes over 4 shards own 2 each: feasibility caps at 2.
+  EXPECT_EQ(tune::enumerate_exchange_intervals(4, {32, 32, 8}, limits),
+            (std::vector<int>{1, 2}));
+  // Degenerate: more shards than planes still yields a non-empty axis.
+  EXPECT_EQ(tune::enumerate_exchange_intervals(9, {32, 32, 8}, limits),
+            (std::vector<int>{1}));
+}
+
+// --------------------------------------------------------- stage-1 scoring
+
+TEST(ShardedScore, BuildsOnePlanEntryPerShard) {
+  ShardedTuneConfig cfg;
+  cfg.threads = 4;
+  cfg.grid = {32, 32, 40};
+  cfg.machine = models::haswell18();
+  const tune::ShardedCandidate c = tune::score_sharded_candidate(2, 2, cfg);
+  ASSERT_EQ(c.plan.num_shards, 2);
+  ASSERT_EQ(c.plan.exchange_interval, 2);
+  ASSERT_EQ(c.plan.per_shard.size(), 2u);
+  ASSERT_EQ(c.per_shard.size(), 2u);
+  for (const exec::MwdParams& p : c.plan.per_shard) {
+    EXPECT_EQ(p.threads(), 2);  // per-shard thread budget
+  }
+  // Each shard carries 2 ghost planes (one-sided cuts): 44 extended planes
+  // over 40 useful ones.
+  EXPECT_DOUBLE_EQ(c.redundant_lup_fraction, 4.0 / 40.0);
+  EXPECT_GT(c.halo_bytes_per_step, 0.0);
+  EXPECT_GT(c.predicted_mlups, 0.0);
+}
+
+TEST(ShardedScore, UnevenShardsGetTheirOwnTiling) {
+  // 19 planes over 2 shards: shard 0 extends to 10 + 1 ghost, shard 1 to
+  // 9 + 1 ghost — different sub-grids, so the plan must carry per-shard
+  // entries tuned for each height (they may coincide in parameters, but
+  // must be present per shard).
+  ShardedTuneConfig cfg;
+  cfg.threads = 2;
+  cfg.grid = {32, 32, 19};
+  cfg.machine = models::haswell18();
+  cfg.limits.min_shard_planes = 4;
+  const tune::ShardedCandidate c = tune::score_sharded_candidate(2, 1, cfg);
+  ASSERT_EQ(c.plan.per_shard.size(), 2u);
+  const dist::Partitioner part(cfg.grid, 2, 1);
+  EXPECT_NE(part.shard(0).ext_nz(), part.shard(1).ext_nz());
+}
+
+TEST(ShardedTune, ModelStageRanksByPredictedScore) {
+  ShardedTuneConfig cfg;
+  cfg.threads = 4;
+  cfg.grid = {32, 32, 64};
+  cfg.machine = models::haswell18();
+  cfg.timed_refinement = false;
+  const ShardedTuneResult r = tune::autotune_sharded(cfg);
+  ASSERT_GT(r.ranked.size(), 1u);
+  for (std::size_t i = 1; i < r.ranked.size(); ++i) {
+    EXPECT_GE(r.ranked[i - 1].predicted_mlups, r.ranked[i].predicted_mlups);
+  }
+  EXPECT_EQ(r.best.plan.describe(), r.ranked.front().plan.describe());
+  EXPECT_EQ(r.best.measured_mlups, 0.0);  // stage 2 skipped
+}
+
+TEST(ShardedTune, FixedAxesPinTheSearch) {
+  ShardedTuneConfig cfg;
+  cfg.threads = 4;
+  cfg.grid = {16, 16, 40};
+  cfg.machine = models::haswell18();
+  cfg.timed_refinement = false;
+  cfg.fixed_shards = 2;
+  cfg.fixed_interval = 3;
+  const ShardedTuneResult r = tune::autotune_sharded(cfg);
+  ASSERT_EQ(r.ranked.size(), 1u);
+  EXPECT_EQ(r.best.plan.num_shards, 2);
+  EXPECT_EQ(r.best.plan.exchange_interval, 3);
+
+  // A pinned interval deeper than the smallest owned block is clamped, not
+  // rejected: 40 planes over 4 shards own 10 each.
+  cfg.fixed_shards = 4;
+  cfg.fixed_interval = 64;
+  const ShardedTuneResult clamped = tune::autotune_sharded(cfg);
+  EXPECT_EQ(clamped.best.plan.num_shards, 4);
+  EXPECT_EQ(clamped.best.plan.exchange_interval, 10);
+
+  // A pinned shard count past the thread budget must not oversubscribe:
+  // a shard needs a thread, so K caps at `threads`.
+  cfg.threads = 2;
+  cfg.fixed_shards = 32;
+  cfg.fixed_interval = 0;
+  const ShardedTuneResult capped = tune::autotune_sharded(cfg);
+  EXPECT_EQ(capped.best.plan.num_shards, 2);
+  EXPECT_LE(tune::to_sharded_params(capped.best.plan).threads(), 2);
+}
+
+// --------------------------------------------------------- stage-2 (timed)
+
+TEST(ShardedTune, TimedRefinementMeasuresTopPlansOnRealEngine) {
+  ShardedTuneConfig cfg;
+  cfg.threads = 2;
+  cfg.grid = {12, 12, 16};
+  cfg.machine = models::host_machine();
+  cfg.limits.min_shard_planes = 4;
+  cfg.timed_refinement = true;
+  cfg.refine_top_k = 2;
+  cfg.refine_steps = 2;
+  cfg.warmup_steps = 1;
+  cfg.repeats = 2;
+  const ShardedTuneResult r = tune::autotune_sharded(cfg);
+  EXPECT_GT(r.best.measured_mlups, 0.0);
+  EXPECT_GT(r.best.measured_seconds, 0.0);
+  int timed = 0;
+  for (const tune::ShardedCandidate& c : r.ranked) {
+    if (c.measured_mlups > 0.0) ++timed;
+  }
+  EXPECT_EQ(timed, 2);
+  // The winner is the best MEASURED candidate among the timed ones.
+  for (const tune::ShardedCandidate& c : r.ranked) {
+    EXPECT_GE(r.best.measured_mlups, c.measured_mlups);
+  }
+}
+
+// ------------------------------------------------- emitted-plan properties
+
+TEST(ShardedTune, EveryEmittablePlanIsBitExactVsUndecomposedRun) {
+  ShardedTuneConfig cfg;
+  cfg.threads = 4;
+  cfg.grid = {8, 9, 16};
+  cfg.machine = models::haswell18();
+  cfg.limits.min_shard_planes = 8;
+  cfg.timed_refinement = false;
+  const ShardedTuneResult r = tune::autotune_sharded(cfg);
+  ASSERT_FALSE(r.ranked.empty());
+
+  const Layout layout(cfg.grid);
+  for (const tune::ShardedCandidate& c : r.ranked) {
+    FieldSet reference(layout);
+    em::build_random_stable(reference, /*seed=*/91);
+    FieldSet fs(layout);
+    em::build_random_stable(fs, /*seed=*/91);
+
+    const int steps = 5;  // exercises a partial final round for T in {2,3,4}
+    kernels::reference_step(reference, steps);
+    auto engine = dist::make_sharded_engine(tune::to_sharded_params(c.plan));
+    engine->run(fs, steps);
+    EXPECT_EQ(FieldSet::max_field_diff(fs, reference), 0.0) << c.plan.describe();
+    EXPECT_EQ(engine->stats().shards, c.plan.num_shards) << c.plan.describe();
+  }
+}
+
+TEST(ShardedTune, ChooseShardCountNeverExceedsAnyShardZExtent) {
+  // Property test over degenerate thin-domain grids: the chosen overlap
+  // depth (== exchange interval) must be coverable by EVERY shard's owned
+  // z-block, or the partition could not be built at all.  Aggressive limits
+  // push the tuner toward the infeasible corner on purpose.
+  tune::TuneConfig tc;
+  tc.machine = models::haswell18();
+  tc.limits.max_shards = 8;
+  tc.limits.min_shard_planes = 1;
+  tc.limits.max_exchange_interval = 6;
+  for (int nz : {1, 2, 3, 4, 5, 6, 7, 9, 12, 17}) {
+    for (int threads : {1, 2, 4, 8}) {
+      tc.threads = threads;
+      tc.grid = {16, 16, nz};
+      const tune::ShardChoice choice = tune::choose_shard_count(tc);
+      ASSERT_GE(choice.num_shards, 1);
+      ASSERT_GE(choice.exchange_interval, 1);
+      const int overlap = choice.num_shards > 1 ? choice.exchange_interval : 1;
+      dist::Partitioner part(tc.grid, choice.num_shards, overlap);
+      for (const dist::ShardExtent& e : part.shards()) {
+        EXPECT_GE(e.owned(), choice.num_shards > 1 ? choice.exchange_interval : 1)
+            << "nz=" << nz << " threads=" << threads << " K=" << choice.num_shards
+            << " T=" << choice.exchange_interval;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ serialization
+
+TEST(ShardedTune, CsvSerializesOneRowPerCandidate) {
+  ShardedTuneConfig cfg;
+  cfg.threads = 2;
+  cfg.grid = {16, 16, 32};
+  cfg.machine = models::haswell18();
+  cfg.timed_refinement = false;
+  const ShardedTuneResult r = tune::autotune_sharded(cfg);
+  const std::string csv = r.to_csv();
+  EXPECT_EQ(csv.rfind("shards,interval,redundant_frac,halo_MB_per_step,", 0), 0u)
+      << csv.substr(0, 80);
+  std::size_t lines = 0;
+  for (char ch : csv) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, r.ranked.size() + 1);  // header + one row per candidate
+  EXPECT_NE(csv.find("plan{K="), std::string::npos);
+}
+
+}  // namespace
