@@ -3,12 +3,17 @@
 // Aggregate MLUP/s vs. z-shard count for naive and MWD inner engines, on
 // one grid with a thread budget split across shards (every shard keeps at
 // least one thread, so K > --threads oversubscribes; the threads/shard
-// column records what each row actually ran).  On a single-socket host this
-// mostly measures the decomposition overhead (scatter/gather once, ghost
-// re-compute and halo copies every exchange interval); on a multi-socket
-// host the NUMA-local shard placement turns it into a socket-scaling study.
-// The halo columns quantify the exchange cost the overlap scheme pays for
-// keeping every inner engine bit-exact.
+// column records what each row actually ran).  Every multi-shard point runs
+// twice: with the bulk-synchronous barrier exchange and with the overlapped
+// post/wait protocol, so the table quantifies how much of the exchange
+// stall the overlap hides (halo wait/hidden/exposed columns; the `isa`
+// column records the row-kernel dispatch so a SIMD fallback is visible).
+// On a single-socket host this mostly measures the decomposition overhead;
+// on a multi-socket host the NUMA-local shard placement turns it into a
+// socket-scaling study.
+//
+// --csv writes the table for .github/check_shard_smoke.py; --json writes a
+// machine-readable barrier-vs-overlap record (BENCH_overlap.json in CI).
 #include "common.hpp"
 
 #include <fstream>
@@ -17,9 +22,54 @@
 #include "dist/sharded_engine.hpp"
 #include "em/coefficients.hpp"
 #include "grid/fieldset.hpp"
+#include "kernels/update_simd.hpp"
+
+namespace {
+
+using namespace emwd;
+
+struct RowResult {
+  exec::EngineStats stats;   // the best-wall-time repeat
+  double seconds = 0.0;      // its wall time
+  double halo_wait = 0.0;    // halo-stall columns: the minimum-exposed repeat —
+  double halo_hidden = 0.0;  // the floor reflects the protocol's structure,
+  double halo_exposed = 0.0; // spikes reflect the host scheduler
+};
+
+/// prepare() + warmup outside the timed region, then the best of `repeats`
+/// timed runs (the tuner's stage-2 methodology).
+RowResult run_point(const dist::ShardedParams& p, const grid::Layout& layout, int steps,
+                    int repeats, unsigned seed) {
+  grid::FieldSet fs(layout);
+  em::build_random_stable(fs, seed);
+  auto engine = dist::make_sharded_engine(p);
+  engine->prepare(layout.interior());
+  engine->run(fs, std::min(steps, 2));  // warmup: fault pages in, warm caches
+  RowResult best;
+  best.seconds = 1e300;
+  best.halo_exposed = 1e300;
+  for (int r = 0; r < std::max(1, repeats); ++r) {
+    fs.clear_fields();
+    engine->run(fs, steps);
+    const exec::EngineStats& st = engine->stats();
+    if (st.seconds < best.seconds) {
+      best.stats = st;
+      best.seconds = st.seconds;
+    }
+    if (st.halo_exposed_seconds() < best.halo_exposed) {
+      best.halo_wait = st.halo_wait_seconds;
+      best.halo_hidden = st.halo_hidden_seconds;
+      best.halo_exposed = st.halo_exposed_seconds();
+    }
+  }
+  return best;
+}
+
+std::string json_escape_free(double v) { return util::fmt_double(v, 9); }
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace emwd;
   using namespace emwd::bench;
 
   util::Cli cli;
@@ -30,8 +80,10 @@ int main(int argc, char** argv) {
   cli.add_flag("threads", "total thread budget, split across shards", "2");
   cli.add_flag("shards", "shard counts to sweep", "1,2,4");
   cli.add_flag("interval", "steps between halo exchanges", "1");
+  cli.add_flag("repeats", "timed repeats per point (best wins)", "3");
   cli.add_flag("numa", "bind shards to NUMA nodes", "true");
   cli.add_flag("csv", "also write the table as CSV to this file", "");
+  cli.add_flag("json", "write a barrier-vs-overlap JSON record to this file", "");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n", cli.error().c_str());
     return 1;
@@ -46,57 +98,85 @@ int main(int argc, char** argv) {
   const int steps = static_cast<int>(cli.get_int("steps", 8));
   const int threads = static_cast<int>(cli.get_int("threads", 2));
   const int interval = static_cast<int>(cli.get_int("interval", 1));
+  const int repeats = static_cast<int>(cli.get_int("repeats", 3));
   const bool numa = cli.get_bool("numa", true);
   const std::vector<long> shard_counts = cli.get_int_list("shards", {1, 2, 4});
 
   banner("bench_shard_scaling",
-         "dist/ subsystem: aggregate MLUP/s vs. z-shard count");
+         "dist/ subsystem: aggregate MLUP/s vs. z-shard count, barrier vs. overlap");
   const dist::NumaTopology topo = dist::NumaTopology::detect();
   std::printf("host: %d NUMA node(s), %d thread budget, grid %dx%dx%d, "
-              "exchange interval %d\n\n",
-              topo.num_nodes, threads, nx, ny, nz, interval);
+              "exchange interval %d, avx2 %s\n\n",
+              topo.num_nodes, threads, nx, ny, nz, interval,
+              kernels::avx2_supported() ? "available" : "unavailable");
 
   const grid::Layout layout({nx, ny, nz});
+  const std::int64_t useful =
+      static_cast<std::int64_t>(layout.interior().cells()) * steps;
 
   util::Table t({"inner", "shards", "threads/shard", "MLUP/s", "vs K=1",
-                 "halo MB/exchg", "halo s (thread)", "redundant LUP %"});
+                 "halo MB/exchg", "halo s (thread)", "redundant LUP %", "overlap",
+                 "seconds", "halo wait s", "halo hidden s", "halo exposed s", "isa"});
+  std::string json_rows;
   for (const char* inner : {"naive", "mwd"}) {
     double base_mlups = 0.0;
     for (long k : shard_counts) {
-      dist::ShardedParams p;
-      p.num_shards = static_cast<int>(k);
-      p.exchange_interval = interval;
-      p.inner = dist::inner_kind_from_string(inner);
-      p.threads_per_shard = std::max(1, threads / std::max(1, static_cast<int>(k)));
-      p.numa_bind = numa;
+      for (bool overlap : {false, true}) {
+        if (overlap && k <= 1) continue;  // overlap is a no-op on one shard
+        dist::ShardedParams p;
+        p.num_shards = static_cast<int>(k);
+        p.exchange_interval = interval;
+        p.inner = dist::inner_kind_from_string(inner);
+        p.threads_per_shard = std::max(1, threads / std::max(1, static_cast<int>(k)));
+        p.numa_bind = numa;
+        p.overlap = overlap;
 
-      grid::FieldSet fs(layout);
-      em::build_random_stable(fs, /*seed=*/0x5eedu + static_cast<unsigned>(k));
-      auto engine = dist::make_sharded_engine(p);
-      engine->run(fs, steps);
-      const exec::EngineStats& st = engine->stats();
+        const RowResult r =
+            run_point(p, layout, steps, repeats, 0x5eedu + static_cast<unsigned>(k));
+        const exec::EngineStats& st = r.stats;
 
-      if (st.shards == 1) base_mlups = st.mlups;
-      const std::int64_t useful =
-          static_cast<std::int64_t>(layout.interior().cells()) * steps;
-      const double redundant_pct =
-          useful > 0 ? 100.0 * static_cast<double>(st.lups - useful) /
-                           static_cast<double>(useful)
-                     : 0.0;
-      const double halo_mb_per_exchange =
-          st.halo_bytes_moved > 0 && steps > interval
-              ? static_cast<double>(st.halo_bytes_moved) /
-                    (1024.0 * 1024.0 * static_cast<double>((steps - 1) / interval))
-              : 0.0;
-      t.add_row({inner, std::to_string(st.shards), std::to_string(p.threads_per_shard),
-                 util::fmt_double(st.mlups, 4),
-                 base_mlups > 0 ? util::fmt_double(st.mlups / base_mlups, 3) : "-",
-                 util::fmt_double(halo_mb_per_exchange, 3),
-                 util::fmt_double(st.halo_exchange_seconds, 3),
-                 util::fmt_double(redundant_pct, 3)});
+        if (st.shards == 1 && !overlap) base_mlups = st.mlups;
+        const double redundant_pct =
+            useful > 0 ? 100.0 * static_cast<double>(st.lups - useful) /
+                             static_cast<double>(useful)
+                       : 0.0;
+        const double halo_mb_per_exchange =
+            st.halo_bytes_moved > 0 && steps > interval
+                ? static_cast<double>(st.halo_bytes_moved) /
+                      (1024.0 * 1024.0 * static_cast<double>((steps - 1) / interval))
+                : 0.0;
+        t.add_row({inner, std::to_string(st.shards), std::to_string(p.threads_per_shard),
+                   util::fmt_double(st.mlups, 4),
+                   base_mlups > 0 ? util::fmt_double(st.mlups / base_mlups, 3) : "-",
+                   util::fmt_double(halo_mb_per_exchange, 3),
+                   util::fmt_double(st.halo_exchange_seconds, 3),
+                   util::fmt_double(redundant_pct, 3), st.halo_overlapped ? "1" : "0",
+                   util::fmt_double(st.seconds, 6), util::fmt_double(r.halo_wait, 6),
+                   util::fmt_double(r.halo_hidden, 6),
+                   util::fmt_double(r.halo_exposed, 6), st.kernel_isa});
+
+        // exposed = wait + copy - hidden, so hidden + exposed = wait + copy
+        // (the full halo handling on the shard threads).
+        const double halo_total = r.halo_hidden + r.halo_exposed;
+        const double hidden_fraction = halo_total > 0.0 ? r.halo_hidden / halo_total : 0.0;
+        if (!json_rows.empty()) json_rows += ",\n";
+        json_rows += std::string("    {\"inner\": \"") + inner +
+                     "\", \"shards\": " + std::to_string(st.shards) +
+                     ", \"threads_per_shard\": " + std::to_string(p.threads_per_shard) +
+                     ", \"overlap\": " + (st.halo_overlapped ? "true" : "false") +
+                     ", \"seconds\": " + json_escape_free(st.seconds) +
+                     ", \"mlups\": " + json_escape_free(st.mlups) +
+                     ", \"halo_copy_s\": " + json_escape_free(st.halo_exchange_seconds) +
+                     ", \"halo_wait_s\": " + json_escape_free(r.halo_wait) +
+                     ", \"halo_hidden_s\": " + json_escape_free(r.halo_hidden) +
+                     ", \"halo_exposed_s\": " + json_escape_free(r.halo_exposed) +
+                     ", \"hidden_fraction\": " + json_escape_free(hidden_fraction) +
+                     ", \"isa\": \"" + st.kernel_isa + "\"}";
+      }
     }
   }
-  t.print(std::cout, "shard scaling (" + std::to_string(steps) + " steps)");
+  t.print(std::cout, "shard scaling (" + std::to_string(steps) + " steps, best of " +
+                         std::to_string(repeats) + ")");
   const std::string csv_path = cli.get("csv", "");
   if (!csv_path.empty()) {
     std::ofstream out(csv_path);
@@ -106,6 +186,21 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote %s\n", csv_path.c_str());
+  }
+  const std::string json_path = cli.get("json", "");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"bench\": \"bench_shard_scaling\",\n"
+        << "  \"grid\": {\"nx\": " << nx << ", \"ny\": " << ny << ", \"nz\": " << nz
+        << "},\n  \"steps\": " << steps << ",\n  \"threads\": " << threads
+        << ",\n  \"exchange_interval\": " << interval << ",\n  \"repeats\": " << repeats
+        << ",\n  \"avx2_available\": " << (kernels::avx2_supported() ? "true" : "false")
+        << ",\n  \"rows\": [\n" << json_rows << "\n  ]\n}\n";
+    if (!out) {
+      std::fprintf(stderr, "FAIL: could not write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
   }
   return 0;
 }

@@ -1,55 +1,261 @@
 #include "dist/halo.hpp"
 
 #include <stdexcept>
+#include <thread>
 
 #include "util/timer.hpp"
 
 namespace emwd::dist {
+
+namespace {
+
+/// Spin with backoff until `counter` (acquire) reaches `round`; returns the
+/// seconds spent waiting.  The acquire pairs with the owner's release store,
+/// ordering the owner's plane writes (post) or plane reads (pull-ack) before
+/// whatever the caller does next.
+double spin_until(const std::atomic<std::int64_t>& counter, std::int64_t round) {
+  if (counter.load(std::memory_order_acquire) >= round) return 0.0;
+  util::Timer timer;
+  int spins = 0;
+  while (counter.load(std::memory_order_acquire) < round) {
+    if (++spins > 256) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+  return timer.seconds();
+}
+
+}  // namespace
 
 HaloStats& HaloStats::operator+=(const HaloStats& o) {
   exchanges += o.exchanges;
   planes_copied += o.planes_copied;
   bytes_moved += o.bytes_moved;
   seconds += o.seconds;
+  wait_seconds += o.wait_seconds;
+  hidden_seconds += o.hidden_seconds;
   return *this;
 }
 
 HaloExchange::HaloExchange(const Partitioner& part,
                            std::vector<grid::FieldSet*> shard_sets)
     : part_(part), shards_(std::move(shard_sets)),
-      stats_(static_cast<std::size_t>(part.num_shards())) {
+      stats_(static_cast<std::size_t>(part.num_shards())),
+      posted_(static_cast<std::size_t>(part.num_shards())),
+      consumed_lo_(static_cast<std::size_t>(part.num_shards())),
+      consumed_hi_(static_cast<std::size_t>(part.num_shards())) {
   if (static_cast<int>(shards_.size()) != part_.num_shards()) {
     throw std::invalid_argument("HaloExchange: one FieldSet per shard required");
   }
 }
 
+void HaloExchange::pull_lo(int s) {
+  const ShardExtent& e = part_.shard(s);
+  const ShardExtent& n = part_.shard(s - 1);
+  grid::FieldSet& mine = *shards_.at(static_cast<std::size_t>(s));
+  const grid::FieldSet& theirs = *shards_[static_cast<std::size_t>(s - 1)];
+  mine.copy_field_planes_from(theirs, n.to_local(e.z0 - e.lo), e.to_local(e.z0 - e.lo),
+                              e.lo);
+}
+
+void HaloExchange::pull_hi(int s) {
+  const ShardExtent& e = part_.shard(s);
+  const ShardExtent& n = part_.shard(s + 1);
+  grid::FieldSet& mine = *shards_.at(static_cast<std::size_t>(s));
+  const grid::FieldSet& theirs = *shards_[static_cast<std::size_t>(s + 1)];
+  mine.copy_field_planes_from(theirs, n.to_local(e.z1), e.to_local(e.z1), e.hi);
+}
+
 void HaloExchange::exchange_for(int s) {
   const ShardExtent& e = part_.shard(s);
-  grid::FieldSet& mine = *shards_.at(static_cast<std::size_t>(s));
   HaloStats& st = stats_[static_cast<std::size_t>(s)];
   util::Timer timer;
   std::int64_t planes = 0;
 
   if (e.lo > 0) {  // ghost planes below come from the lower neighbor
-    const ShardExtent& n = part_.shard(s - 1);
-    const grid::FieldSet& theirs = *shards_[static_cast<std::size_t>(s - 1)];
-    mine.copy_field_planes_from(theirs, n.to_local(e.z0 - e.lo),
-                                e.to_local(e.z0 - e.lo), e.lo);
+    pull_lo(s);
     planes += e.lo;
   }
   if (e.hi > 0) {  // ghost planes above come from the upper neighbor
-    const ShardExtent& n = part_.shard(s + 1);
-    const grid::FieldSet& theirs = *shards_[static_cast<std::size_t>(s + 1)];
-    mine.copy_field_planes_from(theirs, n.to_local(e.z1), e.to_local(e.z1), e.hi);
+    pull_hi(s);
     planes += e.hi;
   }
 
   const std::int64_t plane_bytes =
-      static_cast<std::int64_t>(mine.layout().stride_z()) * 16;  // complex cells
+      static_cast<std::int64_t>(
+          shards_[static_cast<std::size_t>(s)]->layout().stride_z()) * 16;  // complex cells
   st.exchanges += 1;
   st.planes_copied += planes * kernels::kNumComps;
   st.bytes_moved += planes * kernels::kNumComps * plane_bytes;
   st.seconds += timer.seconds();
+}
+
+void HaloExchange::stage(int s, ExportBuffer& buf) {
+  const grid::FieldSet& fs = *shards_[static_cast<std::size_t>(s)];
+  const std::size_t plane = static_cast<std::size_t>(fs.layout().stride_z()) * 2;
+  double* out = buf.data.data();
+  for (int c = 0; c < kernels::kNumComps; ++c) {
+    fs.field(static_cast<kernels::Comp>(c))
+        .copy_z_planes_to_buffer(out, buf.src_k0, buf.planes);
+    out += plane * static_cast<std::size_t>(buf.planes);
+  }
+}
+
+void HaloExchange::unstage(int s, const ExportBuffer& buf, int dst_k0, int planes) {
+  grid::FieldSet& fs = *shards_[static_cast<std::size_t>(s)];
+  const std::size_t plane = static_cast<std::size_t>(fs.layout().stride_z()) * 2;
+  const double* in = buf.data.data();
+  for (int c = 0; c < kernels::kNumComps; ++c) {
+    fs.field(static_cast<kernels::Comp>(c)).copy_z_planes_from_buffer(in, dst_k0, planes);
+    in += plane * static_cast<std::size_t>(buf.planes);
+  }
+}
+
+void HaloExchange::reset_flow() {
+  for (auto& c : posted_) c.v.store(0, std::memory_order_relaxed);
+  for (auto& c : consumed_lo_) c.v.store(0, std::memory_order_relaxed);
+  for (auto& c : consumed_hi_) c.v.store(0, std::memory_order_relaxed);
+  if (export_down_.empty()) {
+    const int K = part_.num_shards();
+    export_down_.resize(static_cast<std::size_t>(K));
+    export_up_.resize(static_cast<std::size_t>(K));
+    for (int s = 0; s < K; ++s) {
+      const ShardExtent& e = part_.shard(s);
+      const std::size_t plane =
+          static_cast<std::size_t>(shards_[static_cast<std::size_t>(s)]
+                                       ->layout()
+                                       .stride_z()) * 2;
+      if (s > 0) {  // bottom owned planes become s-1's hi ghosts
+        ExportBuffer& b = export_down_[static_cast<std::size_t>(s)];
+        b.planes = part_.shard(s - 1).hi;
+        b.src_k0 = e.to_local(e.z0);
+        b.data.assign(plane * static_cast<std::size_t>(b.planes) *
+                          static_cast<std::size_t>(kernels::kNumComps),
+                      0.0);
+      }
+      if (s + 1 < K) {  // top owned planes become s+1's lo ghosts
+        ExportBuffer& b = export_up_[static_cast<std::size_t>(s)];
+        b.planes = part_.shard(s + 1).lo;
+        b.src_k0 = e.to_local(e.z1 - part_.shard(s + 1).lo);
+        b.data.assign(plane * static_cast<std::size_t>(b.planes) *
+                          static_cast<std::size_t>(kernels::kNumComps),
+                      0.0);
+      }
+    }
+  }
+}
+
+void HaloExchange::post(int s, std::int64_t round, bool drain) {
+  auto& c = posted_[static_cast<std::size_t>(s)].v;
+  // Single writer per counter (shard s), so a plain monotonic check suffices.
+  if (c.load(std::memory_order_relaxed) >= round) return;
+
+  if (!drain) {
+    HaloStats& st = stats_[static_cast<std::size_t>(s)];
+    // Buffer reuse: the consumer of round-1's snapshot must be done with it.
+    // Free unless this shard is a full round ahead of a neighbor.
+    double reuse_wait = 0.0;
+    if (s > 0) {
+      reuse_wait += spin_until(consumed_hi_[static_cast<std::size_t>(s - 1)].v, round - 1);
+    }
+    if (s + 1 < part_.num_shards()) {
+      reuse_wait += spin_until(consumed_lo_[static_cast<std::size_t>(s + 1)].v, round - 1);
+    }
+    util::Timer copy;
+    if (s > 0) stage(s, export_down_[static_cast<std::size_t>(s)]);
+    if (s + 1 < part_.num_shards()) stage(s, export_up_[static_cast<std::size_t>(s)]);
+    st.seconds += copy.seconds();
+    st.wait_seconds += reuse_wait;
+  }
+  c.store(round, std::memory_order_release);
+}
+
+void HaloExchange::wait(int s, std::int64_t round, bool drain) {
+  const ShardExtent& e = part_.shard(s);
+  HaloStats& st = stats_[static_cast<std::size_t>(s)];
+  auto& my_lo = consumed_lo_[static_cast<std::size_t>(s)].v;
+  auto& my_hi = consumed_hi_[static_cast<std::size_t>(s)].v;
+
+  // Idempotence: sides whose counter already reached `round` were pulled by
+  // an earlier (possibly partially failed) attempt.
+  bool lo_done = e.lo == 0 || my_lo.load(std::memory_order_relaxed) >= round;
+  bool hi_done = e.hi == 0 || my_hi.load(std::memory_order_relaxed) >= round;
+
+  if (drain) {
+    // Failure path: advance the counters so neighbors never stall on this
+    // shard, touch no plane, never block.  The release keeps the counter
+    // protocol uniform (donors acquire it before reusing a buffer).
+    if (e.lo > 0 && my_lo.load(std::memory_order_relaxed) < round) {
+      my_lo.store(round, std::memory_order_release);
+    }
+    if (e.hi > 0 && my_hi.load(std::memory_order_relaxed) < round) {
+      my_hi.store(round, std::memory_order_release);
+    }
+    return;
+  }
+
+  util::Timer episode;
+  double copy_seconds = 0.0;
+  double hidden_seconds = 0.0;
+  std::int64_t planes = 0;
+  int spins = 0;
+
+  // Opportunistic pulls: take whichever neighbor posted first; a copy made
+  // while the other neighbor has not posted yet is hidden behind a wait we
+  // would have paid anyway.
+  while (!lo_done || !hi_done) {
+    bool progressed = false;
+    if (!lo_done &&
+        posted_[static_cast<std::size_t>(s - 1)].v.load(std::memory_order_acquire) >=
+            round) {
+      const bool other_pending =
+          !hi_done &&
+          posted_[static_cast<std::size_t>(s + 1)].v.load(std::memory_order_acquire) <
+              round;
+      util::Timer copy;
+      unstage(s, export_up_[static_cast<std::size_t>(s - 1)], e.to_local(e.ext_z0()),
+              e.lo);
+      const double c = copy.seconds();
+      copy_seconds += c;
+      if (other_pending) hidden_seconds += c;
+      planes += e.lo;
+      my_lo.store(round, std::memory_order_release);
+      lo_done = true;
+      progressed = true;
+    }
+    if (!hi_done &&
+        posted_[static_cast<std::size_t>(s + 1)].v.load(std::memory_order_acquire) >=
+            round) {
+      const bool other_pending =
+          !lo_done &&
+          posted_[static_cast<std::size_t>(s - 1)].v.load(std::memory_order_acquire) <
+              round;
+      util::Timer copy;
+      unstage(s, export_down_[static_cast<std::size_t>(s + 1)], e.to_local(e.z1), e.hi);
+      const double c = copy.seconds();
+      copy_seconds += c;
+      if (other_pending) hidden_seconds += c;
+      planes += e.hi;
+      my_hi.store(round, std::memory_order_release);
+      hi_done = true;
+      progressed = true;
+    }
+    if (!progressed && ++spins > 256) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+
+  const std::int64_t plane_bytes =
+      static_cast<std::int64_t>(
+          shards_[static_cast<std::size_t>(s)]->layout().stride_z()) * 16;
+  st.exchanges += 1;
+  st.planes_copied += planes * kernels::kNumComps;
+  st.bytes_moved += planes * kernels::kNumComps * plane_bytes;
+  st.seconds += copy_seconds;
+  st.hidden_seconds += hidden_seconds;
+  st.wait_seconds += episode.seconds() - copy_seconds;
 }
 
 HaloStats HaloExchange::total() const {
@@ -67,6 +273,17 @@ std::int64_t HaloExchange::bytes_per_exchange(const Partitioner& part) {
       static_cast<std::int64_t>(grid::Layout({part.global().nx, part.global().ny, 1})
                                     .stride_z()) * 16;
   return planes * kernels::kNumComps * plane_bytes;
+}
+
+std::int64_t HaloExchange::max_shard_bytes_per_exchange(const Partitioner& part) {
+  std::int64_t worst = 0;
+  for (const ShardExtent& e : part.shards()) {
+    worst = std::max<std::int64_t>(worst, e.lo + e.hi);
+  }
+  const std::int64_t plane_bytes =
+      static_cast<std::int64_t>(grid::Layout({part.global().nx, part.global().ny, 1})
+                                    .stride_z()) * 16;
+  return worst * kernels::kNumComps * plane_bytes;
 }
 
 }  // namespace emwd::dist

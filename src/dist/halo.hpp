@@ -4,13 +4,35 @@
 // `exchange_interval` steps, each shard PULLS its overlap planes of all 12
 // field arrays from the neighbor that owns them.  Pulls read only the
 // neighbors' owned (exact) planes and write only the puller's own ghost
-// planes, so all shards may pull concurrently between two barriers with no
-// per-pair synchronization.  Pulling (rather than pushing) also writes into
-// the puller's NUMA-local memory.  An MPI backend would replace the plane
-// memcpy with Irecv/Isend of the same plane ranges — the interface is
-// deliberately shaped so only exchange_for() changes.
+// planes.  Pulling (rather than pushing) also writes into the puller's
+// NUMA-local memory.
+//
+// Two synchronization styles drive the same plane copies:
+//
+//   * exchange_for(s): the original bulk-synchronous form.  Must run
+//     between two full-stop barriers (no shard may be stepping
+//     concurrently); all shards may then pull concurrently with no
+//     per-pair synchronization.
+//
+//   * post(s, round) / wait(s, round): the overlapped pairwise protocol
+//     (see src/dist/README.md for the full contract).  post() stages the
+//     shard's donated boundary planes into per-side export buffers — a
+//     buffered send, exactly MPI_Isend's semantics — and publishes the
+//     round; the shard then computes on, free to overwrite its live
+//     planes.  wait() pulls each ghost side out of the owning neighbor's
+//     export buffer as soon as THAT neighbor has posted (opportunistic
+//     order — copying one side while the other neighbor is still
+//     computing is the hidden fraction) and acknowledges consumption so
+//     the buffer can be reused one round later.  All ordering is carried
+//     by per-shard monotonic round counters with acquire/release
+//     semantics; there is no global synchronization and no
+//     acknowledgement on the critical path, so distant shards never
+//     stall each other and a shard may run a full round ahead of a slow
+//     neighbor.  An MPI backend implements the same contract with
+//     Isend (post) and Irecv+Wait (wait) of the identical plane ranges.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -24,6 +46,8 @@ struct HaloStats {
   std::int64_t planes_copied = 0;  // z-planes moved (x 12 field arrays)
   std::int64_t bytes_moved = 0;    // payload bytes
   double seconds = 0.0;            // thread-seconds spent copying
+  double wait_seconds = 0.0;       // thread-seconds stalled on neighbor readiness
+  double hidden_seconds = 0.0;     // copy seconds overlapped with a pending wait
 
   HaloStats& operator+=(const HaloStats& o);
 };
@@ -36,6 +60,34 @@ class HaloExchange {
   /// Refresh shard `s`'s ghost planes from its neighbors' owned planes.
   /// Must run between barriers (no shard may be stepping concurrently).
   void exchange_for(int s);
+
+  // ------------------------------------------- overlapped post/wait protocol
+
+  /// Reset the per-run round counters and (lazily) allocate the export
+  /// buffers.  Call once per overlapped run, before any shard thread
+  /// starts (single-threaded).
+  void reset_flow();
+
+  /// Publish shard `s`'s donated boundary planes as round `round`'s final
+  /// values (1-based; call after the round's compute, before the next
+  /// compute, on the shard's own thread): stages them into the per-side
+  /// export buffers and releases the round counter.  Reusing a buffer
+  /// waits for the consumer's acknowledgement of round `round`-1 — free
+  /// unless this shard runs more than a full round ahead.  With `drain`
+  /// nothing is staged and nothing blocks; the counter still advances so
+  /// neighbors never stall on a failed shard.
+  void post(int s, std::int64_t round, bool drain = false);
+
+  /// Acquire round `round`'s exchange for shard `s`: pull the lo/hi ghost
+  /// sides out of the neighbors' export buffers as each neighbor's post of
+  /// `round` lands (whichever is ready first), acknowledging consumption.
+  /// On return the shard may compute round `round`+1.  With `drain` no
+  /// plane is touched but every counter of shard `s` still advances and
+  /// nothing blocks — the failure path stays deadlock-free.  Idempotent
+  /// per (s, round): a retry after a partial wait (e.g. an exception
+  /// between the two pulls) completes the counter protocol without
+  /// redoing finished sides.
+  void wait(int s, std::int64_t round, bool drain = false);
 
   const HaloStats& stats(int s) const {
     return stats_.at(static_cast<std::size_t>(s));
@@ -50,10 +102,40 @@ class HaloExchange {
   /// without allocating it.
   static std::int64_t bytes_per_exchange(const Partitioner& part);
 
+  /// Largest per-shard payload of one exchange episode: the copy bytes on a
+  /// single shard's critical path under the overlapped protocol, where
+  /// pulls proceed pairwise instead of at a global stop.
+  static std::int64_t max_shard_bytes_per_exchange(const Partitioner& part);
+
  private:
+  void pull_lo(int s);
+  void pull_hi(int s);
+
+  /// One side's staged donation: `planes` padded z-planes of all 12 field
+  /// arrays, packed [comp][plane][stride_z complex cells].
+  struct ExportBuffer {
+    int src_k0 = 0;  // first donated plane, donor-local logical z
+    int planes = 0;
+    std::vector<double> data;  // empty until reset_flow() sizes it
+  };
+
+  void stage(int s, ExportBuffer& buf);
+  void unstage(int s, const ExportBuffer& buf, int dst_k0, int planes);
+
+  /// One cache line per counter: the protocol spins on neighbors' counters
+  /// while owners advance their own.
+  struct alignas(64) RoundCounter {
+    std::atomic<std::int64_t> v{0};
+  };
+
   const Partitioner& part_;
   std::vector<grid::FieldSet*> shards_;
   std::vector<HaloStats> stats_;
+  std::vector<RoundCounter> posted_;       // rounds shard s has staged + published
+  std::vector<RoundCounter> consumed_lo_;  // rounds whose lo ghosts shard s pulled
+  std::vector<RoundCounter> consumed_hi_;  // rounds whose hi ghosts shard s pulled
+  std::vector<ExportBuffer> export_down_;  // shard s's bottom planes, for s-1
+  std::vector<ExportBuffer> export_up_;    // shard s's top planes, for s+1
 };
 
 }  // namespace emwd::dist

@@ -38,7 +38,7 @@ std::string ShardedParams::describe() const {
   os << "sharded{K=" << num_shards << ",T=" << exchange_interval
      << ",inner=" << to_string(inner) << ",tps=" << threads_per_shard
      << (per_shard_mwd.empty() ? "" : ",per-shard") << (numa_bind ? ",numa" : "")
-     << "}";
+     << (overlap ? ",overlap" : "") << "}";
   return os.str();
 }
 
@@ -112,6 +112,25 @@ class ShardedEngine final : public PreparableEngine {
       st->inners[static_cast<std::size_t>(s)] = make_inner(s, p_.threads_per_shard);
     });
     st->halo = std::make_unique<HaloExchange>(*st->part, st->ptrs);
+
+    // Overlapped exchange: thread the per-round halo wait through each inner
+    // engine's run prologue.  Engines that honor the prologue (all stock
+    // kinds) run the handshake inside their parallel region — the MWD
+    // engine gates its boundary tiles on it while workers park on the tile
+    // queue; engines that do not (wrapper/test inners) get the wait run
+    // inline by the shard thread instead (see run()).
+    if (p_.overlap && K > 1) {
+      st->flows.resize(static_cast<std::size_t>(K));
+      HaloExchange* halo = st->halo.get();
+      for (int s = 0; s < K; ++s) {
+        exec::Engine& inner = *st->inners[static_cast<std::size_t>(s)];
+        if (!inner.supports_run_prologue()) continue;
+        ShardFlow* flow = &st->flows[static_cast<std::size_t>(s)];
+        inner.set_run_prologue([halo, s, flow] {
+          if (flow->wait_round > 0) halo->wait(s, flow->wait_round);
+        });
+      }
+    }
     prepared_ = std::move(st);
   }
 
@@ -123,17 +142,24 @@ class ShardedEngine final : public PreparableEngine {
     PreparedState& st = *prepared_;
     const Partitioner& part = *st.part;
     const int K = part.num_shards();
+    const bool overlapped = p_.overlap && K > 1;
 
     std::vector<exec::EngineStats> shard_work(static_cast<std::size_t>(K));
     util::SpinBarrier barrier(K);
     const HaloStats halo_before = st.halo->total();
+    if (overlapped) {
+      st.halo->reset_flow();  // single-threaded: no shard thread is running yet
+      for (ShardFlow& flow : st.flows) flow.wait_round = 0;
+    }
 
     // Failure protocol: a shard that throws (scatter, inner step or halo
     // pull) records the first exception, raises `failed`, and keeps walking
-    // the SAME barrier schedule as everyone else with the work skipped —
-    // the schedule depends only on `steps`, so no shard can be left spinning
-    // at a barrier the failed shard never reaches.  The exception is
-    // rethrown on the caller once every shard thread has joined.
+    // the SAME round schedule as everyone else with the work skipped — the
+    // schedule depends only on `steps`.  In barrier mode that means every
+    // barrier is still reached; in overlap mode every post/wait counter of
+    // the failed shard still advances (HaloExchange::wait's drain form), so
+    // no neighbor can be left spinning on it.  The exception is rethrown on
+    // the caller once every shard thread has joined.
     std::atomic<bool> failed{false};
     std::exception_ptr first_error;
     std::mutex error_mu;
@@ -156,34 +182,17 @@ class ShardedEngine final : public PreparableEngine {
       } catch (...) {
         record_failure();
       }
-      // All shards finish scattering before anyone's first exchange could
-      // read a neighbor's owned planes (the first round barrier also orders
-      // this; scatter-before-step is what the inner engines need locally).
+      // Startup: all shards finish scattering before anyone's first round
+      // (and, in barrier mode, before anyone's first exchange could read a
+      // neighbor's owned planes).  This barrier stays in overlap mode too —
+      // the pairwise protocol begins only after it.
       barrier.arrive_and_wait();
 
-      int remaining = steps;
-      while (remaining > 0) {
-        const int chunk = std::min(p_.exchange_interval, remaining);
-        if (!failed.load(std::memory_order_acquire)) {
-          try {
-            inner.run(local, chunk);
-            exec::accumulate_work(work, inner.stats());
-          } catch (...) {
-            record_failure();
-          }
-        }
-        remaining -= chunk;
-        if (remaining == 0) break;
-        // All shards finished the round before anyone reads owned planes.
-        barrier.arrive_and_wait();
-        if (!failed.load(std::memory_order_acquire)) {
-          try {
-            st.halo->exchange_for(s);
-          } catch (...) {
-            record_failure();
-          }
-        }
-        barrier.arrive_and_wait();
+      if (overlapped) {
+        run_shard_overlapped(st, s, steps, inner, local, work, failed, record_failure);
+      } else {
+        run_shard_barriered(st, s, steps, inner, local, work, barrier, failed,
+                            record_failure);
       }
 
       // Owned plane ranges are disjoint, so shards gather concurrently.
@@ -201,13 +210,109 @@ class ShardedEngine final : public PreparableEngine {
     stats_.seconds = seconds;
     stats_.steps = steps;
     stats_.shards = K;
+    stats_.halo_overlapped = overlapped;
     stats_.halo_exchange_seconds = halo_after.seconds - halo_before.seconds;
     stats_.halo_bytes_moved = halo_after.bytes_moved - halo_before.bytes_moved;
+    // Barrier-mode waits were accumulated per shard into shard_work (and
+    // summed by accumulate_work above); overlap-mode waits live in the
+    // exchanger's per-shard stats.  The two sources never overlap.
+    stats_.halo_wait_seconds += halo_after.wait_seconds - halo_before.wait_seconds;
+    stats_.halo_hidden_seconds += halo_after.hidden_seconds - halo_before.hidden_seconds;
     stats_.mlups = util::mlups(static_cast<std::int64_t>(L.interior().cells()), steps,
                                stats_.seconds);
   }
 
  private:
+  struct PreparedState;
+
+  /// Per-shard state of the overlapped protocol: which round's exchange the
+  /// inner engine's prologue must acquire before computing (0 = none, i.e.
+  /// the first round).  Written by the shard thread between inner runs and
+  /// read by the prologue on that same thread (ThreadTeam's tid 0 is the
+  /// caller), so no atomicity is needed.
+  struct ShardFlow {
+    std::int64_t wait_round = 0;
+  };
+
+  /// Original bulk-synchronous round loop: all shards stop at a barrier,
+  /// pull concurrently, stop again.  The barrier waits around the exchange
+  /// are timed into `work.halo_wait_seconds` — that is the exchange stall
+  /// the overlapped mode exists to shrink.
+  void run_shard_barriered(PreparedState& st, int s, int steps, exec::Engine& inner,
+                           grid::FieldSet& local, exec::EngineStats& work,
+                           util::SpinBarrier& barrier, std::atomic<bool>& failed,
+                           const std::function<void()>& record_failure) {
+    int remaining = steps;
+    while (remaining > 0) {
+      const int chunk = std::min(p_.exchange_interval, remaining);
+      if (!failed.load(std::memory_order_acquire)) {
+        try {
+          inner.run(local, chunk);
+          exec::accumulate_work(work, inner.stats());
+        } catch (...) {
+          record_failure();
+        }
+      }
+      remaining -= chunk;
+      if (remaining == 0) break;
+      // All shards finished the round before anyone reads owned planes.
+      const double copy_before = st.halo->stats(s).seconds;
+      util::Timer wait_timer;
+      barrier.arrive_and_wait();
+      if (!failed.load(std::memory_order_acquire)) {
+        try {
+          st.halo->exchange_for(s);
+        } catch (...) {
+          record_failure();
+        }
+      }
+      barrier.arrive_and_wait();
+      const double copied = st.halo->stats(s).seconds - copy_before;
+      work.halo_wait_seconds += std::max(0.0, wait_timer.seconds() - copied);
+    }
+  }
+
+  /// Overlapped round loop (the post/wait protocol, see halo.hpp): after a
+  /// round, a shard posts its planes and moves straight into the next
+  /// round; the halo wait runs as the inner engine's prologue — inside its
+  /// parallel region, gating only the exchange-coupled boundary tiles for
+  /// the MWD inner.  A shard therefore synchronizes with its <= 2 neighbors
+  /// only, and never at a full stop.
+  void run_shard_overlapped(PreparedState& st, int s, int steps, exec::Engine& inner,
+                            grid::FieldSet& local, exec::EngineStats& work,
+                            std::atomic<bool>& failed,
+                            const std::function<void()>& record_failure) {
+    const bool inner_gates = inner.supports_run_prologue();
+    ShardFlow& flow = st.flows[static_cast<std::size_t>(s)];
+    std::int64_t round = 0;
+    int remaining = steps;
+    while (remaining > 0) {
+      const int chunk = std::min(p_.exchange_interval, remaining);
+      ++round;
+      if (!failed.load(std::memory_order_acquire)) {
+        try {
+          flow.wait_round = round - 1;
+          if (!inner_gates && round > 1) st.halo->wait(s, round - 1);
+          inner.run(local, chunk);
+          exec::accumulate_work(work, inner.stats());
+        } catch (...) {
+          record_failure();
+          // The prologue may have died between its two pulls (or never
+          // run): the drain form completes this round's counters without
+          // touching planes, so neighbors cannot stall on us.
+          if (round > 1) st.halo->wait(s, round - 1, /*drain=*/true);
+        }
+      } else if (round > 1) {
+        st.halo->wait(s, round - 1, /*drain=*/true);
+      }
+      remaining -= chunk;
+      if (remaining == 0) break;
+      // Publish this round's planes — in drain form once the run is
+      // failing, so the neighbors' waits always terminate.
+      st.halo->post(s, round, failed.load(std::memory_order_acquire));
+    }
+  }
+
   std::unique_ptr<exec::Engine> make_inner(int shard, int threads) const {
     if (p_.inner_factory) return p_.inner_factory(shard, threads);
     switch (p_.inner) {
@@ -238,6 +343,7 @@ class ShardedEngine final : public PreparableEngine {
     std::vector<grid::FieldSet*> ptrs;
     std::vector<std::unique_ptr<exec::Engine>> inners;
     std::unique_ptr<HaloExchange> halo;
+    std::vector<ShardFlow> flows;  // overlap mode only (empty otherwise)
   };
 
   ShardedParams p_;

@@ -37,6 +37,15 @@ struct ShardedParams {
   InnerKind inner = InnerKind::Naive;
   int threads_per_shard = 1;
   bool numa_bind = true;     // pin shard teams to NUMA nodes (no-op on 1 node)
+  /// Overlapped exchange: replace the two full-stop barriers of each
+  /// exchange round with the pairwise post/wait protocol (see halo.hpp and
+  /// src/dist/README.md) — a shard publishes its boundary planes the moment
+  /// its round finishes and synchronizes only with its <= 2 neighbors, so
+  /// exchange stalls no longer propagate across the whole shard set and
+  /// one side's copy hides behind the other neighbor's compute.  Results
+  /// stay bit-identical: only the ordering of independent work changes.
+  /// No effect with a single (clamped) shard.
+  bool overlap = false;
   std::optional<exec::MwdParams> mwd;  // explicit inner-MWD parameters
   /// Per-shard inner-MWD parameters (InnerKind::Mwd only): shard s uses
   /// per_shard_mwd[s], letting uneven shards (PML-heavy boundary blocks,

@@ -12,6 +12,9 @@ void accumulate_work(EngineStats& into, const EngineStats& from) {
   into.barrier_wait_seconds += from.barrier_wait_seconds;
   into.halo_exchange_seconds += from.halo_exchange_seconds;
   into.halo_bytes_moved += from.halo_bytes_moved;
+  into.halo_wait_seconds += from.halo_wait_seconds;
+  into.halo_hidden_seconds += from.halo_hidden_seconds;
+  if (into.kernel_isa[0] == '\0') into.kernel_isa = from.kernel_isa;
 }
 
 std::string MwdParams::describe() const {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -32,6 +33,28 @@ struct EngineStats {
   double halo_exchange_seconds = 0.0;
   /// Payload bytes moved by halo exchanges over the whole run.
   std::int64_t halo_bytes_moved = 0;
+  /// Cumulative thread-seconds a shard spent stalled on the exchange: full
+  /// barrier waits around exchange_for() in barrier mode, pairwise
+  /// neighbor-readiness spins of the post/wait protocol in overlap mode.
+  double halo_wait_seconds = 0.0;
+  /// Portion of halo_exchange_seconds that did NOT extend the critical
+  /// path: ghost-plane copies performed while the shard was anyway waiting
+  /// for its other neighbor to publish (overlap mode only).
+  double halo_hidden_seconds = 0.0;
+  /// True when the run used the overlapped (post/wait) exchange protocol
+  /// instead of full-stop barriers.
+  bool halo_overlapped = false;
+  /// Row-kernel ISA the engine actually dispatched to ("scalar" / "avx2";
+  /// static string, never dangles).  All stock engines run the scalar
+  /// bitwise-reference kernel; the field exists so a dispatch miss in an
+  /// ISA-selecting build is visible in stats and bench CSVs rather than
+  /// silently degrading throughput.
+  const char* kernel_isa = "";
+
+  /// Exchange stall a shard could not hide: wait + copy - hidden.
+  double halo_exposed_seconds() const {
+    return halo_wait_seconds + halo_exchange_seconds - halo_hidden_seconds;
+  }
 };
 
 /// Accumulate `from`'s work counters (lups, tiles, barrier episodes, wait
@@ -49,10 +72,34 @@ class Engine {
   /// Advance the fields by `steps` full time steps, collecting stats.
   virtual void run(grid::FieldSet& fs, int steps) = 0;
 
+  /// Install a per-run prologue: every subsequent run() invokes fn() exactly
+  /// once before any field update of that run.  The sharded engine's
+  /// overlapped exchange threads its halo wait/pull through this hook.  The
+  /// loop-nest engines call it at run() entry on the caller thread; the MWD
+  /// engine routes it through the tile queue's boundary gate, so the thread
+  /// team spins up and parks on the queue while fn() (the halo handshake)
+  /// is still in flight.  fn may throw; the run then rethrows without
+  /// touching fields.  Pass nullptr to uninstall.
+  void set_run_prologue(std::function<void()> fn) { prologue_ = std::move(fn); }
+
+  /// True when this engine's run() honors an installed prologue.  Callers
+  /// that depend on the prologue actually executing (the overlapped sharded
+  /// exchange) must fall back to running it themselves around run() when
+  /// this is false — e.g. for wrapper or test engines that never call
+  /// run_prologue().
+  virtual bool supports_run_prologue() const { return false; }
+
   const EngineStats& stats() const { return stats_; }
 
  protected:
+  /// Invoke the installed prologue, if any (for engines without gating).
+  void run_prologue() {
+    if (prologue_) prologue_();
+  }
+  bool has_prologue() const { return static_cast<bool>(prologue_); }
+
   EngineStats stats_;
+  std::function<void()> prologue_;
 };
 
 /// Tile scheduling policy.  FifoQueue is the paper's dynamic scheduler

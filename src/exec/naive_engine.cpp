@@ -10,6 +10,7 @@
 #include "exec/engine.hpp"
 #include "exec/thread_pool.hpp"
 #include "kernels/update.hpp"
+#include "kernels/update_simd.hpp"
 #include "util/barrier.hpp"
 #include "util/timer.hpp"
 
@@ -22,12 +23,14 @@ class NaiveEngine final : public Engine {
 
   std::string name() const override { return "naive"; }
   int threads() const override { return threads_; }
+  bool supports_run_prologue() const override { return true; }
 
   void run(grid::FieldSet& fs, int steps) override {
     const grid::Layout& L = fs.layout();
     const int nx = L.nx(), ny = L.ny(), nz = L.nz();
     util::SpinBarrier barrier(threads_);
     std::int64_t barrier_count = 0;
+    run_prologue();  // e.g. the sharded engine's halo wait/pull for this round
 
     util::Timer timer;
     ThreadTeam::run(threads_, [&](int tid) {
@@ -55,6 +58,7 @@ class NaiveEngine final : public Engine {
                                stats_.seconds);
     stats_.barrier_episodes = barrier_count;
     stats_.tiles_executed = 0;
+    stats_.kernel_isa = kernels::to_string(kernels::resolve_isa(kernels::KernelIsa::Scalar));
   }
 
  private:

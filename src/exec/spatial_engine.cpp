@@ -14,6 +14,7 @@
 #include "exec/engine.hpp"
 #include "exec/thread_pool.hpp"
 #include "kernels/update.hpp"
+#include "kernels/update_simd.hpp"
 #include "util/barrier.hpp"
 #include "util/machine_detect.hpp"
 #include "util/timer.hpp"
@@ -27,6 +28,7 @@ class SpatialEngine final : public Engine {
 
   std::string name() const override { return "spatial"; }
   int threads() const override { return threads_; }
+  bool supports_run_prologue() const override { return true; }
 
   /// Layer-condition block height for a given row length and cache budget.
   static int auto_block_y(int nx, int ny, std::size_t cache_budget_bytes) {
@@ -51,6 +53,7 @@ class SpatialEngine final : public Engine {
 
     util::SpinBarrier barrier(threads_);
     std::int64_t barrier_count = 0;
+    run_prologue();  // e.g. the sharded engine's halo wait/pull for this round
 
     util::Timer timer;
     ThreadTeam::run(threads_, [&](int tid) {
@@ -91,6 +94,7 @@ class SpatialEngine final : public Engine {
                                stats_.seconds);
     stats_.barrier_episodes = barrier_count;
     stats_.tiles_executed = 0;
+    stats_.kernel_isa = kernels::to_string(kernels::resolve_isa(kernels::KernelIsa::Scalar));
   }
 
   int block_y_used() const { return block_y_used_; }

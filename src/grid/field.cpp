@@ -61,6 +61,25 @@ void Field::copy_z_planes_from(const Field& src, int k_src, int k_dst, int count
   std::copy(from, from + plane * static_cast<std::size_t>(count), to);
 }
 
+void Field::copy_z_planes_to_buffer(double* out, int k0, int count) const {
+  if (count < 0 || k0 < -layout_.halo() || k0 + count > layout_.nz() + layout_.halo()) {
+    throw std::out_of_range("copy_z_planes_to_buffer: plane range outside padded extent");
+  }
+  const std::size_t plane = static_cast<std::size_t>(layout_.stride_z()) * 2;
+  const double* from = data_.data() + static_cast<std::size_t>(k0 + layout_.halo()) * plane;
+  std::copy(from, from + plane * static_cast<std::size_t>(count), out);
+}
+
+void Field::copy_z_planes_from_buffer(const double* in, int k0, int count) {
+  if (count < 0 || k0 < -layout_.halo() || k0 + count > layout_.nz() + layout_.halo()) {
+    throw std::out_of_range(
+        "copy_z_planes_from_buffer: plane range outside padded extent");
+  }
+  const std::size_t plane = static_cast<std::size_t>(layout_.stride_z()) * 2;
+  double* to = data_.data() + static_cast<std::size_t>(k0 + layout_.halo()) * plane;
+  std::copy(in, in + plane * static_cast<std::size_t>(count), to);
+}
+
 double Field::norm() const {
   double sum = 0.0;
   const int nx = layout_.nx(), ny = layout_.ny(), nz = layout_.nz();

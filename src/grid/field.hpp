@@ -49,6 +49,14 @@ class Field {
   /// subsystem to slice shards and exchange halo planes.
   void copy_z_planes_from(const Field& src, int k_src, int k_dst, int count);
 
+  /// Copy `count` whole padded z-planes [k0, k0 + count) into/out of a flat
+  /// staging buffer of count * stride_z complex cells (interleaved doubles).
+  /// Same logical plane indexing and range validation as
+  /// copy_z_planes_from; used by the overlapped halo exchange's export
+  /// (send) buffers.
+  void copy_z_planes_to_buffer(double* out, int k0, int count) const;
+  void copy_z_planes_from_buffer(const double* in, int k0, int count);
+
   /// Interior L2 norm sqrt(sum |v|^2); halo excluded.
   double norm() const;
   /// Max interior |a - b| between two fields on the same layout.

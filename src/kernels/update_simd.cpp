@@ -75,8 +75,21 @@ void update_row_avx2(const RowArgs& g) noexcept {
 void update_row_avx2(const RowArgs& g) noexcept { update_row(g); }
 #endif
 
+const char* to_string(KernelIsa isa) noexcept {
+  switch (isa) {
+    case KernelIsa::Scalar: return "scalar";
+    case KernelIsa::Avx2: return "avx2";
+  }
+  return "scalar";
+}
+
+KernelIsa resolve_isa(KernelIsa requested) noexcept {
+  if (requested == KernelIsa::Avx2 && avx2_supported()) return KernelIsa::Avx2;
+  return KernelIsa::Scalar;
+}
+
 void update_row_isa(const RowArgs& args, KernelIsa isa) noexcept {
-  if (isa == KernelIsa::Avx2 && avx2_supported()) {
+  if (resolve_isa(isa) == KernelIsa::Avx2) {
     update_row_avx2(args);
   } else {
     update_row(args);

@@ -16,8 +16,18 @@ namespace emwd::kernels {
 
 enum class KernelIsa { Scalar, Avx2 };
 
+/// Static name of an ISA ("scalar" / "avx2"); never dangles.
+const char* to_string(KernelIsa isa) noexcept;
+
 /// True when this binary AND this CPU can run the AVX2 kernel.
 bool avx2_supported();
+
+/// The ISA a request actually resolves to: Avx2 degrades to Scalar when the
+/// binary or the CPU lacks it.  update_row_isa() dispatches through this,
+/// and callers (engines, benches) record the result in EngineStats /
+/// bench CSVs so a silent dispatch miss is diagnosable instead of showing
+/// up only as a performance regression.
+KernelIsa resolve_isa(KernelIsa requested) noexcept;
 
 /// AVX2 implementation of update_row(); requires avx2_supported().
 void update_row_avx2(const RowArgs& args) noexcept;

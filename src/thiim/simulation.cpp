@@ -59,12 +59,14 @@ Simulation::Simulation(const SimulationConfig& cfg)
         sc.machine = models::host_machine();
         sc.fixed_shards = std::max(0, cfg.num_shards);
         sc.fixed_interval = std::max(0, cfg.shard_exchange_interval);
+        if (cfg.shard_overlap) sc.fixed_overlap = 1;  // else: search the axis
         sc.timed_refinement = cfg.shard_tune_mode == ShardTuneMode::Measured;
         p = tune::to_sharded_params(tune::autotune_sharded(sc).best.plan);
       } else {
         int shards = cfg.num_shards;
         if (shards <= 0) shards = dist::NumaTopology::detect().num_nodes;
         shards = std::min(shards, threads);  // a shard needs a thread of the budget
+        p.overlap = cfg.shard_overlap;
         p.exchange_interval = std::max(1, cfg.shard_exchange_interval);
         p.num_shards =
             dist::Partitioner::clamp_shards(cfg.grid.nz, shards, p.exchange_interval);

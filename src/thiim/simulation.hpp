@@ -64,6 +64,10 @@ struct SimulationConfig {
   /// Sharded + Mwd only: explicit per-shard MWD parameters (shard s runs
   /// shard_mwd[s]); empty defers to `mwd` for every shard.
   std::vector<exec::MwdParams> shard_mwd;
+  /// Sharded only: overlapped (post/wait) halo exchange instead of the
+  /// full-stop barriers.  With shard_engine == Auto this pins the tuner's
+  /// overlap axis on; leave false there to let the tuner search it.
+  bool shard_overlap = false;
 };
 
 class Simulation {

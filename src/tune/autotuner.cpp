@@ -87,10 +87,11 @@ TuneResult autotune(const TuneConfig& cfg) {
 // ------------------------------------------------------ sharded two-stage
 
 ShardedCandidate score_sharded_candidate(int num_shards, int exchange_interval,
-                                         const ShardedTuneConfig& cfg) {
+                                         const ShardedTuneConfig& cfg, bool overlap) {
   ShardedCandidate c;
   c.plan.num_shards = num_shards;
   c.plan.exchange_interval = exchange_interval;
+  c.plan.overlap = overlap && num_shards > 1;
 
   const int tps = std::max(1, cfg.threads / num_shards);
   const dist::Partitioner part(cfg.grid, num_shards,
@@ -125,16 +126,23 @@ ShardedCandidate score_sharded_candidate(int num_shards, int exchange_interval,
 
   // Shards advance concurrently, so a round of T steps costs T times the
   // slowest shard's step (the redundant ghost-plane planes are inside each
-  // shard's extended grid and thus inside its step time) plus one exchange
-  // streaming bytes_per_exchange over the machine's bandwidth roof.
+  // shard's extended grid and thus inside its step time) plus one exchange.
+  // At a barrier all shards stop while the full payload streams over the
+  // bandwidth roof; the overlapped post/wait protocol exposes only the
+  // worst single shard's own pull — the remaining bytes hide behind
+  // neighboring shards' compute.
   const std::int64_t halo_bytes = dist::HaloExchange::bytes_per_exchange(part);
+  const std::int64_t exposed_bytes =
+      c.plan.overlap ? dist::HaloExchange::max_shard_bytes_per_exchange(part)
+                     : halo_bytes;
   const double interval = static_cast<double>(exchange_interval);
   c.halo_bytes_per_step = static_cast<double>(halo_bytes) / interval;
+  c.exposed_halo_bytes_per_step = static_cast<double>(exposed_bytes) / interval;
   c.redundant_lup_fraction =
       (total_ext_planes - static_cast<double>(cfg.grid.nz)) /
       static_cast<double>(cfg.grid.nz);
-  const double halo_seconds =
-      static_cast<double>(halo_bytes) / std::max(1.0, cfg.machine.bandwidth_bytes_per_s);
+  const double halo_seconds = static_cast<double>(exposed_bytes) /
+                              std::max(1.0, cfg.machine.bandwidth_bytes_per_s);
   const double round_seconds = interval * bottleneck_step_seconds + halo_seconds;
   const double useful = static_cast<double>(cfg.grid.cells());
   c.predicted_mlups = useful * interval / (round_seconds * 1e6);
@@ -163,7 +171,15 @@ ShardedTuneResult autotune_sharded(const ShardedTuneConfig& cfg) {
       interval_axis = enumerate_exchange_intervals(k, cfg.grid, cfg.limits);
     }
     for (int t : interval_axis) {
-      result.ranked.push_back(score_sharded_candidate(k, t, cfg));
+      std::vector<bool> overlap_axis;
+      if (cfg.fixed_overlap >= 0) {
+        overlap_axis.push_back(cfg.fixed_overlap != 0 && k > 1);
+      } else {
+        overlap_axis = enumerate_overlap_modes(k);
+      }
+      for (bool ov : overlap_axis) {
+        result.ranked.push_back(score_sharded_candidate(k, t, cfg, ov));
+      }
     }
   }
   if (result.ranked.empty()) throw std::runtime_error("autotune_sharded: empty space");
@@ -172,11 +188,15 @@ ShardedTuneResult autotune_sharded(const ShardedTuneConfig& cfg) {
               if (a.predicted_mlups != b.predicted_mlups) {
                 return a.predicted_mlups > b.predicted_mlups;
               }
-              // Prefer fewer shards and shallower overlap on model ties.
+              // Prefer fewer shards, shallower overlap depth and the
+              // simpler barrier protocol on model ties.
               if (a.plan.num_shards != b.plan.num_shards) {
                 return a.plan.num_shards < b.plan.num_shards;
               }
-              return a.plan.exchange_interval < b.plan.exchange_interval;
+              if (a.plan.exchange_interval != b.plan.exchange_interval) {
+                return a.plan.exchange_interval < b.plan.exchange_interval;
+              }
+              return a.plan.overlap < b.plan.overlap;
             });
 
   if (cfg.timed_refinement) {
@@ -223,6 +243,7 @@ dist::ShardedParams to_sharded_params(const ShardPlan& plan, bool numa_bind) {
   dist::ShardedParams p;
   p.num_shards = std::max(1, plan.num_shards);
   p.exchange_interval = std::max(1, plan.exchange_interval);
+  p.overlap = plan.overlap;
   p.inner = dist::InnerKind::Mwd;
   p.threads_per_shard = plan.per_shard.empty() ? 1 : plan.per_shard.front().threads();
   p.per_shard_mwd = plan.per_shard;
@@ -231,12 +252,15 @@ dist::ShardedParams to_sharded_params(const ShardPlan& plan, bool numa_bind) {
 }
 
 util::Table ShardedTuneResult::to_table() const {
-  util::Table t({"shards", "interval", "redundant_frac", "halo_MB_per_step",
-                 "predicted_mlups", "measured_mlups", "measured_s", "plan"});
+  util::Table t({"shards", "interval", "redundant_frac", "halo_MB_per_step", "overlap",
+                 "exposed_halo_MB_per_step", "predicted_mlups", "measured_mlups",
+                 "measured_s", "plan"});
   for (const ShardedCandidate& c : ranked) {
     t.add_row({std::to_string(c.plan.num_shards), std::to_string(c.plan.exchange_interval),
                util::fmt_double(c.redundant_lup_fraction, 4),
                util::fmt_double(c.halo_bytes_per_step / (1024.0 * 1024.0), 4),
+               c.plan.overlap ? "1" : "0",
+               util::fmt_double(c.exposed_halo_bytes_per_step / (1024.0 * 1024.0), 4),
                util::fmt_double(c.predicted_mlups, 5),
                util::fmt_double(c.measured_mlups, 5),
                util::fmt_double(c.measured_seconds, 5), c.plan.describe()});

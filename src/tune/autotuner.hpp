@@ -95,6 +95,11 @@ struct ShardedCandidate {
   std::vector<Candidate> per_shard;     // model score of each shard's tiling
   double redundant_lup_fraction = 0.0;  // ghost-plane recompute per useful LUP
   double halo_bytes_per_step = 0.0;     // exchange payload amortized over T
+  /// Payload bytes per step on the critical path: with overlap on, copies
+  /// proceed pairwise so only the worst single shard's pull is exposed; the
+  /// rest hides behind neighboring shards' compute.  Equals
+  /// halo_bytes_per_step with overlap off.
+  double exposed_halo_bytes_per_step = 0.0;
   double predicted_mlups = 0.0;         // aggregate, penalized (stage 1)
   double measured_mlups = 0.0;          // stage 2 (0 if not timed)
   double measured_seconds = 0.0;        // best timed repeat over refine_steps
@@ -110,6 +115,9 @@ struct ShardedTuneConfig {
   /// always feasible.
   int fixed_shards = 0;
   int fixed_interval = 0;
+  /// Pin the overlap axis: -1 = search both modes, 0 = barrier only,
+  /// 1 = overlapped only (collapses to barrier for single-shard plans).
+  int fixed_overlap = -1;
   /// Stage 2: run the top-K stage-1 plans on the real ShardedEngine.  Each
   /// plan gets `warmup_steps` untimed steps (also triggers the engine's
   /// prepare() allocation outside the timed region) and `repeats` timed runs
@@ -134,11 +142,14 @@ struct ShardedTuneResult {
   std::string to_csv() const;
 };
 
-/// Analytic (stage-1) score of one (num_shards, exchange_interval) point:
-/// per-shard MWD tuning against the real sub-grids plus the redundant-LUP
-/// and halo-bandwidth penalties.  The pair must be feasible for cfg.grid.
+/// Analytic (stage-1) score of one (num_shards, exchange_interval, overlap)
+/// point: per-shard MWD tuning against the real sub-grids plus the
+/// redundant-LUP and halo-bandwidth penalties — with overlap on, only the
+/// exposed (worst single shard) halo bytes are charged against the
+/// bandwidth roof.  The pair must be feasible for cfg.grid.
 ShardedCandidate score_sharded_candidate(int num_shards, int exchange_interval,
-                                         const ShardedTuneConfig& cfg);
+                                         const ShardedTuneConfig& cfg,
+                                         bool overlap = false);
 
 /// The full two-stage sharded auto-tune described above.
 ShardedTuneResult autotune_sharded(const ShardedTuneConfig& cfg);

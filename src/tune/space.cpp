@@ -83,9 +83,15 @@ std::vector<int> enumerate_exchange_intervals(int num_shards, const grid::Extent
   return out;
 }
 
+std::vector<bool> enumerate_overlap_modes(int num_shards) {
+  if (num_shards <= 1) return {false};
+  return {false, true};
+}
+
 std::string ShardPlan::describe() const {
   std::ostringstream os;
-  os << "plan{K=" << num_shards << ",T=" << exchange_interval << ",[";
+  os << "plan{K=" << num_shards << ",T=" << exchange_interval
+     << (overlap ? ",overlap" : "") << ",[";
   for (std::size_t s = 0; s < per_shard.size(); ++s) {
     if (s) os << " ";
     os << per_shard[s].describe();

@@ -51,6 +51,11 @@ std::vector<int> enumerate_shard_counts(int threads, const grid::Extents& grid,
 std::vector<int> enumerate_exchange_intervals(int num_shards, const grid::Extents& grid,
                                               const SpaceLimits& limits = {});
 
+/// Exchange-synchronization modes worth trying for `num_shards` z-shards:
+/// barrier (false) always; the overlapped post/wait protocol (true) only
+/// when there is more than one shard (it is a no-op otherwise).
+std::vector<bool> enumerate_overlap_modes(int num_shards);
+
 /// A complete sharded execution plan as emitted by the sharded tuner: the
 /// decomposition knobs plus one MwdParams per shard, tuned against that
 /// shard's real extended sub-grid (uneven remainder blocks and PML-heavy
@@ -58,6 +63,9 @@ std::vector<int> enumerate_exchange_intervals(int num_shards, const grid::Extent
 struct ShardPlan {
   int num_shards = 1;
   int exchange_interval = 1;
+  /// Overlapped (post/wait) halo exchange instead of full-stop barriers;
+  /// an axis of the sharded search space (see enumerate_overlap_modes).
+  bool overlap = false;
   std::vector<exec::MwdParams> per_shard;  // size == num_shards
 
   std::string describe() const;

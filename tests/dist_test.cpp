@@ -264,36 +264,108 @@ TEST_F(ShardedEquivalence, PerShardMwdParamsMatchBitForBit) {
   EXPECT_EQ(run_diff(p, {6, 8, 12}, 4, grid::XBoundary::Dirichlet, 51), 0.0);
 }
 
-// ------------------------------------------------- prepared-state reuse
+// ------------------------------------------- overlapped (post/wait) exchange
 
-TEST(ShardedPrepare, RepeatedRunsReuseShardStateAndStayExact) {
+TEST_F(ShardedEquivalence, OverlappedExchangeMatchesBitForBitAllInners) {
+  // The overlapped post/wait protocol only reorders independent work, so
+  // every inner kind must stay bit-identical to the serial reference —
+  // including deep intervals and a partial final round (7 steps, T=3).
+  for (dist::InnerKind inner :
+       {dist::InnerKind::Naive, dist::InnerKind::Spatial, dist::InnerKind::Mwd}) {
+    for (int k : {2, 3}) {
+      for (int interval : {1, 3}) {
+        dist::ShardedParams p;
+        p.num_shards = k;
+        p.exchange_interval = interval;
+        p.inner = inner;
+        p.overlap = true;
+        if (inner == dist::InnerKind::Mwd) {
+          exec::MwdParams mwd;
+          mwd.dw = 4;
+          mwd.num_tgs = 2;
+          p.mwd = mwd;
+          p.threads_per_shard = 2;
+        }
+        EXPECT_EQ(run_diff(p, {5, 8, 14}, 7, grid::XBoundary::Dirichlet, 53), 0.0)
+            << "inner=" << dist::to_string(inner) << " K=" << k << " T=" << interval;
+        EXPECT_TRUE(last_stats_.halo_overlapped);
+        EXPECT_GE(last_stats_.halo_wait_seconds, 0.0);
+        EXPECT_GE(last_stats_.halo_hidden_seconds, 0.0);
+        EXPECT_GE(last_stats_.halo_exposed_seconds(), 0.0);
+        EXPECT_GT(last_stats_.halo_bytes_moved, 0);
+      }
+    }
+  }
+}
+
+TEST_F(ShardedEquivalence, OverlappedPeriodicXMatchesBitForBit) {
+  dist::ShardedParams p;
+  p.num_shards = 3;
+  p.exchange_interval = 2;
+  p.inner = dist::InnerKind::Naive;
+  p.overlap = true;
+  EXPECT_EQ(run_diff(p, {6, 7, 13}, 5, grid::XBoundary::Periodic, 57), 0.0);
+}
+
+TEST_F(ShardedEquivalence, OverlapIsANoOpOnASingleShard) {
+  dist::ShardedParams p;
+  p.num_shards = 1;
+  p.overlap = true;
+  p.inner = dist::InnerKind::Naive;
+  EXPECT_EQ(run_diff(p, {5, 5, 8}, 3, grid::XBoundary::Dirichlet, 59), 0.0);
+  EXPECT_FALSE(last_stats_.halo_overlapped);  // collapses to the barrier path
+}
+
+TEST(ShardedOverlap, BarrierModeReportsWaitButNoOverlapFlag) {
   const Layout layout({5, 6, 12});
+  FieldSet fs(layout);
+  em::build_random_stable(fs, 61);
   dist::ShardedParams p;
   p.num_shards = 2;
   p.inner = dist::InnerKind::Naive;
+  p.overlap = false;
   auto engine = dist::make_sharded_engine(p);
-  engine->prepare(layout.interior());  // explicit, ahead of the first run
+  engine->run(fs, 6);
+  EXPECT_FALSE(engine->stats().halo_overlapped);
+  EXPECT_GE(engine->stats().halo_wait_seconds, 0.0);
+  EXPECT_EQ(engine->stats().halo_hidden_seconds, 0.0);
+  EXPECT_STREQ(engine->stats().kernel_isa, "scalar");
+}
 
-  for (int rep = 0; rep < 3; ++rep) {
-    FieldSet reference(layout);
-    em::build_random_stable(reference, 61 + static_cast<unsigned>(rep));
-    FieldSet fs(layout);
-    em::build_random_stable(fs, 61 + static_cast<unsigned>(rep));
-    kernels::reference_step(reference, 3);
-    engine->run(fs, 3);
-    EXPECT_EQ(FieldSet::max_field_diff(fs, reference), 0.0) << "rep " << rep;
+// ------------------------------------------------- prepared-state reuse
+
+TEST(ShardedPrepare, RepeatedRunsReuseShardStateAndStayExact) {
+  for (bool overlap : {false, true}) {
+    const Layout layout({5, 6, 12});
+    dist::ShardedParams p;
+    p.num_shards = 2;
+    p.inner = dist::InnerKind::Naive;
+    p.overlap = overlap;  // flow counters must reset across reused runs
+    auto engine = dist::make_sharded_engine(p);
+    engine->prepare(layout.interior());  // explicit, ahead of the first run
+
+    for (int rep = 0; rep < 3; ++rep) {
+      FieldSet reference(layout);
+      em::build_random_stable(reference, 61 + static_cast<unsigned>(rep));
+      FieldSet fs(layout);
+      em::build_random_stable(fs, 61 + static_cast<unsigned>(rep));
+      kernels::reference_step(reference, 3);
+      engine->run(fs, 3);
+      EXPECT_EQ(FieldSet::max_field_diff(fs, reference), 0.0)
+          << "overlap=" << overlap << " rep " << rep;
+    }
+
+    // A different grid forces a transparent re-prepare.
+    const Layout other({4, 5, 9});
+    FieldSet reference(other);
+    em::build_random_stable(reference, 67);
+    FieldSet fs(other);
+    em::build_random_stable(fs, 67);
+    kernels::reference_step(reference, 2);
+    engine->run(fs, 2);
+    EXPECT_EQ(FieldSet::max_field_diff(fs, reference), 0.0) << "overlap=" << overlap;
+    engine->reset_prepared();  // dropping the cache is always safe
   }
-
-  // A different grid forces a transparent re-prepare.
-  const Layout other({4, 5, 9});
-  FieldSet reference(other);
-  em::build_random_stable(reference, 67);
-  FieldSet fs(other);
-  em::build_random_stable(fs, 67);
-  kernels::reference_step(reference, 2);
-  engine->run(fs, 2);
-  EXPECT_EQ(FieldSet::max_field_diff(fs, reference), 0.0);
-  engine->reset_prepared();  // dropping the cache is always safe
 }
 
 // ------------------------------------------------- shard failure handling
@@ -326,23 +398,63 @@ class FlakyEngine final : public exec::Engine {
 
 TEST(ShardedFailure, ThrowingInnerEngineCannotDeadlockOtherShards) {
   // Shard 1 of 3 throws — immediately, or mid-run after one good exchange
-  // round — while shards 0 and 2 keep draining the barrier schedule.  The
-  // run must terminate (no deadlock at the SpinBarrier / halo handshake)
-  // and rethrow the injected exception on the caller.
-  for (int good_chunks : {0, 1}) {
-    dist::ShardedParams p;
-    p.num_shards = 3;
-    p.exchange_interval = 1;
-    p.inner_factory = [good_chunks](int shard, int threads) -> std::unique_ptr<exec::Engine> {
-      if (shard == 1) return std::make_unique<failure::FlakyEngine>(threads, good_chunks);
-      return exec::make_naive_engine(threads);
-    };
-    const Layout layout({5, 5, 12});
-    FieldSet fs(layout);
-    em::build_random_stable(fs, 71);
-    auto engine = dist::make_sharded_engine(p);
-    EXPECT_THROW(engine->run(fs, 5), std::runtime_error) << "good_chunks=" << good_chunks;
+  // round — while shards 0 and 2 keep draining the round schedule.  The
+  // run must terminate and rethrow the injected exception on the caller,
+  // in BOTH exchange modes: no shard may be left spinning at the
+  // SpinBarrier (barrier mode) or on a post/wait round counter (overlap
+  // mode; the FlakyEngine also never runs the installed prologue, which
+  // exercises the inline-wait fallback and the drain redo).
+  for (bool overlap : {false, true}) {
+    for (int good_chunks : {0, 1}) {
+      dist::ShardedParams p;
+      p.num_shards = 3;
+      p.exchange_interval = 1;
+      p.overlap = overlap;
+      p.inner_factory = [good_chunks](int shard,
+                                      int threads) -> std::unique_ptr<exec::Engine> {
+        if (shard == 1) return std::make_unique<failure::FlakyEngine>(threads, good_chunks);
+        return exec::make_naive_engine(threads);
+      };
+      const Layout layout({5, 5, 12});
+      FieldSet fs(layout);
+      em::build_random_stable(fs, 71);
+      auto engine = dist::make_sharded_engine(p);
+      EXPECT_THROW(engine->run(fs, 5), std::runtime_error)
+          << "overlap=" << overlap << " good_chunks=" << good_chunks;
+    }
   }
+}
+
+TEST(ShardedFailure, OverlappedRunRecoversAfterAFailedRun) {
+  // After a failed overlapped run, the same prepared engine must run
+  // cleanly again (flow counters reset per run) and stay bit-exact.
+  int failures_armed = 1;
+  dist::ShardedParams p;
+  p.num_shards = 2;
+  p.overlap = true;
+  p.inner_factory = [&failures_armed](int shard,
+                                      int threads) -> std::unique_ptr<exec::Engine> {
+    if (shard == 1 && failures_armed > 0) {
+      --failures_armed;
+      return std::make_unique<failure::FlakyEngine>(threads, 1);
+    }
+    return exec::make_naive_engine(threads);
+  };
+  const Layout layout({5, 5, 12});
+  FieldSet fs(layout);
+  em::build_random_stable(fs, 73);
+  auto engine = dist::make_sharded_engine(p);
+  EXPECT_THROW(engine->run(fs, 4), std::runtime_error);
+
+  // Rebuild the inners without the flaky shard and rerun on fresh fields.
+  engine->reset_prepared();
+  FieldSet reference(layout);
+  em::build_random_stable(reference, 79);
+  FieldSet fs2(layout);
+  em::build_random_stable(fs2, 79);
+  kernels::reference_step(reference, 4);
+  engine->run(fs2, 4);
+  EXPECT_EQ(FieldSet::max_field_diff(fs2, reference), 0.0);
 }
 
 TEST(ShardedFailure, ThrowingInnerFactoryPropagatesFromPrepare) {

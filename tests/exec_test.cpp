@@ -195,6 +195,81 @@ TEST(Engines, ReportStats) {
             mwd->stats().seconds * mwd->threads() + 1.0);
 }
 
+TEST(Engines, StatsRecordTheResolvedKernelIsa) {
+  // All stock engines drive the scalar bitwise-reference row kernel; the
+  // stats field exists so an ISA-dispatch miss is observable, not silent.
+  grid::Layout L({8, 8, 8});
+  grid::FieldSet fs(L);
+  em::build_random_stable(fs, 59);
+  auto naive = exec::make_naive_engine(1);
+  naive->run(fs, 1);
+  EXPECT_STREQ(naive->stats().kernel_isa, "scalar");
+  auto spatial = exec::make_spatial_engine(1);
+  spatial->run(fs, 1);
+  EXPECT_STREQ(spatial->stats().kernel_isa, "scalar");
+  exec::MwdParams p;
+  p.dw = 2;
+  auto mwd = exec::make_mwd_engine(p);
+  mwd->run(fs, 1);
+  EXPECT_STREQ(mwd->stats().kernel_isa, "scalar");
+}
+
+TEST(MwdEngine, CachedTilingSurvivesRepeatedAndChunkedRuns) {
+  // The DiamondTiling/TileDag/TileQueue triple is cached across run()
+  // calls; repeated runs (the tuner's stage-2 pattern) and alternating
+  // step counts (a sharded round sequence's full + partial chunks) must
+  // reuse it and stay bit-exact.
+  grid::Layout L({7, 9, 8});
+  exec::MwdParams p;
+  p.dw = 3;
+  p.num_tgs = 2;
+  auto eng = exec::make_mwd_engine(p);
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int steps : {3, 1, 3}) {
+      grid::FieldSet ref(L), fs(L);
+      em::build_random_stable(ref, 101 + static_cast<unsigned>(rep));
+      em::build_random_stable(fs, 101 + static_cast<unsigned>(rep));
+      kernels::reference_step(ref, steps);
+      eng->run(fs, steps);
+      EXPECT_EQ(grid::FieldSet::max_field_diff(fs, ref), 0.0)
+          << "rep=" << rep << " steps=" << steps;
+      tiling::DiamondTiling dt(3, 9, steps);
+      EXPECT_EQ(eng->stats().tiles_executed, static_cast<std::int64_t>(dt.tiles().size()));
+    }
+  }
+}
+
+TEST(Engines, PrologueRunsOncePerRunBeforeFieldUpdates) {
+  grid::Layout L({6, 8, 7});
+  for (auto make : {+[] { return exec::make_naive_engine(2); },
+                    +[] { return exec::make_spatial_engine(2); }, +[] {
+                      exec::MwdParams p;
+                      p.dw = 2;
+                      p.num_tgs = 2;
+                      return exec::make_mwd_engine(p);
+                    }}) {
+    auto eng = make();
+    ASSERT_TRUE(eng->supports_run_prologue());
+    int calls = 0;
+    eng->set_run_prologue([&] { ++calls; });
+    grid::FieldSet ref(L), fs(L);
+    em::build_random_stable(ref, 83);
+    em::build_random_stable(fs, 83);
+    kernels::reference_step(ref, 2);
+    eng->run(fs, 2);
+    EXPECT_EQ(calls, 1) << eng->name();
+    EXPECT_EQ(grid::FieldSet::max_field_diff(fs, ref), 0.0) << eng->name();
+    eng->run(fs, 1);
+    EXPECT_EQ(calls, 2) << eng->name();
+
+    // A throwing prologue must abort the run cleanly (no stranded team).
+    eng->set_run_prologue([] { throw std::runtime_error("injected prologue failure"); });
+    EXPECT_THROW(eng->run(fs, 1), std::runtime_error) << eng->name();
+    eng->set_run_prologue(nullptr);
+    EXPECT_NO_THROW(eng->run(fs, 1)) << eng->name();
+  }
+}
+
 TEST(Engines, StaticScheduleExecutesAllTilesWithoutQueueWaits) {
   grid::Layout L({8, 10, 8});
   grid::FieldSet fs(L);

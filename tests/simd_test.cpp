@@ -53,6 +53,22 @@ TEST(Simd, ReportsAvailability) {
   SUCCEED();
 }
 
+TEST(Simd, IsaResolutionIsObservable) {
+  using kernels::KernelIsa;
+  // Scalar always resolves to itself; an AVX2 request resolves to AVX2
+  // exactly when the build + CPU support it, and otherwise falls back to
+  // scalar VISIBLY (callers record the resolved name in stats/CSVs).
+  EXPECT_EQ(kernels::resolve_isa(KernelIsa::Scalar), KernelIsa::Scalar);
+  const KernelIsa got = kernels::resolve_isa(KernelIsa::Avx2);
+  if (kernels::avx2_supported()) {
+    EXPECT_EQ(got, KernelIsa::Avx2);
+  } else {
+    EXPECT_EQ(got, KernelIsa::Scalar);
+  }
+  EXPECT_STREQ(kernels::to_string(KernelIsa::Scalar), "scalar");
+  EXPECT_STREQ(kernels::to_string(KernelIsa::Avx2), "avx2");
+}
+
 TEST(Simd, Avx2MatchesScalarAcrossShapes) {
   if (!kernels::avx2_supported()) GTEST_SKIP() << "no AVX2 on this machine";
   // Odd and even cell counts (tail path), both shift directions, both

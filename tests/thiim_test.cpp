@@ -102,6 +102,20 @@ TEST(Simulation, ShardedAutoTunedEnginesAgreeWithNaive) {
     cfg.shard_mwd = {a, a};
     configs.push_back(cfg);
   }
+  {
+    auto cfg = small_cfg(EngineKind::Sharded);  // overlapped exchange, fixed inner
+    cfg.shard_engine = EngineKind::Naive;
+    cfg.num_shards = 2;
+    cfg.shard_overlap = true;
+    configs.push_back(cfg);
+  }
+  {
+    auto cfg = small_cfg(EngineKind::Sharded);  // overlap pinned through the tuner
+    cfg.shard_engine = EngineKind::Auto;
+    cfg.num_shards = 2;
+    cfg.shard_overlap = true;
+    configs.push_back(cfg);
+  }
   for (std::size_t i = 0; i < configs.size(); ++i) {
     Simulation sim(configs[i]);
     sim.finalize();

@@ -33,6 +33,60 @@ TEST(ExchangeIntervals, SingleShardNeedsNoExchange) {
   EXPECT_EQ(tune::enumerate_exchange_intervals(1, {32, 32, 64}), (std::vector<int>{1}));
 }
 
+TEST(OverlapAxis, CollapsesOnASingleShard) {
+  EXPECT_EQ(tune::enumerate_overlap_modes(1), (std::vector<bool>{false}));
+  EXPECT_EQ(tune::enumerate_overlap_modes(2), (std::vector<bool>{false, true}));
+  EXPECT_EQ(tune::enumerate_overlap_modes(4), (std::vector<bool>{false, true}));
+}
+
+TEST(OverlapAxis, StageOneChargesOnlyExposedBytesWithOverlap) {
+  ShardedTuneConfig cfg;
+  cfg.threads = 4;
+  cfg.grid = {32, 32, 40};
+  cfg.machine = models::haswell18();
+  const tune::ShardedCandidate barrier = tune::score_sharded_candidate(4, 2, cfg, false);
+  const tune::ShardedCandidate overlap = tune::score_sharded_candidate(4, 2, cfg, true);
+  EXPECT_FALSE(barrier.plan.overlap);
+  EXPECT_TRUE(overlap.plan.overlap);
+  // Same payload, but the overlapped protocol exposes only the worst single
+  // shard's pull (interior shards pull two sides of a 4-way split, i.e. a
+  // quarter of the 6 one-sided donations), so its exposed bytes are lower
+  // and its predicted score strictly higher.
+  EXPECT_DOUBLE_EQ(barrier.halo_bytes_per_step, overlap.halo_bytes_per_step);
+  EXPECT_DOUBLE_EQ(barrier.exposed_halo_bytes_per_step, barrier.halo_bytes_per_step);
+  EXPECT_LT(overlap.exposed_halo_bytes_per_step, overlap.halo_bytes_per_step);
+  EXPECT_GT(overlap.predicted_mlups, barrier.predicted_mlups);
+  // Overlap must not change what is computed, only how it synchronizes.
+  EXPECT_DOUBLE_EQ(barrier.redundant_lup_fraction, overlap.redundant_lup_fraction);
+}
+
+TEST(OverlapAxis, SearchedByDefaultAndSerializedInPlans) {
+  ShardedTuneConfig cfg;
+  cfg.threads = 4;
+  cfg.grid = {16, 16, 64};
+  cfg.machine = models::haswell18();
+  cfg.timed_refinement = false;
+  const ShardedTuneResult r = tune::autotune_sharded(cfg);
+  bool saw_overlap = false, saw_barrier_multi = false;
+  for (const tune::ShardedCandidate& c : r.ranked) {
+    if (c.plan.num_shards <= 1) {
+      EXPECT_FALSE(c.plan.overlap);  // never emitted for K = 1
+      continue;
+    }
+    (c.plan.overlap ? saw_overlap : saw_barrier_multi) = true;
+    if (c.plan.overlap) {
+      EXPECT_NE(c.plan.describe().find(",overlap"), std::string::npos);
+      EXPECT_TRUE(tune::to_sharded_params(c.plan).overlap);
+    } else {
+      EXPECT_FALSE(tune::to_sharded_params(c.plan).overlap);
+    }
+  }
+  EXPECT_TRUE(saw_overlap);
+  EXPECT_TRUE(saw_barrier_multi);
+  // The CSV carries the axis (one column between payload and predictions).
+  EXPECT_NE(r.to_csv().find(",overlap,"), std::string::npos);
+}
+
 TEST(ExchangeIntervals, CappedByLimitThenByOwnedPlanes) {
   SpaceLimits limits;
   limits.max_exchange_interval = 4;
@@ -108,10 +162,28 @@ TEST(ShardedTune, FixedAxesPinTheSearch) {
   cfg.timed_refinement = false;
   cfg.fixed_shards = 2;
   cfg.fixed_interval = 3;
+  // Pinned decomposition, free overlap axis: exactly the barrier and the
+  // overlapped variant of the one pinned (K, T) point remain.
   const ShardedTuneResult r = tune::autotune_sharded(cfg);
-  ASSERT_EQ(r.ranked.size(), 1u);
+  ASSERT_EQ(r.ranked.size(), 2u);
+  for (const tune::ShardedCandidate& c : r.ranked) {
+    EXPECT_EQ(c.plan.num_shards, 2);
+    EXPECT_EQ(c.plan.exchange_interval, 3);
+  }
+  EXPECT_NE(r.ranked[0].plan.overlap, r.ranked[1].plan.overlap);
   EXPECT_EQ(r.best.plan.num_shards, 2);
   EXPECT_EQ(r.best.plan.exchange_interval, 3);
+
+  // Pinning the overlap axis too collapses the space to a single plan.
+  cfg.fixed_overlap = 0;
+  const ShardedTuneResult pinned_off = tune::autotune_sharded(cfg);
+  ASSERT_EQ(pinned_off.ranked.size(), 1u);
+  EXPECT_FALSE(pinned_off.best.plan.overlap);
+  cfg.fixed_overlap = 1;
+  const ShardedTuneResult pinned_on = tune::autotune_sharded(cfg);
+  ASSERT_EQ(pinned_on.ranked.size(), 1u);
+  EXPECT_TRUE(pinned_on.best.plan.overlap);
+  cfg.fixed_overlap = -1;
 
   // A pinned interval deeper than the smallest owned block is clamped, not
   // rejected: 40 planes over 4 shards own 10 each.
@@ -170,8 +242,12 @@ TEST(ShardedTune, EveryEmittablePlanIsBitExactVsUndecomposedRun) {
   const ShardedTuneResult r = tune::autotune_sharded(cfg);
   ASSERT_FALSE(r.ranked.empty());
 
+  // The ranked set must cover the overlap axis, so this loop is also the
+  // bit-exactness proof for every overlapped plan the tuner can emit.
+  bool covers_overlap = false;
   const Layout layout(cfg.grid);
   for (const tune::ShardedCandidate& c : r.ranked) {
+    covers_overlap = covers_overlap || c.plan.overlap;
     FieldSet reference(layout);
     em::build_random_stable(reference, /*seed=*/91);
     FieldSet fs(layout);
@@ -183,7 +259,10 @@ TEST(ShardedTune, EveryEmittablePlanIsBitExactVsUndecomposedRun) {
     engine->run(fs, steps);
     EXPECT_EQ(FieldSet::max_field_diff(fs, reference), 0.0) << c.plan.describe();
     EXPECT_EQ(engine->stats().shards, c.plan.num_shards) << c.plan.describe();
+    EXPECT_EQ(engine->stats().halo_overlapped, c.plan.overlap && c.plan.num_shards > 1)
+        << c.plan.describe();
   }
+  EXPECT_TRUE(covers_overlap);
 }
 
 TEST(ShardedTune, ChooseShardCountNeverExceedsAnyShardZExtent) {
