@@ -2,9 +2,17 @@
 // machinery and cache-simulator throughput.  These are the numbers that
 // bound everything else: the row kernel's in-cache rate is the Pcore of the
 // bottleneck model.
+//
+// The unified --engine flag (consumed before google-benchmark sees argv)
+// adds a BM_EngineSpec benchmark stepping whatever spec string it names,
+// so any registry engine can be timed in place:
+//
+//   ./bench_micro --engine="sharded(shards=2,inner=mwd(dw=4))" \
+//       --benchmark_filter=BM_EngineSpec
 #include <benchmark/benchmark.h>
 
 #include "cachesim/cache.hpp"
+#include "common.hpp"
 #include "em/coefficients.hpp"
 #include "exec/engine.hpp"
 #include "grid/fieldset.hpp"
@@ -143,4 +151,39 @@ void BM_CacheAccess(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheAccess);
 
+/// One full step of the engine named by --engine, built via the registry.
+void BM_EngineSpec(benchmark::State& state, const std::string& spec_text) {
+  const int n = 32;
+  grid::Layout L({n, n, n});
+  grid::FieldSet fs(L);
+  em::build_random_stable(fs, 1);
+  exec::BuildContext ctx;
+  ctx.grid = L.interior();
+  ctx.threads = 2;
+  std::unique_ptr<exec::Engine> engine;
+  try {
+    engine = exec::EngineRegistry::global().build(exec::parse_engine_spec(spec_text), ctx);
+  } catch (const std::invalid_argument& e) {
+    state.SkipWithError(e.what());
+    return;
+  }
+  for (auto _ : state) {
+    engine->run(fs, 1);
+  }
+  state.SetItemsProcessed(state.iterations() * L.interior().cells());
+  state.SetLabel(engine->stats().kernel_isa);
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  const std::string spec =
+      emwd::bench::consume_engine_flag(argc, argv, "mwd(dw=4,bz=2)");
+  benchmark::RegisterBenchmark(("BM_EngineSpec/" + spec).c_str(),
+                               [spec](benchmark::State& s) { BM_EngineSpec(s, spec); });
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

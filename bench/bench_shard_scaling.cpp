@@ -12,14 +12,19 @@
 // on a multi-socket host the NUMA-local shard placement turns it into a
 // socket-scaling study.
 //
+// Engines are built from spec strings through the EngineRegistry — the
+// sweep axes (shards, interval, overlap twin) compose a
+// `sharded(shards=K,...,inner=<spec>)` spec per point; the unified
+// --engine flag overrides the default naive/mwd inner pair.
+//
 // --csv writes the table for .github/check_shard_smoke.py; --json writes a
 // machine-readable barrier-vs-overlap record (BENCH_overlap.json in CI).
 #include "common.hpp"
 
 #include <fstream>
+#include <stdexcept>
 
 #include "dist/numa.hpp"
-#include "dist/sharded_engine.hpp"
 #include "em/coefficients.hpp"
 #include "grid/fieldset.hpp"
 #include "kernels/update_simd.hpp"
@@ -36,14 +41,17 @@ struct RowResult {
   double halo_exposed = 0.0; // spikes reflect the host scheduler
 };
 
-/// prepare() + warmup outside the timed region, then the best of `repeats`
-/// timed runs (the tuner's stage-2 methodology).
-RowResult run_point(const dist::ShardedParams& p, const grid::Layout& layout, int steps,
-                    int repeats, unsigned seed) {
+/// Warmup outside the timed region (also triggers the sharded engine's
+/// prepare() allocation), then the best of `repeats` timed runs (the
+/// tuner's stage-2 methodology).
+RowResult run_point(const exec::EngineSpec& spec, const grid::Layout& layout,
+                    int threads, int steps, int repeats, unsigned seed) {
   grid::FieldSet fs(layout);
   em::build_random_stable(fs, seed);
-  auto engine = dist::make_sharded_engine(p);
-  engine->prepare(layout.interior());
+  exec::BuildContext ctx;
+  ctx.grid = layout.interior();
+  ctx.threads = threads;  // the --threads budget (inner=auto tunes against it)
+  auto engine = exec::EngineRegistry::global().build(spec, ctx);
   engine->run(fs, std::min(steps, 2));  // warmup: fault pages in, warm caches
   RowResult best;
   best.seconds = 1e300;
@@ -82,6 +90,7 @@ int main(int argc, char** argv) {
   cli.add_flag("interval", "steps between halo exchanges", "1");
   cli.add_flag("repeats", "timed repeats per point (best wins)", "3");
   cli.add_flag("numa", "bind shards to NUMA nodes", "true");
+  emwd::bench::add_engine_flag(cli, "");  // inner spec; empty = naive AND mwd
   cli.add_flag("csv", "also write the table as CSV to this file", "");
   cli.add_flag("json", "write a barrier-vs-overlap JSON record to this file", "");
   if (!cli.parse(argc, argv)) {
@@ -101,6 +110,14 @@ int main(int argc, char** argv) {
   const int repeats = static_cast<int>(cli.get_int("repeats", 3));
   const bool numa = cli.get_bool("numa", true);
   const std::vector<long> shard_counts = cli.get_int_list("shards", {1, 2, 4});
+  // The sweep's inner engines: the unified --engine spec when given, else
+  // the naive/mwd pair the smoke gates compare.
+  std::vector<std::string> inners;
+  if (cli.get("engine").empty()) {
+    inners = {"naive", "mwd"};
+  } else {
+    inners = {exec::to_string(emwd::bench::engine_spec_from_cli(cli))};
+  }
 
   banner("bench_shard_scaling",
          "dist/ subsystem: aggregate MLUP/s vs. z-shard count, barrier vs. overlap");
@@ -118,21 +135,31 @@ int main(int argc, char** argv) {
                  "halo MB/exchg", "halo s (thread)", "redundant LUP %", "overlap",
                  "seconds", "halo wait s", "halo hidden s", "halo exposed s", "isa"});
   std::string json_rows;
-  for (const char* inner : {"naive", "mwd"}) {
+  for (const std::string& inner : inners) {
     double base_mlups = 0.0;
     for (long k : shard_counts) {
       for (bool overlap : {false, true}) {
         if (overlap && k <= 1) continue;  // overlap is a no-op on one shard
-        dist::ShardedParams p;
-        p.num_shards = static_cast<int>(k);
-        p.exchange_interval = interval;
-        p.inner = dist::inner_kind_from_string(inner);
-        p.threads_per_shard = std::max(1, threads / std::max(1, static_cast<int>(k)));
-        p.numa_bind = numa;
-        p.overlap = overlap;
+        const int tps = std::max(1, threads / std::max(1, static_cast<int>(k)));
+        const exec::EngineSpec inner_spec = exec::parse_engine_spec(inner);
+        exec::EngineSpec spec;
+        spec.kind = "sharded";
+        spec.add("shards", k).add("interval", static_cast<long>(interval));
+        if (overlap) spec.add_flag("overlap");
+        // Pin the per-shard budget (K > threads oversubscribes on purpose)
+        // — except for inner=auto, where the tuner derives it.
+        if (inner_spec.kind != "auto") spec.add("tps", static_cast<long>(tps));
+        if (!numa) spec.add("numa", std::string("0"));
+        spec.add("inner", inner_spec);
 
-        const RowResult r =
-            run_point(p, layout, steps, repeats, 0x5eedu + static_cast<unsigned>(k));
+        RowResult r;
+        try {
+          r = run_point(spec, layout, threads, steps, repeats,
+                        0x5eedu + static_cast<unsigned>(k));
+        } catch (const std::invalid_argument& e) {
+          std::fprintf(stderr, "bad --engine: %s\n", e.what());
+          return 2;
+        }
         const exec::EngineStats& st = r.stats;
 
         if (st.shards == 1 && !overlap) base_mlups = st.mlups;
@@ -145,7 +172,7 @@ int main(int argc, char** argv) {
                 ? static_cast<double>(st.halo_bytes_moved) /
                       (1024.0 * 1024.0 * static_cast<double>((steps - 1) / interval))
                 : 0.0;
-        t.add_row({inner, std::to_string(st.shards), std::to_string(p.threads_per_shard),
+        t.add_row({inner, std::to_string(st.shards), std::to_string(tps),
                    util::fmt_double(st.mlups, 4),
                    base_mlups > 0 ? util::fmt_double(st.mlups / base_mlups, 3) : "-",
                    util::fmt_double(halo_mb_per_exchange, 3),
@@ -162,7 +189,7 @@ int main(int argc, char** argv) {
         if (!json_rows.empty()) json_rows += ",\n";
         json_rows += std::string("    {\"inner\": \"") + inner +
                      "\", \"shards\": " + std::to_string(st.shards) +
-                     ", \"threads_per_shard\": " + std::to_string(p.threads_per_shard) +
+                     ", \"threads_per_shard\": " + std::to_string(tps) +
                      ", \"overlap\": " + (st.halo_overlapped ? "true" : "false") +
                      ", \"seconds\": " + json_escape_free(st.seconds) +
                      ", \"mlups\": " + json_escape_free(st.mlups) +

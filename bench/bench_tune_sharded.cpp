@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <stdexcept>
 
 #include "em/coefficients.hpp"
 #include "grid/fieldset.hpp"
@@ -34,6 +35,10 @@ int main(int argc, char** argv) {
   cli.add_flag("topk", "stage-2 refinement depth", "3");
   cli.add_flag("repeats", "timed repetitions per plan (best wins)", "2");
   cli.add_flag("min-shard-planes", "smallest owned z-block worth sharding", "8");
+  // The unified --engine flag pins search axes: a `sharded(...)` spec's
+  // shards / interval / overlap arguments become fixed_* pins; the bare
+  // default searches every axis.
+  emwd::bench::add_engine_flag(cli, "sharded");
   cli.add_flag("csv", "write the per-candidate table to this file", "");
   cli.add_flag("max-gap-pct", "exit non-zero when chosen-vs-best gap exceeds this", "");
   if (!cli.parse(argc, argv)) {
@@ -55,6 +60,30 @@ int main(int argc, char** argv) {
   cfg.refine_top_k = static_cast<int>(cli.get_int("topk", 3));
   cfg.refine_steps = static_cast<int>(cli.get_int("steps", 4));
   cfg.repeats = static_cast<int>(cli.get_int("repeats", 2));
+
+  const exec::EngineSpec pin = engine_spec_from_cli(cli);
+  if (pin.kind != "sharded") {
+    std::fprintf(stderr, "bad --engine: expected a sharded(...) spec, got %s\n",
+                 pin.kind.c_str());
+    return 1;
+  }
+  // Only the searchable axes may be pinned here; anything else (a full plan
+  // with tps=/inner=, or a typo like shard=) must fail loudly, not be
+  // silently dropped — a full plan runs via driver/bench_shard_scaling.
+  try {
+    static const char* const pin_keys[] = {"shards", "interval", "overlap", nullptr};
+    exec::detail::check_spec_keys(pin, pin_keys);
+    cfg.fixed_shards = static_cast<int>(std::max(0L, pin.get_int("shards", 0)));
+    cfg.fixed_interval = static_cast<int>(std::max(0L, pin.get_int("interval", 0)));
+    if (pin.has("overlap")) cfg.fixed_overlap = pin.get_bool("overlap", false) ? 1 : 0;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr,
+                 "bad --engine: %s\n(only shards/interval/overlap pin this "
+                 "bench's search; run a full plan spec via driver or "
+                 "bench_shard_scaling)\n",
+                 e.what());
+    return 1;
+  }
 
   banner("bench_tune_sharded",
          "two-stage sharded tuner vs. exhaustive-best (chosen-plan gap)");
@@ -93,10 +122,13 @@ int main(int argc, char** argv) {
   const tune::ShardedCandidate& exhaustive = result.ranked[best_idx];
   const double gap_pct =
       100.0 * (chosen.measured_seconds - best_seconds) / best_seconds;
-  std::printf("\nchosen   : %s  %.5f s  (%.4g MLUP/s)\n", chosen.plan.describe().c_str(),
-              chosen.measured_seconds, chosen.measured_mlups);
+  // Spec strings, not describe(): either line pastes back into --engine.
+  std::printf("\nchosen   : %s  %.5f s  (%.4g MLUP/s)\n",
+              exec::to_string(chosen.plan.to_spec()).c_str(), chosen.measured_seconds,
+              chosen.measured_mlups);
   std::printf("exhaustive-best: %s  %.5f s  (%.4g MLUP/s)\n",
-              exhaustive.plan.describe().c_str(), best_seconds, exhaustive.measured_mlups);
+              exec::to_string(exhaustive.plan.to_spec()).c_str(), best_seconds,
+              exhaustive.measured_mlups);
   std::printf("chosen-vs-best gap: %.2f %%\n", gap_pct);
 
   const std::string csv_path = cli.get("csv", "");

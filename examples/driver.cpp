@@ -1,15 +1,19 @@
-// General-purpose run driver: configure grid, engine, tiling parameters,
-// boundary conditions and physics from the command line, run, and print a
-// machine-readable report.  This is the entry point a downstream user
-// scripts parameter studies with.
+// General-purpose run driver: configure grid, engine, boundary conditions
+// and physics from the command line, run, and print a machine-readable
+// report.  This is the entry point a downstream user scripts parameter
+// studies with.  Engine selection is one spec string (the unified --engine
+// flag, grammar in src/exec/README.md):
 //
-//   ./driver --grid=32x32x64 --engine=mwd --dw=8 --bz=2 --tx=2 --tc=3
-//            --groups=1 --steps=100 --periodic-x --report=csv
+//   ./driver --grid=32x32x64 --engine="mwd(dw=8,bz=2,tx=2,tc=3,groups=1)"
+//            --steps=100 --periodic-x --report=csv
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
+#include "bench/common.hpp"
 #include "em/geometry.hpp"
 #include "thiim/simulation.hpp"
 #include "util/cli.hpp"
@@ -31,15 +35,8 @@ int main(int argc, char** argv) {
 
   util::Cli cli;
   cli.add_flag("grid", "NXxNYxNZ", "32x32x64");
-  cli.add_flag("engine", "naive | spatial | mwd | auto", "auto");
-  cli.add_flag("dw", "diamond width (mwd)", "4");
-  cli.add_flag("bz", "wavefront block (mwd)", "2");
-  cli.add_flag("tx", "x split (mwd)", "1");
-  cli.add_flag("tz", "z split (mwd)", "1");
-  cli.add_flag("tc", "component split (mwd)", "1");
-  cli.add_flag("groups", "thread groups (mwd)", "1");
-  cli.add_flag("static-schedule", "use the static wavefront scheduler");
-  cli.add_flag("threads", "threads for naive/spatial/auto", "2");
+  emwd::bench::add_engine_flag(cli, "auto");
+  cli.add_flag("threads", "thread budget for the engine", "2");
   cli.add_flag("steps", "THIIM iterations", "100");
   cli.add_flag("wavelength", "wavelength in cells", "20");
   cli.add_flag("pml", "PML thickness in cells", "6");
@@ -65,32 +62,20 @@ int main(int argc, char** argv) {
   cfg.threads = static_cast<int>(cli.get_int("threads", 2));
   if (cli.get_bool("periodic-x", false)) cfg.x_boundary = grid::XBoundary::Periodic;
 
-  const std::string engine = cli.get("engine");
-  if (engine == "naive") {
-    cfg.engine = thiim::EngineKind::Naive;
-  } else if (engine == "spatial") {
-    cfg.engine = thiim::EngineKind::Spatial;
-  } else if (engine == "mwd") {
-    cfg.engine = thiim::EngineKind::Mwd;
-    exec::MwdParams p;
-    p.dw = static_cast<int>(cli.get_int("dw", 4));
-    p.bz = static_cast<int>(cli.get_int("bz", 2));
-    p.tx = static_cast<int>(cli.get_int("tx", 1));
-    p.tz = static_cast<int>(cli.get_int("tz", 1));
-    p.tc = static_cast<int>(cli.get_int("tc", 1));
-    p.num_tgs = static_cast<int>(cli.get_int("groups", 1));
-    if (cli.get_bool("static-schedule", false)) {
-      p.schedule = exec::TileSchedule::StaticWave;
-    }
-    cfg.mwd = p;
-  } else if (engine == "auto") {
-    cfg.engine = thiim::EngineKind::Auto;
-  } else {
-    std::fprintf(stderr, "unknown --engine=%s\n", engine.c_str());
-    return 1;
-  }
+  // Parse eagerly so a typo'd spec fails with a parse position instead of
+  // from deep inside construction; the facade re-parses the string.
+  cfg.engine_spec = exec::to_string(emwd::bench::engine_spec_from_cli(cli));
 
-  thiim::Simulation sim(cfg);
+  // Semantic spec errors (unknown kind, unknown argument key) surface at
+  // construction: report them like parse errors instead of aborting.
+  std::unique_ptr<thiim::Simulation> sim_ptr;
+  try {
+    sim_ptr = std::make_unique<thiim::Simulation>(cfg);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "bad --engine: %s\n", e.what());
+    return 2;
+  }
+  thiim::Simulation& sim = *sim_ptr;
   if (cli.get_bool("stack", false)) {
     auto& mats = sim.materials();
     const auto ag = mats.add(em::silver());
@@ -123,6 +108,7 @@ int main(int argc, char** argv) {
   report.add_row({"barriers", std::to_string(st.barrier_episodes)});
   report.add_row({"queue_wait_s", util::fmt_double(st.queue_wait_seconds, 4)});
   report.add_row({"barrier_wait_s", util::fmt_double(st.barrier_wait_seconds, 4)});
+  report.add_row({"isa", st.kernel_isa});
   report.add_row({"E_energy", util::fmt_double(sim.electric_energy(), 8)});
   report.add_row({"total_energy", util::fmt_double(sim.total_energy(), 8)});
   const auto abs = sim.absorption_by_material();

@@ -39,8 +39,10 @@ HaloStats& HaloStats::operator+=(const HaloStats& o) {
 }
 
 HaloExchange::HaloExchange(const Partitioner& part,
-                           std::vector<grid::FieldSet*> shard_sets)
+                           std::vector<grid::FieldSet*> shard_sets,
+                           std::unique_ptr<Transport> transport)
     : part_(part), shards_(std::move(shard_sets)),
+      transport_(transport ? std::move(transport) : make_local_transport()),
       stats_(static_cast<std::size_t>(part.num_shards())),
       posted_(static_cast<std::size_t>(part.num_shards())),
       consumed_lo_(static_cast<std::size_t>(part.num_shards())),
@@ -55,8 +57,8 @@ void HaloExchange::pull_lo(int s) {
   const ShardExtent& n = part_.shard(s - 1);
   grid::FieldSet& mine = *shards_.at(static_cast<std::size_t>(s));
   const grid::FieldSet& theirs = *shards_[static_cast<std::size_t>(s - 1)];
-  mine.copy_field_planes_from(theirs, n.to_local(e.z0 - e.lo), e.to_local(e.z0 - e.lo),
-                              e.lo);
+  transport_->pull_planes(mine, theirs, n.to_local(e.z0 - e.lo),
+                          e.to_local(e.z0 - e.lo), e.lo);
 }
 
 void HaloExchange::pull_hi(int s) {
@@ -64,7 +66,7 @@ void HaloExchange::pull_hi(int s) {
   const ShardExtent& n = part_.shard(s + 1);
   grid::FieldSet& mine = *shards_.at(static_cast<std::size_t>(s));
   const grid::FieldSet& theirs = *shards_[static_cast<std::size_t>(s + 1)];
-  mine.copy_field_planes_from(theirs, n.to_local(e.z1), e.to_local(e.z1), e.hi);
+  transport_->pull_planes(mine, theirs, n.to_local(e.z1), e.to_local(e.z1), e.hi);
 }
 
 void HaloExchange::exchange_for(int s) {
@@ -91,27 +93,6 @@ void HaloExchange::exchange_for(int s) {
   st.seconds += timer.seconds();
 }
 
-void HaloExchange::stage(int s, ExportBuffer& buf) {
-  const grid::FieldSet& fs = *shards_[static_cast<std::size_t>(s)];
-  const std::size_t plane = static_cast<std::size_t>(fs.layout().stride_z()) * 2;
-  double* out = buf.data.data();
-  for (int c = 0; c < kernels::kNumComps; ++c) {
-    fs.field(static_cast<kernels::Comp>(c))
-        .copy_z_planes_to_buffer(out, buf.src_k0, buf.planes);
-    out += plane * static_cast<std::size_t>(buf.planes);
-  }
-}
-
-void HaloExchange::unstage(int s, const ExportBuffer& buf, int dst_k0, int planes) {
-  grid::FieldSet& fs = *shards_[static_cast<std::size_t>(s)];
-  const std::size_t plane = static_cast<std::size_t>(fs.layout().stride_z()) * 2;
-  const double* in = buf.data.data();
-  for (int c = 0; c < kernels::kNumComps; ++c) {
-    fs.field(static_cast<kernels::Comp>(c)).copy_z_planes_from_buffer(in, dst_k0, planes);
-    in += plane * static_cast<std::size_t>(buf.planes);
-  }
-}
-
 void HaloExchange::reset_flow() {
   for (auto& c : posted_) c.v.store(0, std::memory_order_relaxed);
   for (auto& c : consumed_lo_) c.v.store(0, std::memory_order_relaxed);
@@ -127,7 +108,7 @@ void HaloExchange::reset_flow() {
                                        ->layout()
                                        .stride_z()) * 2;
       if (s > 0) {  // bottom owned planes become s-1's hi ghosts
-        ExportBuffer& b = export_down_[static_cast<std::size_t>(s)];
+        HaloBuffer& b = export_down_[static_cast<std::size_t>(s)];
         b.planes = part_.shard(s - 1).hi;
         b.src_k0 = e.to_local(e.z0);
         b.data.assign(plane * static_cast<std::size_t>(b.planes) *
@@ -135,7 +116,7 @@ void HaloExchange::reset_flow() {
                       0.0);
       }
       if (s + 1 < K) {  // top owned planes become s+1's lo ghosts
-        ExportBuffer& b = export_up_[static_cast<std::size_t>(s)];
+        HaloBuffer& b = export_up_[static_cast<std::size_t>(s)];
         b.planes = part_.shard(s + 1).lo;
         b.src_k0 = e.to_local(e.z1 - part_.shard(s + 1).lo);
         b.data.assign(plane * static_cast<std::size_t>(b.planes) *
@@ -163,8 +144,11 @@ void HaloExchange::post(int s, std::int64_t round, bool drain) {
       reuse_wait += spin_until(consumed_lo_[static_cast<std::size_t>(s + 1)].v, round - 1);
     }
     util::Timer copy;
-    if (s > 0) stage(s, export_down_[static_cast<std::size_t>(s)]);
-    if (s + 1 < part_.num_shards()) stage(s, export_up_[static_cast<std::size_t>(s)]);
+    const grid::FieldSet& mine = *shards_[static_cast<std::size_t>(s)];
+    if (s > 0) transport_->stage(mine, export_down_[static_cast<std::size_t>(s)]);
+    if (s + 1 < part_.num_shards()) {
+      transport_->stage(mine, export_up_[static_cast<std::size_t>(s)]);
+    }
     st.seconds += copy.seconds();
     st.wait_seconds += reuse_wait;
   }
@@ -214,8 +198,9 @@ void HaloExchange::wait(int s, std::int64_t round, bool drain) {
           posted_[static_cast<std::size_t>(s + 1)].v.load(std::memory_order_acquire) <
               round;
       util::Timer copy;
-      unstage(s, export_up_[static_cast<std::size_t>(s - 1)], e.to_local(e.ext_z0()),
-              e.lo);
+      transport_->unstage(*shards_[static_cast<std::size_t>(s)],
+                          export_up_[static_cast<std::size_t>(s - 1)],
+                          e.to_local(e.ext_z0()), e.lo);
       const double c = copy.seconds();
       copy_seconds += c;
       if (other_pending) hidden_seconds += c;
@@ -232,7 +217,9 @@ void HaloExchange::wait(int s, std::int64_t round, bool drain) {
           posted_[static_cast<std::size_t>(s - 1)].v.load(std::memory_order_acquire) <
               round;
       util::Timer copy;
-      unstage(s, export_down_[static_cast<std::size_t>(s + 1)], e.to_local(e.z1), e.hi);
+      transport_->unstage(*shards_[static_cast<std::size_t>(s)],
+                          export_down_[static_cast<std::size_t>(s + 1)],
+                          e.to_local(e.z1), e.hi);
       const double c = copy.seconds();
       copy_seconds += c;
       if (other_pending) hidden_seconds += c;

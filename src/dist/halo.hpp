@@ -34,9 +34,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "dist/partition.hpp"
+#include "dist/transport.hpp"
 #include "grid/fieldset.hpp"
 
 namespace emwd::dist {
@@ -55,7 +57,11 @@ struct HaloStats {
 class HaloExchange {
  public:
   /// `shard_sets[s]` must outlive the exchanger and use part.shard_layout(s).
-  HaloExchange(const Partitioner& part, std::vector<grid::FieldSet*> shard_sets);
+  /// All plane motion routes through `transport` (see transport.hpp); null
+  /// defaults to the shared-memory LocalTransport, which reproduces the
+  /// pre-seam exchange bit-exactly.
+  HaloExchange(const Partitioner& part, std::vector<grid::FieldSet*> shard_sets,
+               std::unique_ptr<Transport> transport = nullptr);
 
   /// Refresh shard `s`'s ghost planes from its neighbors' owned planes.
   /// Must run between barriers (no shard may be stepping concurrently).
@@ -107,20 +113,11 @@ class HaloExchange {
   /// pulls proceed pairwise instead of at a global stop.
   static std::int64_t max_shard_bytes_per_exchange(const Partitioner& part);
 
+  const Transport& transport() const { return *transport_; }
+
  private:
   void pull_lo(int s);
   void pull_hi(int s);
-
-  /// One side's staged donation: `planes` padded z-planes of all 12 field
-  /// arrays, packed [comp][plane][stride_z complex cells].
-  struct ExportBuffer {
-    int src_k0 = 0;  // first donated plane, donor-local logical z
-    int planes = 0;
-    std::vector<double> data;  // empty until reset_flow() sizes it
-  };
-
-  void stage(int s, ExportBuffer& buf);
-  void unstage(int s, const ExportBuffer& buf, int dst_k0, int planes);
 
   /// One cache line per counter: the protocol spins on neighbors' counters
   /// while owners advance their own.
@@ -130,12 +127,13 @@ class HaloExchange {
 
   const Partitioner& part_;
   std::vector<grid::FieldSet*> shards_;
+  std::unique_ptr<Transport> transport_;
   std::vector<HaloStats> stats_;
   std::vector<RoundCounter> posted_;       // rounds shard s has staged + published
   std::vector<RoundCounter> consumed_lo_;  // rounds whose lo ghosts shard s pulled
   std::vector<RoundCounter> consumed_hi_;  // rounds whose hi ghosts shard s pulled
-  std::vector<ExportBuffer> export_down_;  // shard s's bottom planes, for s-1
-  std::vector<ExportBuffer> export_up_;    // shard s's top planes, for s+1
+  std::vector<HaloBuffer> export_down_;    // shard s's bottom planes, for s-1
+  std::vector<HaloBuffer> export_up_;      // shard s's top planes, for s+1
 };
 
 }  // namespace emwd::dist

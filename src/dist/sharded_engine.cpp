@@ -26,19 +26,14 @@ std::string to_string(InnerKind kind) {
   return "naive";
 }
 
-InnerKind inner_kind_from_string(const std::string& name) {
-  if (name == "naive") return InnerKind::Naive;
-  if (name == "spatial") return InnerKind::Spatial;
-  if (name == "mwd") return InnerKind::Mwd;
-  throw std::invalid_argument("unknown inner engine kind: " + name);
-}
-
 std::string ShardedParams::describe() const {
   std::ostringstream os;
   os << "sharded{K=" << num_shards << ",T=" << exchange_interval
      << ",inner=" << to_string(inner) << ",tps=" << threads_per_shard
      << (per_shard_mwd.empty() ? "" : ",per-shard") << (numa_bind ? ",numa" : "")
-     << (overlap ? ",overlap" : "") << "}";
+     << (overlap ? ",overlap" : "");
+  if (transport != "local") os << ",transport=" << transport;
+  os << "}";
   return os.str();
 }
 
@@ -76,10 +71,12 @@ class ShardedEngine final : public PreparableEngine {
     if (p.threads_per_shard < 1) {
       throw std::invalid_argument("ShardedParams: threads_per_shard must be >= 1");
     }
-    // Validate inner-engine parameters here, on the caller thread: a factory
-    // throwing inside one shard thread is recoverable (run() drains the
-    // barriers) but an early error message beats a mid-run abort.  The
-    // inner_factory hook opts out — tests use it to inject failing engines.
+    // Validate inner-engine parameters and the transport name here, on the
+    // caller thread: a factory throwing inside one shard thread is
+    // recoverable (run() drains the barriers) but an early error message
+    // beats a mid-run abort.  The inner_factory hook opts out of inner
+    // validation — tests use it to inject failing engines.
+    (void)make_transport(p.transport);
     if (!p.inner_factory) {
       const int variants = std::max<int>(1, static_cast<int>(p.per_shard_mwd.size()));
       for (int s = 0; s < variants; ++s) (void)make_inner(s, p.threads_per_shard);
@@ -111,7 +108,8 @@ class ShardedEngine final : public PreparableEngine {
       st->ptrs[static_cast<std::size_t>(s)] = st->sets[static_cast<std::size_t>(s)].get();
       st->inners[static_cast<std::size_t>(s)] = make_inner(s, p_.threads_per_shard);
     });
-    st->halo = std::make_unique<HaloExchange>(*st->part, st->ptrs);
+    st->halo =
+        std::make_unique<HaloExchange>(*st->part, st->ptrs, make_transport(p_.transport));
 
     // Overlapped exchange: thread the per-round halo wait through each inner
     // engine's run prologue.  Engines that honor the prologue (all stock

@@ -24,12 +24,12 @@
 
 namespace emwd::dist {
 
-/// Which engine advances each shard's sub-domain.
+/// Which engine advances each shard's sub-domain.  (String mapping lives in
+/// the engine-spec parser — see exec::parse_engine_spec and the "sharded"
+/// builder in src/tune/engine_builders.cpp.)
 enum class InnerKind { Naive, Spatial, Mwd };
 
 std::string to_string(InnerKind kind);
-/// Parse "naive" / "spatial" / "mwd"; throws std::invalid_argument otherwise.
-InnerKind inner_kind_from_string(const std::string& name);
 
 struct ShardedParams {
   int num_shards = 2;        // requested K; clamped so every shard owns >= overlap planes
@@ -57,6 +57,10 @@ struct ShardedParams {
   /// inner_factory(s, threads_per_shard) instead of the built-in kinds and
   /// no inner parameter pre-validation happens on the caller thread.
   std::function<std::unique_ptr<exec::Engine>(int shard, int threads)> inner_factory;
+  /// Halo transport by registry name (see dist/transport.hpp); "local" is
+  /// the shared-memory plane memcpy.  Selected through the engine-spec
+  /// grammar as `sharded(...,transport=local)`.
+  std::string transport = "local";
 
   int threads() const { return num_shards * threads_per_shard; }
   std::string describe() const;

@@ -1,0 +1,96 @@
+#include "dist/transport.hpp"
+
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+namespace emwd::dist {
+
+namespace {
+
+/// Shared-memory plane movement — byte-for-byte the copies HaloExchange
+/// performed before the seam existed (grid::Field plane helpers), so
+/// LocalTransport-backed exchanges are bit-exact with the pre-seam code.
+class LocalTransport final : public Transport {
+ public:
+  std::string name() const override { return "local"; }
+
+  void pull_planes(grid::FieldSet& dst, const grid::FieldSet& src, int src_k0,
+                   int dst_k0, int planes) override {
+    dst.copy_field_planes_from(src, src_k0, dst_k0, planes);
+  }
+
+  void stage(const grid::FieldSet& src, HaloBuffer& buf) override {
+    const std::size_t plane = static_cast<std::size_t>(src.layout().stride_z()) * 2;
+    double* out = buf.data.data();
+    for (int c = 0; c < kernels::kNumComps; ++c) {
+      src.field(static_cast<kernels::Comp>(c))
+          .copy_z_planes_to_buffer(out, buf.src_k0, buf.planes);
+      out += plane * static_cast<std::size_t>(buf.planes);
+    }
+  }
+
+  void unstage(grid::FieldSet& dst, const HaloBuffer& buf, int dst_k0,
+               int planes) override {
+    const std::size_t plane = static_cast<std::size_t>(dst.layout().stride_z()) * 2;
+    const double* in = buf.data.data();
+    for (int c = 0; c < kernels::kNumComps; ++c) {
+      dst.field(static_cast<kernels::Comp>(c))
+          .copy_z_planes_from_buffer(in, dst_k0, planes);
+      in += plane * static_cast<std::size_t>(buf.planes);
+    }
+  }
+};
+
+std::mutex& registry_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, TransportFactory>& registry() {
+  static std::map<std::string, TransportFactory>* m = [] {
+    auto* map = new std::map<std::string, TransportFactory>();
+    (*map)["local"] = [] { return make_local_transport(); };
+    return map;
+  }();
+  return *m;
+}
+
+}  // namespace
+
+std::unique_ptr<Transport> make_local_transport() {
+  return std::make_unique<LocalTransport>();
+}
+
+void register_transport(const std::string& name, TransportFactory factory) {
+  if (name.empty()) throw std::invalid_argument("register_transport: empty name");
+  if (!factory) throw std::invalid_argument("register_transport: null factory");
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry()[name] = std::move(factory);
+}
+
+std::unique_ptr<Transport> make_transport(const std::string& name) {
+  TransportFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    auto it = registry().find(name);
+    if (it == registry().end()) {
+      std::ostringstream os;
+      os << "unknown halo transport '" << name << "'; registered:";
+      for (const auto& [n, f] : registry()) os << ' ' << n;
+      throw std::invalid_argument(os.str());
+    }
+    factory = it->second;
+  }
+  return factory();
+}
+
+std::vector<std::string> transport_names() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::vector<std::string> out;
+  for (const auto& [n, f] : registry()) out.push_back(n);
+  return out;
+}
+
+}  // namespace emwd::dist

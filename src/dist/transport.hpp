@@ -1,0 +1,75 @@
+// Transport: the data-motion seam under HaloExchange.
+//
+// HaloExchange owns the exchange PROTOCOL — which planes move when, the
+// per-neighbor round counters, the export-buffer lifecycle — while a
+// Transport owns the MOTION: how a run of z-planes actually gets from one
+// shard's arrays to another's.  The shipped LocalTransport is the
+// shared-memory memcpy this repo always used (bit-exact with the
+// pre-seam exchange); a rank-aware MpiTransport is a registry entry that
+// implements the same three primitives with Isend/Irecv of the identical
+// plane ranges (see src/dist/README.md for the full contract).
+//
+// Transports are chosen by name through the engine-spec grammar
+// (`sharded(...,transport=local)`) and resolved via make_transport().
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "grid/fieldset.hpp"
+
+namespace emwd::dist {
+
+/// One side's staged donation: `planes` padded z-planes of all 12 field
+/// arrays, packed [comp][plane][stride_z complex cells].  The exchange
+/// sizes `data`; the transport only moves bytes through it.
+struct HaloBuffer {
+  int src_k0 = 0;  // first donated plane, donor-local logical z
+  int planes = 0;
+  std::vector<double> data;  // empty until the exchange sizes it
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual std::string name() const = 0;
+
+  /// Bulk-synchronous pull (HaloExchange::exchange_for): copy `planes`
+  /// z-planes of every field array from `src` (neighbor-local z `src_k0`)
+  /// into `dst` (receiver-local z `dst_k0`).  Runs between full barriers;
+  /// may read the neighbor's live arrays directly.
+  virtual void pull_planes(grid::FieldSet& dst, const grid::FieldSet& src, int src_k0,
+                           int dst_k0, int planes) = 0;
+
+  /// Stage `buf.planes` owned z-planes of `src` (starting at buf.src_k0)
+  /// into buf.data — the buffered-send half of the overlapped post/wait
+  /// protocol (MPI_Isend's pack).
+  virtual void stage(const grid::FieldSet& src, HaloBuffer& buf) = 0;
+
+  /// Copy a staged donation into `dst`'s ghost planes starting at `dst_k0`
+  /// — the receive half (MPI_Irecv + Wait's unpack).  `planes` never
+  /// exceeds buf.planes.
+  virtual void unstage(grid::FieldSet& dst, const HaloBuffer& buf, int dst_k0,
+                       int planes) = 0;
+};
+
+/// The shared-memory transport: plain plane memcpys, today's behavior.
+std::unique_ptr<Transport> make_local_transport();
+
+// ------------------------------------------------------ transport registry
+
+using TransportFactory = std::function<std::unique_ptr<Transport>()>;
+
+/// Register (or replace) the factory for `name`; "local" is pre-registered.
+/// A future MpiTransport is one register_transport call, not a refactor.
+void register_transport(const std::string& name, TransportFactory factory);
+
+/// Construct the named transport; throws std::invalid_argument for an
+/// unknown name, listing what is registered.
+std::unique_ptr<Transport> make_transport(const std::string& name);
+
+std::vector<std::string> transport_names();
+
+}  // namespace emwd::dist

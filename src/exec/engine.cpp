@@ -1,5 +1,6 @@
 #include "exec/engine.hpp"
 
+#include <cstring>
 #include <sstream>
 
 namespace emwd::exec {
@@ -14,7 +15,12 @@ void accumulate_work(EngineStats& into, const EngineStats& from) {
   into.halo_bytes_moved += from.halo_bytes_moved;
   into.halo_wait_seconds += from.halo_wait_seconds;
   into.halo_hidden_seconds += from.halo_hidden_seconds;
-  if (into.kernel_isa[0] == '\0') into.kernel_isa = from.kernel_isa;
+  // "scalar" is the resting default; any contributor that dispatched to a
+  // different ISA promotes the aggregate, so a partial SIMD run is visible.
+  if (from.kernel_isa != nullptr && from.kernel_isa[0] != '\0' &&
+      std::strcmp(from.kernel_isa, "scalar") != 0) {
+    into.kernel_isa = from.kernel_isa;
+  }
 }
 
 std::string MwdParams::describe() const {

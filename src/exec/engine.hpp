@@ -45,11 +45,13 @@ struct EngineStats {
   /// instead of full-stop barriers.
   bool halo_overlapped = false;
   /// Row-kernel ISA the engine actually dispatched to ("scalar" / "avx2";
-  /// static string, never dangles).  All stock engines run the scalar
-  /// bitwise-reference kernel; the field exists so a dispatch miss in an
-  /// ISA-selecting build is visible in stats and bench CSVs rather than
-  /// silently degrading throughput.
-  const char* kernel_isa = "";
+  /// static string, never dangles).  Defaults to "scalar" — every engine,
+  /// including wrappers and test doubles that never touch dispatch, reports
+  /// the bitwise-reference kernel unless dispatch overrides it, so stats
+  /// and bench CSV columns are never empty.  A dispatch miss in an
+  /// ISA-selecting build is thereby visible rather than silently degrading
+  /// throughput.
+  const char* kernel_isa = "scalar";
 
   /// Exchange stall a shard could not hide: wait + copy - hidden.
   double halo_exposed_seconds() const {
@@ -121,6 +123,8 @@ struct MwdParams {
   int tg_size() const { return tx * tz * tc; }
   int threads() const { return tg_size() * num_tgs; }
   std::string describe() const;
+
+  friend bool operator==(const MwdParams&, const MwdParams&) = default;
 };
 
 std::unique_ptr<Engine> make_naive_engine(int threads);

@@ -3,14 +3,69 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "dist/numa.hpp"
-#include "dist/partition.hpp"
-#include "dist/sharded_engine.hpp"
+#include "exec/engine_registry.hpp"
 #include "models/machine.hpp"
-#include "tune/autotuner.hpp"
 #include "util/machine_detect.hpp"
 
 namespace emwd::thiim {
+
+exec::EngineSpec lower_engine_spec(const SimulationConfig& cfg) {
+  exec::EngineSpec spec;
+  switch (cfg.engine) {
+    case EngineKind::Naive:
+      spec.kind = "naive";
+      break;
+    case EngineKind::Spatial:
+      spec.kind = "spatial";
+      break;
+    case EngineKind::Mwd:
+      // An explicit MwdParams pins every field; a bare "mwd" defers to the
+      // registry's 1WD-style default (one thread group per budget thread).
+      spec = cfg.mwd ? exec::to_spec(*cfg.mwd) : exec::EngineSpec{"mwd", {}};
+      break;
+    case EngineKind::Auto:
+      spec.kind = "auto";
+      break;
+    case EngineKind::Sharded: {
+      if (cfg.shard_engine == EngineKind::Sharded) {
+        throw std::invalid_argument("SimulationConfig: shard_engine cannot be Sharded");
+      }
+      spec.kind = "sharded";
+      if (cfg.num_shards > 0) spec.add("shards", static_cast<long>(cfg.num_shards));
+      if (cfg.shard_exchange_interval > 0) {
+        spec.add("interval", static_cast<long>(cfg.shard_exchange_interval));
+      }
+      if (cfg.shard_overlap) spec.add_flag("overlap");
+      switch (cfg.shard_engine) {
+        case EngineKind::Auto:
+          spec.add("inner", std::string("auto"));
+          if (cfg.shard_tune_mode == ShardTuneMode::Measured) {
+            spec.add("tune", std::string("measured"));
+          }
+          break;
+        case EngineKind::Naive:
+          spec.add("inner", std::string("naive"));
+          break;
+        case EngineKind::Spatial:
+          spec.add("inner", std::string("spatial"));
+          break;
+        default:  // Mwd
+          if (!cfg.shard_mwd.empty()) {
+            for (std::size_t s = 0; s < cfg.shard_mwd.size(); ++s) {
+              spec.add("inner" + std::to_string(s), exec::to_spec(cfg.shard_mwd[s]));
+            }
+          } else if (cfg.mwd) {
+            spec.add("inner", exec::to_spec(*cfg.mwd));
+          } else {
+            spec.add("inner", std::string("mwd"));
+          }
+          break;
+      }
+      break;
+    }
+  }
+  return spec;
+}
 
 Simulation::Simulation(const SimulationConfig& cfg)
     : cfg_(cfg),
@@ -19,76 +74,17 @@ Simulation::Simulation(const SimulationConfig& cfg)
       materials_(layout_),
       params_(em::make_params(cfg.wavelength_cells, cfg.cfl)) {
   fields_.set_x_boundary(cfg.x_boundary);
-  int threads = cfg.threads;
-  if (threads <= 0) threads = util::detect_host().logical_cpus;
 
-  switch (cfg.engine) {
-    case EngineKind::Naive:
-      engine_ = exec::make_naive_engine(threads);
-      break;
-    case EngineKind::Spatial:
-      engine_ = exec::make_spatial_engine(threads);
-      break;
-    case EngineKind::Mwd: {
-      exec::MwdParams p = cfg.mwd.value_or(exec::MwdParams{});
-      if (!cfg.mwd) p.num_tgs = threads;  // default: 1WD-style, one TG/thread
-      engine_ = exec::make_mwd_engine(p);
-      break;
-    }
-    case EngineKind::Auto: {
-      tune::TuneConfig tc;
-      tc.threads = threads;
-      tc.grid = cfg.grid;
-      tc.machine = models::host_machine();
-      engine_ = exec::make_mwd_engine(tune::autotune(tc).best);
-      break;
-    }
-    case EngineKind::Sharded: {
-      if (cfg.shard_engine == EngineKind::Sharded) {
-        throw std::invalid_argument("SimulationConfig: shard_engine cannot be Sharded");
-      }
-      dist::ShardedParams p;
-      if (cfg.shard_engine == EngineKind::Auto) {
-        // Two-stage sharded tuner: per-shard MWD against the real sub-grids,
-        // with the shard-count / exchange-interval axes searched unless the
-        // config pins them; Measured mode also times the top plans on the
-        // real ShardedEngine before committing.
-        tune::ShardedTuneConfig sc;
-        sc.threads = threads;
-        sc.grid = cfg.grid;
-        sc.machine = models::host_machine();
-        sc.fixed_shards = std::max(0, cfg.num_shards);
-        sc.fixed_interval = std::max(0, cfg.shard_exchange_interval);
-        if (cfg.shard_overlap) sc.fixed_overlap = 1;  // else: search the axis
-        sc.timed_refinement = cfg.shard_tune_mode == ShardTuneMode::Measured;
-        p = tune::to_sharded_params(tune::autotune_sharded(sc).best.plan);
-      } else {
-        int shards = cfg.num_shards;
-        if (shards <= 0) shards = dist::NumaTopology::detect().num_nodes;
-        shards = std::min(shards, threads);  // a shard needs a thread of the budget
-        p.overlap = cfg.shard_overlap;
-        p.exchange_interval = std::max(1, cfg.shard_exchange_interval);
-        p.num_shards =
-            dist::Partitioner::clamp_shards(cfg.grid.nz, shards, p.exchange_interval);
-        p.threads_per_shard = std::max(1, threads / p.num_shards);
-        switch (cfg.shard_engine) {
-          case EngineKind::Naive:
-            p.inner = dist::InnerKind::Naive;
-            break;
-          case EngineKind::Spatial:
-            p.inner = dist::InnerKind::Spatial;
-            break;
-          default:  // Mwd
-            p.inner = dist::InnerKind::Mwd;
-            p.mwd = cfg.mwd;
-            p.per_shard_mwd = cfg.shard_mwd;
-            break;
-        }
-      }
-      engine_ = dist::make_sharded_engine(p);
-      break;
-    }
-  }
+  // One construction path: an explicit spec string, or the deprecated flat
+  // fields lowered onto the identical spec, both built by the registry.
+  const exec::EngineSpec spec = cfg.engine_spec.empty()
+                                    ? lower_engine_spec(cfg)
+                                    : exec::parse_engine_spec(cfg.engine_spec);
+  exec::BuildContext ctx;
+  ctx.grid = cfg.grid;
+  ctx.threads = cfg.threads > 0 ? cfg.threads : util::detect_host().logical_cpus;
+  ctx.machine = models::host_machine();
+  engine_ = exec::EngineRegistry::global().build(spec, ctx);
 }
 
 void Simulation::finalize() {

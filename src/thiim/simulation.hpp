@@ -26,6 +26,7 @@
 #include "em/pml.hpp"
 #include "em/source.hpp"
 #include "exec/engine.hpp"
+#include "exec/engine_spec.hpp"
 #include "grid/fieldset.hpp"
 
 namespace emwd::thiim {
@@ -46,8 +47,23 @@ struct SimulationConfig {
   /// Lateral boundary along x: periodic matches the paper's production
   /// setup ("horizontally periodic boundary conditions", Sec. I-A).
   grid::XBoundary x_boundary = grid::XBoundary::Dirichlet;
-  EngineKind engine = EngineKind::Auto;
+
+  /// Engine selection: a spec string from the canonical grammar (see
+  /// src/exec/README.md), e.g. "naive", "mwd(dw=8,bz=2,tc=3)",
+  /// "sharded(shards=4,interval=2,overlap,inner=auto)".  When non-empty it
+  /// wins and the deprecated flat fields below are ignored; the engine is
+  /// built through exec::EngineRegistry::global().
+  std::string engine_spec;
+
   int threads = 0;                 // 0: hardware concurrency
+
+  // --------------------------------------------------------------------
+  // DEPRECATED flat engine fields.  Honored only while `engine_spec` is
+  // empty: the constructor lowers them onto a spec (see lower_engine_spec)
+  // and builds through the same registry path.  New code should write a
+  // spec string instead.
+  // --------------------------------------------------------------------
+  EngineKind engine = EngineKind::Auto;
   std::optional<exec::MwdParams> mwd;  // explicit MWD parameters (else tuned)
   /// EngineKind::Sharded only: z-shards (with a fixed inner engine, 0 = one
   /// per detected NUMA node; with shard_engine == Auto, 0 = let the tuner
@@ -69,6 +85,13 @@ struct SimulationConfig {
   /// overlap axis on; leave false there to let the tuner search it.
   bool shard_overlap = false;
 };
+
+/// Lower the deprecated flat engine fields of `cfg` to the engine spec the
+/// constructor builds (the shim behind SimulationConfig::engine_spec).
+/// Exposed so callers and tests can see exactly what a flat config means.
+/// Throws std::invalid_argument for contradictory fields
+/// (shard_engine == Sharded).
+exec::EngineSpec lower_engine_spec(const SimulationConfig& cfg);
 
 class Simulation {
  public:

@@ -254,7 +254,7 @@ dist::ShardedParams to_sharded_params(const ShardPlan& plan, bool numa_bind) {
 util::Table ShardedTuneResult::to_table() const {
   util::Table t({"shards", "interval", "redundant_frac", "halo_MB_per_step", "overlap",
                  "exposed_halo_MB_per_step", "predicted_mlups", "measured_mlups",
-                 "measured_s", "plan"});
+                 "measured_s", "spec"});
   for (const ShardedCandidate& c : ranked) {
     t.add_row({std::to_string(c.plan.num_shards), std::to_string(c.plan.exchange_interval),
                util::fmt_double(c.redundant_lup_fraction, 4),
@@ -263,7 +263,10 @@ util::Table ShardedTuneResult::to_table() const {
                util::fmt_double(c.exposed_halo_bytes_per_step / (1024.0 * 1024.0), 4),
                util::fmt_double(c.predicted_mlups, 5),
                util::fmt_double(c.measured_mlups, 5),
-               util::fmt_double(c.measured_seconds, 5), c.plan.describe()});
+               util::fmt_double(c.measured_seconds, 5),
+               // A spec string, not describe(): rows paste straight back
+               // into any --engine flag.
+               exec::to_string(c.plan.to_spec())});
   }
   return t;
 }

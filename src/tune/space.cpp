@@ -100,4 +100,29 @@ std::string ShardPlan::describe() const {
   return os.str();
 }
 
+exec::EngineSpec ShardPlan::to_spec() const {
+  exec::EngineSpec s;
+  s.kind = "sharded";
+  s.add("shards", static_cast<long>(num_shards))
+      .add("interval", static_cast<long>(exchange_interval));
+  if (overlap) s.add_flag("overlap");
+  if (!per_shard.empty()) {
+    // tps pins the plan's thread budget so the registry reproduces
+    // to_sharded_params() exactly instead of re-deriving it from the
+    // context's budget.
+    s.add("tps", static_cast<long>(per_shard.front().threads()));
+    const bool uniform =
+        std::all_of(per_shard.begin(), per_shard.end(),
+                    [&](const exec::MwdParams& p) { return p == per_shard.front(); });
+    if (uniform) {
+      s.add("inner", exec::to_spec(per_shard.front()));
+    } else {
+      for (std::size_t i = 0; i < per_shard.size(); ++i) {
+        s.add("inner" + std::to_string(i), exec::to_spec(per_shard[i]));
+      }
+    }
+  }
+  return s;
+}
+
 }  // namespace emwd::tune

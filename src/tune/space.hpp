@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "exec/engine.hpp"
+#include "exec/engine_spec.hpp"
 #include "grid/layout.hpp"
 
 namespace emwd::tune {
@@ -69,6 +70,14 @@ struct ShardPlan {
   std::vector<exec::MwdParams> per_shard;  // size == num_shards
 
   std::string describe() const;
+
+  /// The engine spec executing this plan:
+  /// `sharded(shards=..,interval=..[,overlap],tps=..,inner=mwd(...))` —
+  /// per-shard tilings serialize as `inner0=..,inner1=..` when they differ.
+  /// Round-trips through the registry: building the spec reproduces
+  /// to_sharded_params(*this) bit-exactly, and tuner CSVs serialize plans
+  /// as these strings so a plan can be replayed with `--engine`.
+  exec::EngineSpec to_spec() const;
 };
 
 }  // namespace emwd::tune

@@ -4,6 +4,8 @@
 // reference, for every inner engine kind and for exchange intervals > 1.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <numeric>
 #include <set>
 
@@ -11,6 +13,7 @@
 #include "dist/numa.hpp"
 #include "dist/partition.hpp"
 #include "dist/sharded_engine.hpp"
+#include "dist/transport.hpp"
 #include "em/coefficients.hpp"
 #include "grid/fieldset.hpp"
 #include "kernels/reference.hpp"
@@ -330,6 +333,136 @@ TEST(ShardedOverlap, BarrierModeReportsWaitButNoOverlapFlag) {
   EXPECT_GE(engine->stats().halo_wait_seconds, 0.0);
   EXPECT_EQ(engine->stats().halo_hidden_seconds, 0.0);
   EXPECT_STREQ(engine->stats().kernel_isa, "scalar");
+}
+
+// ------------------------------------------------------------- transports
+
+namespace transport_seam {
+
+/// Delegates every primitive to LocalTransport while counting calls — the
+/// shape an MpiTransport takes, minus the ranks.  Registered by name, so
+/// the test proves a new transport is a registry entry, not a refactor.
+/// Counters are atomic: shard threads drive the primitives concurrently.
+class CountingTransport final : public dist::Transport {
+ public:
+  struct Counts {
+    std::atomic<int> pulls{0};
+    std::atomic<int> stages{0};
+    std::atomic<int> unstages{0};
+  };
+
+  explicit CountingTransport(Counts* counts)
+      : counts_(counts), local_(dist::make_local_transport()) {}
+
+  std::string name() const override { return "counting"; }
+  void pull_planes(grid::FieldSet& dst, const grid::FieldSet& src, int src_k0,
+                   int dst_k0, int planes) override {
+    ++counts_->pulls;
+    local_->pull_planes(dst, src, src_k0, dst_k0, planes);
+  }
+  void stage(const grid::FieldSet& src, dist::HaloBuffer& buf) override {
+    ++counts_->stages;
+    local_->stage(src, buf);
+  }
+  void unstage(grid::FieldSet& dst, const dist::HaloBuffer& buf, int dst_k0,
+               int planes) override {
+    ++counts_->unstages;
+    local_->unstage(dst, buf, dst_k0, planes);
+  }
+
+ private:
+  Counts* counts_;
+  std::unique_ptr<dist::Transport> local_;
+};
+
+}  // namespace transport_seam
+
+TEST(Transport, LocalIsRegisteredAndUnknownNamesThrow) {
+  const std::vector<std::string> names = dist::transport_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "local"), names.end());
+  EXPECT_EQ(dist::make_transport("local")->name(), "local");
+  EXPECT_THROW(dist::make_transport("mpi-not-yet"), std::invalid_argument);
+  // ShardedParams validates the transport name on the caller thread.
+  dist::ShardedParams p;
+  p.transport = "no-such-transport";
+  EXPECT_THROW(dist::make_sharded_engine(p), std::invalid_argument);
+}
+
+TEST(Transport, ExplicitLocalTransportMatchesDefaultExchange) {
+  // The same corrupted-ghost refresh as HaloExchange.PullRefreshesGhostPlanes,
+  // but through an explicitly constructed LocalTransport: the seam must
+  // reproduce the pre-seam exchange bit-for-bit.
+  Layout L({4, 5, 12});
+  FieldSet global(L);
+  em::build_random_stable(global, 7);
+  Partitioner part(L.interior(), 3, 2);
+  std::vector<std::unique_ptr<FieldSet>> sets;
+  std::vector<FieldSet*> ptrs;
+  for (int s = 0; s < 3; ++s) {
+    sets.push_back(std::make_unique<FieldSet>(part.shard_layout(s)));
+    part.scatter(global, *sets.back(), s);
+    ptrs.push_back(sets.back().get());
+  }
+  for (int s = 0; s < 3; ++s) {
+    const ShardExtent& e = part.shard(s);
+    for (int c = 0; c < kernels::kNumComps; ++c) {
+      grid::Field& f = sets[static_cast<std::size_t>(s)]->field(static_cast<kernels::Comp>(c));
+      for (int g = e.ext_z0(); g < e.z0; ++g)
+        for (int j = 0; j < 5; ++j)
+          for (int i = 0; i < 4; ++i) f.set(i, j, e.to_local(g), {1e9, -1e9});
+      for (int g = e.z1; g < e.ext_z1(); ++g)
+        for (int j = 0; j < 5; ++j)
+          for (int i = 0; i < 4; ++i) f.set(i, j, e.to_local(g), {1e9, -1e9});
+    }
+  }
+  dist::HaloExchange halo(part, ptrs, dist::make_local_transport());
+  EXPECT_EQ(halo.transport().name(), "local");
+  for (int s = 0; s < 3; ++s) halo.exchange_for(s);
+  for (int s = 0; s < 3; ++s) {
+    const ShardExtent& e = part.shard(s);
+    double worst = 0.0;
+    for (int c = 0; c < kernels::kNumComps; ++c) {
+      const grid::Field& f =
+          sets[static_cast<std::size_t>(s)]->field(static_cast<kernels::Comp>(c));
+      const grid::Field& g = global.field(static_cast<kernels::Comp>(c));
+      for (int gz = e.ext_z0(); gz < e.ext_z1(); ++gz)
+        for (int j = 0; j < 5; ++j)
+          for (int i = 0; i < 4; ++i)
+            worst = std::max(worst,
+                             std::abs(f.at(i, j, e.to_local(gz)) - g.at(i, j, gz)));
+    }
+    EXPECT_EQ(worst, 0.0) << "shard " << s;
+  }
+}
+
+TEST_F(ShardedEquivalence, RegisteredTransportDrivesBothExchangeModes) {
+  // A transport registered by name is selected through ShardedParams (and
+  // therefore through `sharded(...,transport=...)` specs), carries every
+  // plane of both protocols, and stays bit-exact in barrier AND overlap
+  // mode — exactly the seam an MpiTransport plugs into.
+  static transport_seam::CountingTransport::Counts counts;
+  dist::register_transport("counting", [] {
+    return std::make_unique<transport_seam::CountingTransport>(&counts);
+  });
+  for (bool overlap : {false, true}) {
+    const int pulls_before = counts.pulls.load();
+    const int stages_before = counts.stages.load();
+    const int unstages_before = counts.unstages.load();
+    dist::ShardedParams p;
+    p.num_shards = 3;
+    p.exchange_interval = 2;
+    p.inner = dist::InnerKind::Naive;
+    p.overlap = overlap;
+    p.transport = "counting";
+    EXPECT_EQ(run_diff(p, {5, 6, 13}, 7, grid::XBoundary::Dirichlet, 83), 0.0)
+        << "overlap=" << overlap;
+    if (overlap) {
+      EXPECT_GT(counts.stages.load(), stages_before);
+      EXPECT_GT(counts.unstages.load(), unstages_before);
+    } else {
+      EXPECT_GT(counts.pulls.load(), pulls_before);
+    }
+  }
 }
 
 // ------------------------------------------------- prepared-state reuse

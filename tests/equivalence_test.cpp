@@ -10,6 +10,8 @@
 #include "em/coefficients.hpp"
 #include "em/source.hpp"
 #include "exec/engine.hpp"
+#include "exec/engine_registry.hpp"
+#include "exec/engine_spec.hpp"
 #include "grid/fieldset.hpp"
 #include "kernels/reference.hpp"
 
@@ -34,6 +36,25 @@ class Fixture {
     return grid::FieldSet::max_field_diff(fs, reference_);
   }
 
+  /// run_and_diff for the registry-built twin of `spec_text`, PLUS a direct
+  /// comparison against the direct-construction result: the fields the two
+  /// construction paths produce must be identical to the last bit.
+  double registry_diff_vs(exec::Engine& direct, const std::string& spec_text) const {
+    exec::BuildContext ctx;
+    ctx.grid = layout_.interior();
+    ctx.threads = 2;
+    auto twin = exec::EngineRegistry::global().build(spec_text, ctx);
+
+    grid::FieldSet direct_fs(layout_), twin_fs(layout_);
+    em::build_random_stable(direct_fs, seed_);
+    em::build_random_stable(twin_fs, seed_);
+    direct.run(direct_fs, steps_);
+    twin->run(twin_fs, steps_);
+    EXPECT_EQ(grid::FieldSet::max_field_diff(direct_fs, twin_fs), 0.0)
+        << "registry vs direct: " << spec_text;
+    return grid::FieldSet::max_field_diff(twin_fs, reference_);
+  }
+
   const grid::Layout& layout() const { return layout_; }
 
  private:
@@ -48,6 +69,8 @@ TEST(Equivalence, NaiveEngineMatchesReference) {
   for (int threads : {1, 2, 4}) {
     auto e = exec::make_naive_engine(threads);
     EXPECT_EQ(fx.run_and_diff(*e), 0.0) << "threads=" << threads;
+    const std::string spec = "naive(threads=" + std::to_string(threads) + ")";
+    EXPECT_EQ(fx.registry_diff_vs(*e, spec), 0.0) << spec;
   }
 }
 
@@ -57,6 +80,9 @@ TEST(Equivalence, SpatialEngineMatchesReference) {
     for (int by : {1, 4, 100}) {
       auto e = exec::make_spatial_engine(threads, by);
       EXPECT_EQ(fx.run_and_diff(*e), 0.0) << "threads=" << threads << " by=" << by;
+      const std::string spec = "spatial(threads=" + std::to_string(threads) +
+                               ",by=" + std::to_string(by) + ")";
+      EXPECT_EQ(fx.registry_diff_vs(*e, spec), 0.0) << spec;
     }
   }
 }
@@ -73,6 +99,10 @@ TEST_P(MwdEquivalence, MatchesReferenceBitExactly) {
   Fixture fx({11, 13, 10}, 4, 21);
   auto e = exec::make_mwd_engine(GetParam().p);
   EXPECT_EQ(fx.run_and_diff(*e), 0.0) << GetParam().p.describe();
+  // The registry-built twin (constructed from the params' spec string) must
+  // be bit-exact with direct construction.
+  const std::string spec = exec::to_string(exec::to_spec(GetParam().p));
+  EXPECT_EQ(fx.registry_diff_vs(*e, spec), 0.0) << spec;
 }
 
 std::vector<MwdCase> mwd_cases() {
@@ -157,6 +187,8 @@ TEST(Equivalence, MwdAcrossGridShapes) {
     auto eng = exec::make_mwd_engine(p);
     EXPECT_EQ(fx.run_and_diff(*eng), 0.0)
         << e.nx << "x" << e.ny << "x" << e.nz;
+    EXPECT_EQ(fx.registry_diff_vs(*eng, exec::to_string(exec::to_spec(p))), 0.0)
+        << e.nx << "x" << e.ny << "x" << e.nz;
   }
 }
 
@@ -171,6 +203,8 @@ TEST(Equivalence, MwdAcrossStepCounts) {
     Fixture fx({9, 11, 8}, steps, 44);
     auto eng = exec::make_mwd_engine(p);
     EXPECT_EQ(fx.run_and_diff(*eng), 0.0) << "steps=" << steps;
+    EXPECT_EQ(fx.registry_diff_vs(*eng, exec::to_string(exec::to_spec(p))), 0.0)
+        << "steps=" << steps;
   }
 }
 

@@ -8,6 +8,8 @@
 
 #include "em/coefficients.hpp"
 #include "exec/engine.hpp"
+#include "exec/engine_registry.hpp"
+#include "exec/engine_spec.hpp"
 #include "exec/thread_pool.hpp"
 #include "exec/traversal.hpp"
 #include "kernels/reference.hpp"
@@ -212,6 +214,112 @@ TEST(Engines, StatsRecordTheResolvedKernelIsa) {
   auto mwd = exec::make_mwd_engine(p);
   mwd->run(fs, 1);
   EXPECT_STREQ(mwd->stats().kernel_isa, "scalar");
+}
+
+TEST(Engines, KernelIsaNeverEmptyEvenForWrapperEngines) {
+  // Default-constructed stats — what a wrapper or test engine that never
+  // touches dispatch reports — must still carry "scalar", so bench CSV
+  // columns are never empty.  Aggregation keeps "scalar" unless a
+  // contributor actually dispatched to a different ISA.
+  exec::EngineStats fresh;
+  EXPECT_STREQ(fresh.kernel_isa, "scalar");
+
+  exec::EngineStats aggregate, scalar_work, simd_work;
+  simd_work.kernel_isa = "avx2";
+  exec::accumulate_work(aggregate, scalar_work);
+  EXPECT_STREQ(aggregate.kernel_isa, "scalar");
+  exec::accumulate_work(aggregate, simd_work);
+  EXPECT_STREQ(aggregate.kernel_isa, "avx2");
+  exec::accumulate_work(aggregate, scalar_work);  // scalar never demotes
+  EXPECT_STREQ(aggregate.kernel_isa, "avx2");
+}
+
+// ---------------------------------------------------------- engine registry
+
+TEST(EngineRegistry, GlobalKnowsEveryKindAndRejectsUnknowns) {
+  exec::EngineRegistry& reg = exec::EngineRegistry::global();
+  for (const char* kind : {"naive", "spatial", "mwd", "wavefront", "sharded", "auto"}) {
+    EXPECT_TRUE(reg.has(kind)) << kind;
+  }
+  exec::BuildContext ctx;
+  ctx.grid = {8, 8, 8};
+  ctx.threads = 1;
+  EXPECT_THROW(reg.build("warp-drive", ctx), std::invalid_argument);
+  // Unknown argument keys fail loudly instead of being ignored.
+  EXPECT_THROW(reg.build("naive(cores=2)", ctx), std::invalid_argument);
+  EXPECT_THROW(reg.build("mwd(dww=4)", ctx), std::invalid_argument);
+  EXPECT_THROW(reg.build("sharded(shard=2)", ctx), std::invalid_argument);
+  // Semantic nonsense throws too — never traps or escapes as another type:
+  // zero thread splits (the groups fallback divides by tg_size) ...
+  EXPECT_THROW(reg.build("mwd(tc=0)", ctx), std::invalid_argument);
+  EXPECT_THROW(reg.build("sharded(inner=mwd(tx=0))", ctx), std::invalid_argument);
+  // ... keys that do not apply to the sharded mode in use ...
+  EXPECT_THROW(reg.build("sharded(inner=naive,tune=measured)", ctx),
+               std::invalid_argument);
+  EXPECT_THROW(reg.build("sharded(inner=auto,tps=2)", ctx), std::invalid_argument);
+  // ... per-shard inner indices that are non-contiguous or absurd ...
+  EXPECT_THROW(reg.build("sharded(inner1=mwd())", ctx), std::invalid_argument);
+  EXPECT_THROW(reg.build("sharded(inner99999999999999999999=mwd())", ctx),
+               std::invalid_argument);
+  // ... and integer values past int range (no silent strtol saturation).
+  EXPECT_THROW(reg.build("sharded(shards=99999999999999999999,inner=naive)", ctx),
+               std::invalid_argument);
+  EXPECT_THROW(reg.build("mwd(dw=2147483648)", ctx), std::invalid_argument);
+}
+
+TEST(EngineRegistry, ShardedAutoHonoursAValuedOverlapPin) {
+  // `overlap=0|1` must pin the tuner's overlap axis exactly like the bare
+  // flag, in both directions.
+  exec::EngineRegistry& reg = exec::EngineRegistry::global();
+  exec::BuildContext ctx;
+  ctx.grid = {8, 8, 16};
+  ctx.threads = 2;
+  grid::Layout L(ctx.grid);
+  grid::FieldSet fs(L);
+  em::build_random_stable(fs, 67);
+  auto pinned_off = reg.build("sharded(inner=auto,shards=2,overlap=0)", ctx);
+  pinned_off->run(fs, 3);
+  EXPECT_FALSE(pinned_off->stats().halo_overlapped);
+  auto pinned_on = reg.build("sharded(inner=auto,shards=2,overlap=1)", ctx);
+  pinned_on->run(fs, 3);
+  EXPECT_TRUE(pinned_on->stats().halo_overlapped);
+}
+
+TEST(EngineRegistry, BuildsStockEnginesWithContextAndSpecThreads) {
+  exec::EngineRegistry& reg = exec::EngineRegistry::global();
+  exec::BuildContext ctx;
+  ctx.grid = {8, 8, 8};
+  ctx.threads = 3;
+  EXPECT_EQ(reg.build("naive", ctx)->threads(), 3);          // context budget
+  EXPECT_EQ(reg.build("naive(threads=2)", ctx)->threads(), 2);  // spec override
+  // A bare mwd spends the budget 1WD-style: one group per thread.
+  EXPECT_EQ(reg.build("mwd", ctx)->threads(), 3);
+  // Explicit groups pin the shape regardless of the budget.
+  auto pinned = reg.build("mwd(dw=2,tc=2,groups=1)", ctx);
+  EXPECT_EQ(pinned->threads(), 2);
+  EXPECT_NE(pinned->name().find("dw=2"), std::string::npos);
+  // Registry-built engines run: a quick smoke step.
+  grid::Layout L({8, 8, 8});
+  grid::FieldSet fs(L);
+  em::build_random_stable(fs, 61);
+  auto wavefront = reg.build("wavefront(bz=2)", ctx);
+  wavefront->run(fs, 2);
+  EXPECT_EQ(wavefront->stats().steps, 2);
+}
+
+TEST(EngineRegistry, RegisteredBuilderWinsAndComposesRecursively) {
+  // A locally registered kind becomes buildable immediately — and a
+  // composite spec (sharded inner) resolves through the same registry.
+  exec::EngineRegistry reg;
+  reg.register_builder("wrapped_naive",
+                       [](const exec::EngineSpec&, const exec::BuildContext& ctx) {
+                         return exec::make_naive_engine(ctx.resolved_threads());
+                       });
+  EXPECT_TRUE(reg.has("wrapped_naive"));
+  EXPECT_FALSE(reg.has("naive"));
+  exec::BuildContext ctx;
+  ctx.threads = 1;
+  EXPECT_EQ(reg.build("wrapped_naive", ctx)->threads(), 1);
 }
 
 TEST(MwdEngine, CachedTilingSurvivesRepeatedAndChunkedRuns) {

@@ -10,6 +10,7 @@
 #include "cachesim/cache.hpp"
 #include "em/coefficients.hpp"
 #include "exec/engine.hpp"
+#include "exec/engine_spec.hpp"
 #include "grid/fieldset.hpp"
 #include "kernels/reference.hpp"
 #include "tiling/diamond.hpp"
@@ -97,6 +98,98 @@ TEST(Fuzz, MwdEquivalenceRandomParams) {
     ASSERT_EQ(grid::FieldSet::max_field_diff(fs, ref), 0.0)
         << p.describe() << " grid " << e.nx << "x" << e.ny << "x" << e.nz
         << " steps=" << steps;
+  }
+}
+
+// ------------------------------------------------------- engine-spec grammar
+
+/// Random identifier from a pool plus a random suffix, so trees collide on
+/// keys sometimes (duplicate keys are legal in the value type).
+std::string random_ident(util::Xoshiro256& rng) {
+  static const char* const pool[] = {"mwd",     "sharded", "naive", "auto",
+                                     "overlap", "inner",   "dw",    "transport",
+                                     "x",       "k2"};
+  std::string id = pool[rng.below(10)];
+  if (rng.below(3) == 0) id += static_cast<char>('a' + rng.below(26));
+  return id;
+}
+
+std::string random_scalar(util::Xoshiro256& rng) {
+  switch (rng.below(4)) {
+    case 0: return std::to_string(rng.below(1000));
+    case 1: return "-" + std::to_string(rng.below(64));
+    case 2: return "1.5e" + std::to_string(rng.below(9));
+    default: return random_ident(rng);
+  }
+}
+
+exec::EngineSpec random_spec(util::Xoshiro256& rng, int depth) {
+  exec::EngineSpec s;
+  s.kind = random_ident(rng);
+  const int n_args = static_cast<int>(rng.below(5));
+  for (int i = 0; i < n_args; ++i) {
+    const std::string key = random_ident(rng);
+    switch (rng.below(depth > 0 ? 3 : 2)) {
+      case 0:
+        s.add_flag(key);
+        break;
+      case 1:
+        s.add(key, random_scalar(rng));
+        break;
+      default:
+        s.add(key, random_spec(rng, depth - 1));
+        break;
+    }
+  }
+  return s;
+}
+
+TEST(Fuzz, EngineSpecRoundTripRandomTrees) {
+  // The central grammar property: parse(to_string(s)) == s for any
+  // well-formed tree — argument order, duplicate keys, nested and
+  // argument-less child specs included.
+  util::Xoshiro256 rng(9009);
+  for (int trial = 0; trial < 200; ++trial) {
+    const exec::EngineSpec s = random_spec(rng, /*depth=*/3);
+    const std::string text = exec::to_string(s);
+    exec::EngineSpec reparsed;
+    ASSERT_NO_THROW(reparsed = exec::parse_engine_spec(text)) << text;
+    ASSERT_EQ(reparsed, s) << text;
+    // And the string form is a fixed point.
+    ASSERT_EQ(exec::to_string(reparsed), text);
+  }
+}
+
+TEST(Fuzz, EngineSpecMalformedInputsThrowNeverCrash) {
+  const char* const malformed[] = {
+      "",           " ",          "(",          ")",          "mwd(",
+      "mwd)",       "mwd()x",     "mwd(,)",     "mwd(dw=)",
+      "mwd(dw==2)", "mwd(dw=2",   "mwd(dw=2))", "mwd(dw=2,)", "1mwd",
+      "mwd(1x=2)",  "mwd(a=b=c)", "mwd(a==)",   "=4",         "mwd(inner=())",
+      "mwd(a=1.5(b=2))",          "mwd dw=2",   "mwd(a 2)",   "mwd(a=&)",
+  };
+  for (const char* text : malformed) {
+    EXPECT_THROW(exec::parse_engine_spec(text), std::invalid_argument) << text;
+  }
+}
+
+TEST(Fuzz, EngineSpecRandomBytesEitherParseOrThrow) {
+  // Arbitrary byte soup must never crash the parser: every input either
+  // yields a spec (which then round-trips) or throws invalid_argument.
+  util::Xoshiro256 rng(10010);
+  const std::string alphabet = "mwd(ins=,)1+- .x_)(=";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text;
+    const int len = static_cast<int>(rng.below(24));
+    for (int i = 0; i < len; ++i) {
+      text += alphabet[rng.below(alphabet.size())];
+    }
+    try {
+      const exec::EngineSpec s = exec::parse_engine_spec(text);
+      EXPECT_EQ(exec::parse_engine_spec(exec::to_string(s)), s) << text;
+    } catch (const std::invalid_argument&) {
+      // expected for malformed soup
+    }
   }
 }
 

@@ -125,6 +125,69 @@ TEST(Simulation, ShardedAutoTunedEnginesAgreeWithNaive) {
   }
 }
 
+TEST(Simulation, EngineSpecStringSelectsTheEngine) {
+  auto cfg = small_cfg(EngineKind::Naive);  // flat field is ignored...
+  cfg.engine_spec = "mwd(dw=2,bz=2,tc=2,groups=1)";  // ...the spec wins
+  Simulation sim(cfg);
+  sim.finalize();
+  sim.run(2);
+  EXPECT_NE(sim.engine().name().find("dw=2"), std::string::npos);
+  EXPECT_EQ(sim.engine().threads(), 2);
+  EXPECT_STREQ(sim.last_stats().kernel_isa, "scalar");
+
+  auto bad = small_cfg(EngineKind::Naive);
+  bad.engine_spec = "mwd(dw=";  // malformed: throws, never crashes
+  EXPECT_THROW(Simulation{bad}, std::invalid_argument);
+  bad.engine_spec = "warp-drive";  // unknown kind
+  EXPECT_THROW(Simulation{bad}, std::invalid_argument);
+}
+
+TEST(Simulation, FlatFieldsLowerToSpecsAndAgreeBitForBit) {
+  // The deprecated flat fields are a shim over engine_spec: lowering is
+  // observable (lower_engine_spec) and both construction paths produce
+  // identical physics.
+  auto flat = small_cfg(EngineKind::Sharded);
+  flat.shard_engine = EngineKind::Naive;
+  flat.num_shards = 2;
+  flat.shard_exchange_interval = 2;
+  flat.shard_overlap = true;
+  EXPECT_EQ(exec::to_string(thiim::lower_engine_spec(flat)),
+            "sharded(shards=2,interval=2,overlap,inner=naive)");
+
+  auto spec = flat;
+  spec.engine_spec = "sharded(shards=2,interval=2,overlap,inner=naive)";
+
+  double energies[2];
+  int i = 0;
+  for (const auto& cfg : {flat, spec}) {
+    Simulation sim(cfg);
+    sim.finalize();
+    sim.add_point_dipole(em::SourceField::Ey, 6, 6, 12, {1.0, 0.0});
+    sim.run(6);
+    energies[i++] = sim.total_energy();
+  }
+  EXPECT_DOUBLE_EQ(energies[0], energies[1]);
+
+  // shard_engine cannot itself be Sharded — the shim still rejects it.
+  auto bad = small_cfg(EngineKind::Sharded);
+  bad.shard_engine = EngineKind::Sharded;
+  EXPECT_THROW(Simulation{bad}, std::invalid_argument);
+
+  // Spot-check the other lowerings.
+  EXPECT_EQ(exec::to_string(thiim::lower_engine_spec(small_cfg(EngineKind::Naive))),
+            "naive");
+  EXPECT_EQ(exec::to_string(thiim::lower_engine_spec(small_cfg(EngineKind::Auto))),
+            "auto");
+  auto mwd = small_cfg(EngineKind::Mwd);
+  EXPECT_EQ(exec::to_string(thiim::lower_engine_spec(mwd)), "mwd");
+  exec::MwdParams p;
+  p.dw = 8;
+  p.tc = 3;
+  mwd.mwd = p;
+  EXPECT_EQ(exec::to_string(thiim::lower_engine_spec(mwd)),
+            "mwd(dw=8,bz=1,tx=1,tz=1,tc=3,groups=1)");
+}
+
 TEST(Simulation, ExplicitMwdParamsHonoured) {
   auto cfg = small_cfg(EngineKind::Mwd);
   exec::MwdParams p;

@@ -11,6 +11,8 @@
 #include "dist/partition.hpp"
 #include "dist/sharded_engine.hpp"
 #include "em/coefficients.hpp"
+#include "exec/engine_registry.hpp"
+#include "exec/engine_spec.hpp"
 #include "grid/fieldset.hpp"
 #include "kernels/reference.hpp"
 #include "models/machine.hpp"
@@ -310,7 +312,42 @@ TEST(ShardedTune, CsvSerializesOneRowPerCandidate) {
     if (ch == '\n') ++lines;
   }
   EXPECT_EQ(lines, r.ranked.size() + 1);  // header + one row per candidate
-  EXPECT_NE(csv.find("plan{K="), std::string::npos);
+  // Plans serialize as engine-spec strings, not ad-hoc describe() text.
+  EXPECT_NE(csv.find("sharded(shards="), std::string::npos);
+}
+
+TEST(ShardedTune, PlanSpecsRoundTripThroughParserAndRegistry) {
+  // Every emittable plan's to_spec() must survive the string round trip and
+  // build a ShardedEngine through the registry that reproduces the direct
+  // to_sharded_params() construction bit-for-bit.
+  ShardedTuneConfig cfg;
+  cfg.threads = 4;
+  cfg.grid = {6, 9, 16};
+  cfg.machine = models::haswell18();
+  cfg.limits.min_shard_planes = 8;
+  cfg.timed_refinement = false;
+  const ShardedTuneResult r = tune::autotune_sharded(cfg);
+  ASSERT_FALSE(r.ranked.empty());
+
+  const Layout layout(cfg.grid);
+  for (const tune::ShardedCandidate& c : r.ranked) {
+    const exec::EngineSpec spec = c.plan.to_spec();
+    const std::string text = exec::to_string(spec);
+    EXPECT_EQ(exec::parse_engine_spec(text), spec) << text;
+
+    FieldSet direct_fs(layout), spec_fs(layout);
+    em::build_random_stable(direct_fs, /*seed=*/97);
+    em::build_random_stable(spec_fs, /*seed=*/97);
+    auto direct = dist::make_sharded_engine(tune::to_sharded_params(c.plan));
+    exec::BuildContext ctx;
+    ctx.grid = cfg.grid;
+    ctx.threads = cfg.threads;
+    auto via_registry = exec::EngineRegistry::global().build(text, ctx);
+    direct->run(direct_fs, 5);
+    via_registry->run(spec_fs, 5);
+    EXPECT_EQ(FieldSet::max_field_diff(direct_fs, spec_fs), 0.0) << text;
+    EXPECT_EQ(via_registry->stats().shards, direct->stats().shards) << text;
+  }
 }
 
 }  // namespace
