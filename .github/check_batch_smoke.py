@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Gate the batch sweep smoke run (see .github/workflows/ci.yml).
+
+Takes the CSVs written by two spectrum_sweep runs over identical physics —
+a serial baseline (--jobs=1) and a concurrent one (--jobs=N) — and asserts:
+
+  * both CSVs carry exactly --rows per-job rows plus one `total` row;
+  * every job finished ok;
+  * per-job observables (absorption columns) are IDENTICAL between the two
+    runs: batch concurrency is placement-only, bit-exact by contract;
+  * the concurrent sweep's wall time <= serial wall time * --max-ratio
+    (the co-scheduling win the paper's Sec. VI fleet workload motivates);
+  * the concurrent run actually exercised the EnginePool (>= --min-reused
+    pooled-engine reuses, from the `reused` column).
+
+Exit code 0 = gate passed.
+"""
+
+import argparse
+import csv
+import sys
+
+
+def read_sweep(path):
+    """Return (job_rows, total_row) from a spectrum_sweep CSV."""
+    with open(path, newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    jobs = [r for r in rows if r["lambda(cells)"] != "total"]
+    totals = [r for r in rows if r["lambda(cells)"] == "total"]
+    if len(totals) != 1:
+        sys.exit(f"FAIL: {path}: expected exactly one `total` row, got {len(totals)}")
+    return jobs, totals[0]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("serial_csv", help="spectrum_sweep --jobs=1 output")
+    ap.add_argument("concurrent_csv", help="spectrum_sweep --jobs=N output")
+    ap.add_argument("--rows", type=int, required=True,
+                    help="expected per-job row count (== --lambdas)")
+    ap.add_argument("--max-ratio", type=float, default=1.0,
+                    help="max concurrent/serial wall-time ratio")
+    ap.add_argument("--min-reused", type=int, default=1,
+                    help="min pooled-engine reuses in the concurrent run")
+    args = ap.parse_args()
+
+    serial_jobs, serial_total = read_sweep(args.serial_csv)
+    conc_jobs, conc_total = read_sweep(args.concurrent_csv)
+
+    failures = []
+    for name, jobs in (("serial", serial_jobs), ("concurrent", conc_jobs)):
+        if len(jobs) != args.rows:
+            failures.append(f"{name}: {len(jobs)} per-job rows, expected {args.rows}")
+        bad = [r["lambda(cells)"] for r in jobs if r["status"] != "ok"]
+        if bad:
+            failures.append(f"{name}: jobs not ok at lambda {bad}")
+
+    # Bit-exactness: the observable columns must match row for row.
+    observables = ["lambda(cells)", "abs a-Si:H", "abs uc-Si:H", "abs TCO", "useful %"]
+    for s, c in zip(serial_jobs, conc_jobs):
+        for col in observables:
+            if s[col] != c[col]:
+                failures.append(
+                    f"observable mismatch at lambda {s['lambda(cells)']}: "
+                    f"{col} serial={s[col]} concurrent={c[col]}")
+
+    serial_wall = float(serial_total["wall_s"])
+    conc_wall = float(conc_total["wall_s"])
+    ratio = conc_wall / serial_wall if serial_wall > 0 else float("inf")
+    print(f"serial wall {serial_wall:.3f} s, concurrent wall {conc_wall:.3f} s, "
+          f"ratio {ratio:.3f} (gate {args.max_ratio})")
+    if ratio > args.max_ratio:
+        failures.append(
+            f"concurrent sweep too slow: {conc_wall:.3f} s vs serial "
+            f"{serial_wall:.3f} s (ratio {ratio:.3f} > {args.max_ratio})")
+
+    reused = sum(int(r["reused"]) for r in conc_jobs)
+    print(f"concurrent run reused pooled engines for {reused} job(s) "
+          f"(gate >= {args.min_reused})")
+    if reused < args.min_reused:
+        failures.append(
+            f"engine pool unused: {reused} reuses < {args.min_reused}")
+
+    if failures:
+        print("FAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    speedup = serial_wall / conc_wall if conc_wall > 0 else float("inf")
+    print(f"OK: {len(conc_jobs)} jobs bit-exact, {speedup:.2f}x speedup over "
+          "the serial baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

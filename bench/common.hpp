@@ -27,58 +27,16 @@
 #include "tune/autotuner.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/engine_cli.hpp"
 
 namespace emwd::bench {
 
-// ------------------------------------------------ unified --engine flag
-//
-// Every bench and example selects its engine through one flag carrying a
-// spec string from the canonical grammar (src/exec/README.md):
-//
-//   --engine "mwd(dw=8,bz=2,tc=3)"
-//   --engine "sharded(shards=4,interval=2,overlap,inner=auto)"
-
-/// Declare the unified --engine flag on a util::Cli.
-inline void add_engine_flag(util::Cli& cli, const std::string& default_spec) {
-  cli.add_flag("engine",
-               "engine spec, e.g. mwd(dw=8,bz=2,tc=3) or "
-               "sharded(shards=4,inner=auto); see src/exec/README.md",
-               default_spec);
-}
-
-/// Parse-and-validate the --engine flag.  Prints the parse error and exits
-/// non-zero on malformed input, so every binary reports specs identically.
-inline exec::EngineSpec engine_spec_from_cli(const util::Cli& cli) {
-  const std::string text = cli.get("engine");
-  try {
-    return exec::parse_engine_spec(text);
-  } catch (const std::invalid_argument& e) {
-    std::fprintf(stderr, "bad --engine: %s\n", e.what());
-    std::exit(2);
-  }
-}
-
-/// Strip `--engine=SPEC` / `--engine SPEC` out of argv for binaries whose
-/// remaining flags belong to another parser (google-benchmark); returns the
-/// spec, or `default_spec` when the flag is absent.
-inline std::string consume_engine_flag(int& argc, char** argv,
-                                       const std::string& default_spec) {
-  std::string spec = default_spec;
-  int out = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--engine=", 9) == 0) {
-      spec = argv[i] + 9;
-      continue;
-    }
-    if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
-      spec = argv[++i];
-      continue;
-    }
-    argv[out++] = argv[i];
-  }
-  argc = out;
-  return spec;
-}
+// The unified --engine flag helpers live in util/engine_cli.hpp (examples
+// use them without including bench/); re-exported here so the figure
+// benches keep addressing them as emwd::bench::.
+using util::add_engine_flag;
+using util::consume_engine_flag;
+using util::engine_spec_from_cli;
 
 /// Linear down-scaling factor relative to the paper's setup.
 inline constexpr int kScale = 8;

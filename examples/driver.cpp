@@ -13,11 +13,11 @@
 #include <stdexcept>
 #include <string>
 
-#include "bench/common.hpp"
 #include "em/geometry.hpp"
 #include "thiim/simulation.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/engine_cli.hpp"
 
 namespace {
 
@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
 
   util::Cli cli;
   cli.add_flag("grid", "NXxNYxNZ", "32x32x64");
-  emwd::bench::add_engine_flag(cli, "auto");
+  util::add_engine_flag(cli, "auto");
   cli.add_flag("threads", "thread budget for the engine", "2");
   cli.add_flag("steps", "THIIM iterations", "100");
   cli.add_flag("wavelength", "wavelength in cells", "20");
@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
 
   // Parse eagerly so a typo'd spec fails with a parse position instead of
   // from deep inside construction; the facade re-parses the string.
-  cfg.engine_spec = exec::to_string(emwd::bench::engine_spec_from_cli(cli));
+  cfg.engine_spec = exec::to_string(util::engine_spec_from_cli(cli));
 
   // Semantic spec errors (unknown kind, unknown argument key) surface at
   // construction: report them like parse errors instead of aborting.

@@ -6,13 +6,14 @@
 // cell.  The example reports the field enhancement next to the wire —
 // the plasmonic hot spot — and verifies the run stays numerically stable.
 //
-//   ./nanowire [--n=32] [--steps=250] [--threads=2]
+//   ./nanowire [--n=32] [--steps=250] [--threads=2] [--engine=auto]
 #include <cmath>
 #include <cstdio>
 
 #include "em/geometry.hpp"
 #include "thiim/simulation.hpp"
 #include "util/cli.hpp"
+#include "util/engine_cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace emwd;
@@ -21,6 +22,7 @@ int main(int argc, char** argv) {
   cli.add_flag("n", "lateral grid size", "32");
   cli.add_flag("steps", "THIIM iterations", "250");
   cli.add_flag("threads", "worker threads", "2");
+  util::add_engine_flag(cli, "auto");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n", cli.error().c_str());
     return 1;
@@ -36,7 +38,7 @@ int main(int argc, char** argv) {
   cfg.grid = {n, n, nz};
   cfg.wavelength_cells = 16.0;
   cfg.pml.thickness = 6;
-  cfg.engine = thiim::EngineKind::Auto;
+  cfg.engine_spec = exec::to_string(util::engine_spec_from_cli(cli));
   cfg.threads = static_cast<int>(cli.get_int("threads", 2));
 
   thiim::Simulation sim(cfg);

@@ -4,11 +4,12 @@
 // the auto-tuned MWD engine, prints energy as the THIIM iteration converges
 // toward the time-harmonic solution, and reports engine performance.
 //
-//   ./quickstart [--n=32] [--steps=120] [--threads=2]
+//   ./quickstart [--n=32] [--steps=120] [--threads=2] [--engine=auto]
 #include <cstdio>
 
 #include "thiim/simulation.hpp"
 #include "util/cli.hpp"
+#include "util/engine_cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace emwd;
@@ -17,6 +18,7 @@ int main(int argc, char** argv) {
   cli.add_flag("n", "cubic grid size", "32");
   cli.add_flag("steps", "THIIM iterations", "120");
   cli.add_flag("threads", "worker threads", "2");
+  util::add_engine_flag(cli, "auto");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n", cli.error().c_str());
     return 1;
@@ -32,7 +34,7 @@ int main(int argc, char** argv) {
   cfg.grid = {n, n, 2 * n};
   cfg.wavelength_cells = n / 2.0;
   cfg.pml.thickness = n / 8;
-  cfg.engine = thiim::EngineKind::Auto;
+  cfg.engine_spec = exec::to_string(util::engine_spec_from_cli(cli));
   cfg.threads = static_cast<int>(cli.get_int("threads", 2));
 
   thiim::Simulation sim(cfg);

@@ -12,9 +12,9 @@
 #include <cstdio>
 #include <stdexcept>
 
-#include "bench/common.hpp"
 #include "thiim/simulation.hpp"
 #include "util/cli.hpp"
+#include "util/engine_cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace emwd;
@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   cli.add_flag("n", "lateral grid size", "24");
   cli.add_flag("steps", "THIIM iterations", "60");
   cli.add_flag("threads", "total worker threads", "2");
-  bench::add_engine_flag(cli, "sharded(shards=2,interval=1,inner=naive)");
+  util::add_engine_flag(cli, "sharded(shards=2,interval=1,inner=naive)");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n", cli.error().c_str());
     return 1;
@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   }
   const int n = static_cast<int>(cli.get_int("n", 24));
   const int steps = static_cast<int>(cli.get_int("steps", 60));
-  const std::string spec = exec::to_string(bench::engine_spec_from_cli(cli));
+  const std::string spec = exec::to_string(util::engine_spec_from_cli(cli));
 
   thiim::SimulationConfig cfg;
   cfg.grid = {n, n, 2 * n};

@@ -9,6 +9,7 @@
 // per-layer absorbed power — the quantity a solar-cell designer optimizes.
 //
 //   ./solar_cell [--nx=40] [--nz=96] [--steps=200] [--threads=2]
+//               [--engine="mwd(dw=8,bz=2,tc=3)"]
 #include <cstdio>
 #include <fstream>
 
@@ -16,6 +17,7 @@
 #include "io/export.hpp"
 #include "thiim/simulation.hpp"
 #include "util/cli.hpp"
+#include "util/engine_cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace emwd;
@@ -25,6 +27,7 @@ int main(int argc, char** argv) {
   cli.add_flag("nz", "vertical grid size", "96");
   cli.add_flag("steps", "THIIM iterations", "200");
   cli.add_flag("threads", "worker threads", "2");
+  util::add_engine_flag(cli, "auto");
   cli.add_flag("export", "write E/material cross-section files");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n", cli.error().c_str());
@@ -41,7 +44,7 @@ int main(int argc, char** argv) {
   cfg.grid = {nx, nx, nz};
   cfg.wavelength_cells = 20.0;  // ~600 nm at 30 nm cells
   cfg.pml.thickness = 8;
-  cfg.engine = thiim::EngineKind::Auto;
+  cfg.engine_spec = exec::to_string(util::engine_spec_from_cli(cli));
   cfg.threads = static_cast<int>(cli.get_int("threads", 2));
 
   thiim::Simulation sim(cfg);

@@ -1,0 +1,93 @@
+#include "batch/job.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace emwd::batch {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* status_of(const JobResult& r) {
+  if (r.ok) return "ok";
+  return r.cancelled ? "cancelled" : "failed";
+}
+
+}  // namespace
+
+std::vector<std::string> JobResult::row_header() {
+  return {"index",   "name",    "status",  "steps",  "wall_s",
+          "mlups",   "total_E", "slot",    "threads", "engine",
+          "reused",  "plan_hit", "error"};
+}
+
+std::vector<std::string> JobResult::to_row() const {
+  return {std::to_string(index),
+          name,
+          status_of(*this),
+          std::to_string(steps_done),
+          util::fmt_double(wall_seconds, 4),
+          util::fmt_double(stats.mlups, 4),
+          util::fmt_double(total_energy, 12),
+          std::to_string(slot),
+          std::to_string(threads),
+          engine_name.empty() ? engine_spec : engine_name,
+          engine_reused ? "1" : "0",
+          plan_cache_hit ? "1" : "0",
+          error};
+}
+
+util::Table JobResult::table(const std::vector<JobResult>& results) {
+  util::Table t(row_header());
+  for (const JobResult& r : results) t.add_row(r.to_row());
+  return t;
+}
+
+std::string JobResult::to_json() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"index\":" << index << ",\"name\":\"" << json_escape(name) << '"'
+     << ",\"status\":\"" << status_of(*this) << '"';
+  if (!error.empty()) os << ",\"error\":\"" << json_escape(error) << '"';
+  os << ",\"steps_done\":" << steps_done << ",\"wall_seconds\":" << wall_seconds
+     << ",\"total_energy\":" << total_energy
+     << ",\"electric_energy\":" << electric_energy
+     << ",\"converged_change\":" << converged_change << ",\"absorption\":[";
+  for (std::size_t i = 0; i < absorption.size(); ++i) {
+    if (i) os << ',';
+    os << absorption[i];
+  }
+  os << "],\"mlups\":" << stats.mlups << ",\"engine_seconds\":" << stats.seconds
+     << ",\"lups\":" << stats.lups << ",\"shards\":" << stats.shards
+     << ",\"kernel_isa\":\"" << json_escape(stats.kernel_isa) << '"'
+     << ",\"slot\":" << slot << ",\"threads\":" << threads
+     << ",\"engine_spec\":\"" << json_escape(engine_spec) << '"'
+     << ",\"engine_name\":\"" << json_escape(engine_name) << '"'
+     << ",\"engine_reused\":" << (engine_reused ? "true" : "false")
+     << ",\"plan_cache_hit\":" << (plan_cache_hit ? "true" : "false") << '}';
+  return os.str();
+}
+
+}  // namespace emwd::batch

@@ -1,0 +1,102 @@
+// batch::Job / batch::JobResult — the value types of the batch subsystem.
+//
+// The paper's production workload is fleets of small simulations ("about
+// 80-160 simulations" per solar-cell design, Sec. VI), each an independent
+// THIIM run: same code path as one thiim::Simulation, but admitted through
+// the batch::Scheduler so many of them share the machine.  A Job is
+// everything needed to run one simulation unattended; a JobResult is the
+// canonical record of what happened — observables, engine stats, wall time
+// and the execution provenance (slot, pooled-engine reuse, plan-cache hit)
+// — serializable as a CSV row or a JSON object.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/engine.hpp"
+#include "thiim/simulation.hpp"
+#include "util/csv.hpp"
+
+namespace emwd::batch {
+
+struct JobResult;
+
+/// One simulation job.  The config selects grid/engine/boundary exactly as
+/// for a standalone thiim::Simulation; `setup` paints geometry and sources.
+struct Job {
+  /// Row label in result tables; empty defaults to "job<index>".
+  std::string name;
+
+  /// Full simulation configuration.  `config.threads <= 0` means "size the
+  /// engine to the executor's resource slot" — the scheduler fills it in
+  /// before construction, which is how side-by-side jobs avoid
+  /// oversubscribing each other.
+  thiim::SimulationConfig config;
+
+  /// Fixed step budget (converge_tol == 0), or convergence target:
+  /// converge_tol > 0 runs run_until_converged(converge_tol, max_steps,
+  /// check_every) with max_steps defaulting to `steps` when 0.
+  int steps = 100;
+  double converge_tol = 0.0;
+  int max_steps = 0;
+  int check_every = 10;
+
+  /// Scheduling priority: larger runs earlier; ties run in submission order.
+  int priority = 0;
+
+  /// Prepare the simulation: paint materials/geometry, call finalize(),
+  /// add sources.  Runs on the executor thread.  When unset the scheduler
+  /// calls sim.finalize() (vacuum box, no sources).
+  std::function<void(thiim::Simulation&, const Job&)> setup;
+
+  /// Optional per-job result sink, invoked on the executor thread right
+  /// after the job finishes (also for failed and cancelled jobs).  The
+  /// ordered result table from Scheduler::wait_all()/run_sweep() does not
+  /// require this; use it for streaming consumers (live CSV, progress UI).
+  std::function<void(const JobResult&)> sink;
+};
+
+/// The canonical per-job record.  All observables are bit-exact outputs of
+/// the run (batch execution never changes results, only placement).
+struct JobResult {
+  std::size_t index = 0;  // submission order; results are returned sorted by it
+  std::string name;
+
+  bool ok = false;         // ran to completion
+  bool cancelled = false;  // drained by Scheduler::cancel() before starting
+  std::string error;       // exception text when !ok && !cancelled
+
+  // ------------------------------------------------------- observables
+  double total_energy = 0.0;
+  double electric_energy = 0.0;
+  std::vector<double> absorption;  // per material id (em::absorption_by_material)
+  double converged_change = 0.0;   // last relative change (convergence jobs)
+  int steps_done = 0;
+
+  // -------------------------------------------------- execution record
+  exec::EngineStats stats;    // engine counters of the run
+  double wall_seconds = 0.0;  // construction + setup + run + observables
+  int slot = -1;              // resource slot the executor was pinned to
+  int threads = 0;            // engine thread budget actually used
+  std::string engine_spec;    // resolved concrete spec (post plan-cache)
+  std::string engine_name;
+  bool engine_reused = false;   // engine came from the EnginePool
+  bool plan_cache_hit = false;  // tuning skipped via the PlanCache
+
+  /// Header/row pair for the canonical result table (absorption is
+  /// material-set-dependent and therefore not part of the generic row;
+  /// sweep front-ends add their own observable columns).
+  static std::vector<std::string> row_header();
+  std::vector<std::string> to_row() const;
+
+  /// Canonical table over the generic columns, one row per result.
+  static util::Table table(const std::vector<JobResult>& results);
+
+  /// One JSON object (single line, no trailing newline) carrying every
+  /// field including the absorption array.
+  std::string to_json() const;
+};
+
+}  // namespace emwd::batch

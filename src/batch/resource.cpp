@@ -1,0 +1,111 @@
+#include "batch/resource.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace emwd::batch {
+
+namespace {
+
+/// The host's per-node cpu lists with every fallback applied: at least one
+/// node, no empty nodes, at least one cpu total.
+std::vector<std::vector<int>> sane_nodes(const util::HostInfo& host) {
+  std::vector<std::vector<int>> nodes;
+  for (const std::vector<int>& n : host.numa_node_cpus) {
+    if (!n.empty()) nodes.push_back(n);
+  }
+  if (nodes.empty()) {
+    nodes.emplace_back();
+    for (int c = 0; c < std::max(1, host.logical_cpus); ++c) nodes[0].push_back(c);
+  }
+  return nodes;
+}
+
+}  // namespace
+
+ResourceManager::ResourceManager(const util::HostInfo& host, int want_slots) {
+  const std::vector<std::vector<int>> nodes = sane_nodes(host);
+  const int num_nodes = static_cast<int>(nodes.size());
+  int total_cpus = 0;
+  for (const auto& n : nodes) total_cpus += static_cast<int>(n.size());
+
+  int want = want_slots <= 0 ? num_nodes : want_slots;
+  want = std::clamp(want, 1, total_cpus);
+
+  if (want <= num_nodes) {
+    // Merge contiguous node groups: slot s covers nodes [s*N/S, (s+1)*N/S).
+    for (int s = 0; s < want; ++s) {
+      const int lo = s * num_nodes / want;
+      const int hi = (s + 1) * num_nodes / want;
+      Slot slot;
+      slot.id = s;
+      slot.numa_node = lo;
+      for (int n = lo; n < hi; ++n) {
+        slot.cpus.insert(slot.cpus.end(), nodes[n].begin(), nodes[n].end());
+      }
+      slots_.push_back(std::move(slot));
+    }
+    return;
+  }
+
+  // Split nodes: every node gets at least one slot, then the node with the
+  // most cpus per slot gains the next one until `want` slots exist.  A node
+  // never holds more slots than cpus, so no slot ends up empty.
+  std::vector<int> per_node(nodes.size(), 1);
+  int assigned = num_nodes;
+  while (assigned < want) {
+    int best = -1;
+    double best_load = 0.0;
+    for (int n = 0; n < num_nodes; ++n) {
+      const int cpus = static_cast<int>(nodes[n].size());
+      if (per_node[n] >= cpus) continue;  // full: one cpu per slot already
+      const double load = static_cast<double>(cpus) / (per_node[n] + 1);
+      if (best < 0 || load > best_load) {
+        best = n;
+        best_load = load;
+      }
+    }
+    // want <= total_cpus guarantees spare capacity somewhere.
+    per_node[static_cast<std::size_t>(best)]++;
+    ++assigned;
+  }
+
+  int id = 0;
+  for (int n = 0; n < num_nodes; ++n) {
+    const int k = per_node[static_cast<std::size_t>(n)];
+    const int sz = static_cast<int>(nodes[n].size());
+    for (int j = 0; j < k; ++j) {
+      Slot slot;
+      slot.id = id++;
+      slot.numa_node = n;
+      const int lo = j * sz / k;
+      const int hi = (j + 1) * sz / k;
+      slot.cpus.assign(nodes[n].begin() + lo, nodes[n].begin() + hi);
+      slots_.push_back(std::move(slot));
+    }
+  }
+}
+
+ResourceManager ResourceManager::detect(int want_slots) {
+  return ResourceManager(util::detect_host(), want_slots);
+}
+
+std::string ResourceManager::describe() const {
+  std::ostringstream os;
+  os << slots_.size() << " slot" << (slots_.size() == 1 ? "" : "s") << ":";
+  for (const Slot& s : slots_) {
+    os << " #" << s.id << " node" << s.numa_node << " cpus";
+    // Render runs compactly: 0-3,8.
+    for (std::size_t i = 0; i < s.cpus.size();) {
+      std::size_t j = i;
+      while (j + 1 < s.cpus.size() && s.cpus[j + 1] == s.cpus[j] + 1) ++j;
+      os << (i == 0 ? " " : ",") << s.cpus[i];
+      if (j > i) os << '-' << s.cpus[j];
+      i = j + 1;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace emwd::batch

@@ -1,0 +1,283 @@
+#include "batch/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "exec/engine_spec.hpp"
+#include "tune/autotuner.hpp"
+#include "util/affinity.hpp"
+#include "util/timer.hpp"
+
+namespace emwd::batch {
+
+/// Max-heap order for std::push_heap/pop_heap: higher priority first, ties
+/// in submission order (larger seq compares "smaller").
+struct SchedulerEntryLess {
+  bool operator()(const auto& a, const auto& b) const {
+    return a.priority < b.priority || (a.priority == b.priority && a.seq > b.seq);
+  }
+};
+
+Scheduler::Scheduler(SchedulerConfig cfg)
+    : cfg_(std::move(cfg)),
+      // Default slot count: one per requested executor (so side-by-side
+      // jobs get private cpu subsets even within one NUMA node), or one per
+      // NUMA domain when concurrency is defaulted too.  ResourceManager
+      // clamps to the cpu count.
+      resources_(cfg_.host ? *cfg_.host : util::detect_host(),
+                 cfg_.slots > 0 ? cfg_.slots
+                                : (cfg_.concurrency > 0 ? cfg_.concurrency : 0)) {
+  const int executors =
+      cfg_.concurrency > 0 ? cfg_.concurrency : resources_.num_slots();
+  stats_.slots = resources_.num_slots();
+  stats_.executors = executors;
+  executors_.reserve(static_cast<std::size_t>(executors));
+  for (int i = 0; i < executors; ++i) {
+    executors_.emplace_back([this, i] { executor_loop(i); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  if (!joined_) {
+    cancel();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closing_ = true;
+    }
+    cv_work_.notify_all();
+    for (std::thread& t : executors_) {
+      if (t.joinable()) t.join();
+    }
+    joined_ = true;
+  }
+}
+
+std::size_t Scheduler::submit(Job job) {
+  std::size_t seq = 0;
+  bool drop = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closing_) throw std::logic_error("batch::Scheduler: submit after wait_all");
+    seq = results_.size();
+    results_.emplace_back();
+    ++stats_.submitted;
+    if (cancelled_) {
+      drop = true;  // record outside the lock, consistent with cancel()
+    } else {
+      queue_.push_back(Entry{job.priority, seq, std::move(job)});
+      std::push_heap(queue_.begin(), queue_.end(), SchedulerEntryLess{});
+    }
+  }
+  if (drop) {
+    JobResult r;
+    r.index = seq;
+    r.name = job.name.empty() ? "job" + std::to_string(seq) : job.name;
+    r.cancelled = true;
+    r.error = "cancelled";
+    finish_result(std::move(r), job.sink);
+  } else {
+    cv_work_.notify_one();
+  }
+  return seq;
+}
+
+void Scheduler::set_progress(ProgressFn fn) {
+  std::lock_guard<std::recursive_mutex> lock(progress_mu_);
+  progress_ = std::move(fn);
+  has_progress_.store(static_cast<bool>(progress_), std::memory_order_relaxed);
+}
+
+void Scheduler::cancel() {
+  std::vector<Entry> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_ = true;
+    drained = std::move(queue_);
+    queue_.clear();
+  }
+  // From here no executor can claim work (claiming pops under the same
+  // mutex, and the queue is now empty); jobs claimed earlier — running, or
+  // popped an instant before this drain — complete normally.
+  cv_work_.notify_all();
+  for (Entry& e : drained) {
+    JobResult r;
+    r.index = e.seq;
+    r.name = e.job.name.empty() ? "job" + std::to_string(e.seq) : e.job.name;
+    r.cancelled = true;
+    r.error = "cancelled";
+    finish_result(std::move(r), e.job.sink);
+  }
+}
+
+std::vector<JobResult> Scheduler::wait_all() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (joined_) throw std::logic_error("batch::Scheduler: wait_all called twice");
+    closing_ = true;
+    cv_work_.notify_all();
+    cv_done_.wait(lock, [&] { return done_ == stats_.submitted; });
+  }
+  for (std::thread& t : executors_) {
+    if (t.joinable()) t.join();
+  }
+  joined_ = true;
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::move(results_);
+}
+
+BatchStats Scheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BatchStats out = stats_;
+  out.pool = pool_.stats();
+  out.plans = plan_cache_.stats();
+  return out;
+}
+
+void Scheduler::executor_loop(int executor_id) {
+  const int slot_id = resources_.slot_for_executor(executor_id);
+  if (cfg_.pin_slots) {
+    // Best effort; engine worker threads inherit the mask.
+    util::pin_current_thread(resources_.slot(slot_id).cpus);
+  }
+  for (;;) {
+    Entry entry;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return closing_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (closing_) return;
+        continue;
+      }
+      std::pop_heap(queue_.begin(), queue_.end(), SchedulerEntryLess{});
+      entry = std::move(queue_.back());
+      queue_.pop_back();
+    }
+    auto sink = entry.job.sink;
+    JobResult r = run_job(std::move(entry.job), entry.seq, slot_id);
+    finish_result(std::move(r), sink);
+  }
+}
+
+JobResult Scheduler::run_job(Job&& job, std::size_t seq, int slot_id) {
+  JobResult r;
+  r.index = seq;
+  r.name = job.name.empty() ? "job" + std::to_string(seq) : job.name;
+  r.slot = slot_id;
+  util::Timer timer;
+
+  EnginePool::EngineLease engine_lease;
+  EnginePool::FieldsLease fields_lease;
+  try {
+    thiim::SimulationConfig cfg = job.config;
+    if (cfg.threads <= 0) {
+      cfg.threads = cfg_.threads_per_job > 0
+                        ? cfg_.threads_per_job
+                        : static_cast<int>(resources_.slot(slot_id).cpus.size());
+    }
+    r.threads = cfg.threads;
+
+    // Resolve any `auto` once per (spec, shape, threads) via the PlanCache,
+    // so the pool key below is concrete and later same-shape jobs skip the
+    // tuner entirely.
+    exec::EngineSpec spec = cfg.engine_spec.empty()
+                                ? thiim::lower_engine_spec(cfg)
+                                : exec::parse_engine_spec(cfg.engine_spec);
+    exec::BuildContext ctx;
+    ctx.grid = cfg.grid;
+    ctx.threads = cfg.threads;
+    if (cfg_.cache_plans) {
+      spec = plan_cache_.resolve(spec, ctx, &r.plan_cache_hit);
+    } else if (tune::spec_needs_tuning(spec)) {
+      spec = tune::resolve_auto_spec(spec, ctx);
+    }
+    r.engine_spec = exec::to_string(spec);
+    cfg.engine_spec = r.engine_spec;
+
+    thiim::BorrowedState borrowed;
+    if (cfg_.pool_engines) {
+      engine_lease = pool_.acquire_engine(spec, ctx);
+      fields_lease = pool_.acquire_fields(cfg.grid);
+      r.engine_reused = engine_lease.reused;
+      borrowed.engine = engine_lease.engine.get();
+      borrowed.fields = fields_lease.fields.get();
+    }
+    thiim::Simulation sim(cfg, borrowed);
+    if (job.setup) {
+      job.setup(sim, job);
+    } else {
+      sim.finalize();
+    }
+    if (job.converge_tol > 0.0) {
+      r.converged_change = sim.run_until_converged(
+          job.converge_tol, job.max_steps > 0 ? job.max_steps : job.steps,
+          job.check_every);
+    } else {
+      sim.run(job.steps);
+    }
+    r.steps_done = sim.steps_done();
+    r.total_energy = sim.total_energy();
+    r.electric_energy = sim.electric_energy();
+    r.absorption = sim.absorption_by_material();
+    r.stats = sim.last_stats();
+    r.engine_name = sim.engine().name();
+    r.ok = true;
+    pool_.release_engine(std::move(engine_lease));
+    pool_.release_fields(std::move(fields_lease));
+  } catch (const std::exception& e) {
+    r.ok = false;
+    r.error = e.what();
+    // The engine's internal state is unspecified after a throw: drop the
+    // lease (destroying the engine) instead of recycling it.  The FieldSet
+    // is safe to recycle — borrows always clear_all() first.
+    pool_.release_fields(std::move(fields_lease));
+  }
+  r.wall_seconds = timer.seconds();
+  return r;
+}
+
+void Scheduler::finish_result(JobResult&& result,
+                              const std::function<void(const JobResult&)>& sink) {
+  // The snapshot deep-copies the result (absorption vector, strings); skip
+  // it on the common no-observer path so the mutex-held section stays at a
+  // move plus counter updates.
+  const bool observed =
+      static_cast<bool>(sink) || has_progress_.load(std::memory_order_relaxed);
+  std::size_t done = 0;
+  std::size_t total = 0;
+  JobResult snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (result.cancelled) {
+      ++stats_.cancelled;
+    } else if (result.ok) {
+      ++stats_.completed;
+      stats_.engine.merge(result.stats);
+    } else {
+      ++stats_.failed;
+    }
+    if (observed) snapshot = result;
+    results_[result.index] = std::move(result);
+    done = ++done_;
+    total = stats_.submitted;
+  }
+  cv_done_.notify_all();
+  if (!observed) return;
+  if (sink) {
+    try {
+      sink(snapshot);
+    } catch (...) {
+      // Sinks are observability hooks; a throwing sink must not take the
+      // batch down or wedge the executor.
+    }
+  }
+  std::lock_guard<std::recursive_mutex> lock(progress_mu_);
+  if (progress_) {
+    try {
+      progress_(snapshot, done, total);
+    } catch (...) {
+    }
+  }
+}
+
+}  // namespace emwd::batch

@@ -1,0 +1,143 @@
+// batch::Scheduler — a thread-safe priority job queue drained by K
+// concurrent executors on NUMA-partitioned resource slots.
+//
+// Submit Jobs, then wait_all() for the ordered result table.  Each executor
+// is pinned to its ResourceManager slot (engine worker threads inherit the
+// mask), sizes jobs whose config leaves threads == 0 to the slot's cpu
+// count, resolves `auto` engine specs through the shared PlanCache and
+// borrows engines/FieldSets from the shared EnginePool.  Execution is
+// placement-only: per-job results are bit-exact with running the same
+// config standalone, at any concurrency (batch_test asserts this).
+//
+// Lifecycle: construct (executors start), submit() any number of jobs,
+// wait_all() exactly once (closes the queue, joins executors, returns
+// results sorted by submission index).  cancel() may be called at any time
+// from any thread — it atomically drains every job still in the queue into
+// a `cancelled` result.  An executor CLAIMS a job by popping it under the
+// same queue mutex, so the guarantee is exact: after cancel() returns, no
+// job that was unclaimed at the moment of cancellation will ever run;
+// claimed jobs (running, or popped an instant earlier) finish normally and
+// the queue drains deadlock-free.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "batch/engine_pool.hpp"
+#include "batch/job.hpp"
+#include "batch/resource.hpp"
+
+namespace emwd::batch {
+
+struct SchedulerConfig {
+  /// Concurrent executors; 0 = one per resource slot.  More executors than
+  /// slots time-slice (slot_for_executor wraps).
+  int concurrency = 0;
+  /// Resource slots to partition the machine into; 0 = one per NUMA domain.
+  int slots = 0;
+  /// Engine thread budget for jobs that leave config.threads == 0;
+  /// 0 = the executor slot's cpu count.
+  int threads_per_job = 0;
+  /// Pin executors (and thus engine teams) to their slot's cpus.
+  bool pin_slots = true;
+  /// Reuse engines/FieldSets across same-shape jobs via the EnginePool.
+  bool pool_engines = true;
+  /// Memoize `auto`-spec tuning via the PlanCache.
+  bool cache_plans = true;
+  /// Host topology override for tests; unset = util::detect_host().
+  std::optional<util::HostInfo> host;
+};
+
+/// Aggregate batch outcome: job counters, pool/plan-cache effectiveness and
+/// the merged engine stats of every completed job (EngineStats::merge).
+struct BatchStats {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;  // ran to completion (ok)
+  std::size_t failed = 0;     // threw
+  std::size_t cancelled = 0;  // drained before starting
+  EnginePool::Stats pool;
+  PlanCache::Stats plans;
+  int slots = 0;
+  int executors = 0;
+  exec::EngineStats engine;
+};
+
+class Scheduler {
+ public:
+  /// Called (serialized, on an executor thread) after every job finishes —
+  /// including failed and cancelled ones.  `done`/`total` count finished vs
+  /// submitted jobs at that moment.
+  using ProgressFn =
+      std::function<void(const JobResult&, std::size_t done, std::size_t total)>;
+
+  explicit Scheduler(SchedulerConfig cfg = {});
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Enqueue a job; returns its submission index (== its slot in the
+  /// wait_all() result vector).  Throws std::logic_error after wait_all().
+  /// After cancel(), the job is recorded as cancelled without running.
+  std::size_t submit(Job job);
+
+  void set_progress(ProgressFn fn);
+
+  /// Drain every still-queued (unclaimed) job into a cancelled JobResult.
+  /// On return no unclaimed job can ever run; claimed jobs complete
+  /// normally.  Idempotent.
+  void cancel();
+
+  /// Close the queue, run everything to completion, join the executors and
+  /// return all results ordered by submission index.  Call exactly once.
+  std::vector<JobResult> wait_all();
+
+  BatchStats stats() const;
+  const ResourceManager& resources() const { return resources_; }
+
+ private:
+  struct Entry {
+    int priority = 0;
+    std::size_t seq = 0;
+    Job job;
+  };
+
+  void executor_loop(int executor_id);
+  JobResult run_job(Job&& job, std::size_t seq, int slot_id);
+  void finish_result(JobResult&& result, const std::function<void(const JobResult&)>& sink);
+
+  SchedulerConfig cfg_;
+  ResourceManager resources_;
+  PlanCache plan_cache_;
+  EnginePool pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<Entry> queue_;  // max-heap by (priority, -seq)
+  std::vector<JobResult> results_;
+  std::size_t done_ = 0;
+  bool cancelled_ = false;
+  bool closing_ = false;
+  bool joined_ = false;
+  BatchStats stats_;
+
+  // Recursive: cancel() may legally be called from inside the progress
+  // callback (run_sweep's cancellation path); the drained jobs' progress
+  // notifications then nest on the same thread instead of deadlocking.
+  std::recursive_mutex progress_mu_;
+  ProgressFn progress_;
+  // Mirrors progress_ being set, readable without progress_mu_: the
+  // no-observer fast path of finish_result skips the JobResult snapshot.
+  std::atomic<bool> has_progress_{false};
+
+  std::vector<std::thread> executors_;
+};
+
+}  // namespace emwd::batch

@@ -1,0 +1,72 @@
+#include "batch/sweep.hpp"
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/timer.hpp"
+
+namespace emwd::batch {
+
+namespace {
+
+std::string job_name(const SweepConfig& cfg, double lambda, const grid::Extents& e,
+                     const std::string& spec) {
+  std::ostringstream os;
+  os << "lam=" << util::fmt_double(lambda, 6);
+  if (cfg.grids.size() > 1) os << " grid=" << e.nx << 'x' << e.ny << 'x' << e.nz;
+  if (cfg.engine_specs.size() > 1) os << " engine=" << spec;
+  return os.str();
+}
+
+}  // namespace
+
+SweepResult run_sweep(const SweepConfig& cfg) {
+  const std::vector<double> lambdas =
+      cfg.wavelengths.empty() ? std::vector<double>{cfg.base.wavelength_cells}
+                              : cfg.wavelengths;
+  const std::vector<grid::Extents> grids =
+      cfg.grids.empty() ? std::vector<grid::Extents>{cfg.base.grid} : cfg.grids;
+  const std::vector<std::string> specs =
+      cfg.engine_specs.empty() ? std::vector<std::string>{cfg.base.engine_spec}
+                               : cfg.engine_specs;
+
+  util::Timer timer;
+  Scheduler scheduler(cfg.scheduler);
+  if (cfg.progress) {
+    // A false return cancels the remainder; cancel() never blocks on jobs,
+    // so calling it from the progress callback is safe.
+    auto progress = cfg.progress;
+    Scheduler* sched = &scheduler;
+    scheduler.set_progress(
+        [progress, sched](const JobResult& r, std::size_t done, std::size_t total) {
+          if (!progress(r, done, total)) sched->cancel();
+        });
+  }
+
+  for (double lambda : lambdas) {
+    for (const grid::Extents& e : grids) {
+      for (const std::string& spec : specs) {
+        Job job;
+        job.name = job_name(cfg, lambda, e, spec);
+        job.config = cfg.base;
+        job.config.wavelength_cells = lambda;
+        job.config.grid = e;
+        job.config.engine_spec = spec;
+        job.steps = cfg.steps;
+        job.converge_tol = cfg.converge_tol;
+        job.max_steps = cfg.max_steps;
+        job.check_every = cfg.check_every;
+        job.setup = cfg.setup;
+        scheduler.submit(std::move(job));
+      }
+    }
+  }
+
+  SweepResult result;
+  result.results = scheduler.wait_all();
+  result.stats = scheduler.stats();
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace emwd::batch

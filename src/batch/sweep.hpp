@@ -1,0 +1,64 @@
+// batch::run_sweep — expand parameter axes into Jobs, run them through the
+// Scheduler, gather an ordered result table.
+//
+// This is the high-level API behind examples/spectrum_sweep: the paper's
+// production workload sweeps 80-160 wavelengths over one geometry (Sec.
+// VI); run_sweep turns (wavelengths x grids x engine specs) into a job
+// fleet, co-schedules it across the machine's NUMA slots and returns
+// results in axis order regardless of completion order.  Supports
+// cancellation through the progress callback.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "batch/job.hpp"
+#include "batch/scheduler.hpp"
+
+namespace emwd::batch {
+
+struct SweepConfig {
+  /// Template configuration every job starts from.  A job's axes override
+  /// wavelength_cells / grid / engine_spec; everything else is shared.
+  thiim::SimulationConfig base;
+
+  /// Sweep axes; an empty axis keeps the base value as its single point.
+  /// Jobs are the cartesian product in (wavelength, grid, engine) order —
+  /// the result vector preserves exactly this order.
+  std::vector<double> wavelengths;
+  std::vector<grid::Extents> grids;
+  std::vector<std::string> engine_specs;
+
+  /// Per-job run budget, as in Job.
+  int steps = 100;
+  double converge_tol = 0.0;
+  int max_steps = 0;
+  int check_every = 10;
+
+  /// Geometry/sources per job (see Job::setup); unset = finalize() only.
+  std::function<void(thiim::Simulation&, const Job&)> setup;
+
+  /// Scheduler knobs (concurrency, slots, pooling, pinning).
+  SchedulerConfig scheduler;
+
+  /// Called after each job finishes (serialized).  Return false to cancel
+  /// the remainder of the sweep — already-running jobs complete, queued
+  /// ones are drained into cancelled results.
+  std::function<bool(const JobResult&, std::size_t done, std::size_t total)> progress;
+};
+
+struct SweepResult {
+  std::vector<JobResult> results;  // axis-expansion order
+  BatchStats stats;
+  double wall_seconds = 0.0;
+
+  /// JobResult::table over the results.
+  util::Table to_table() const { return JobResult::table(results); }
+};
+
+/// Expand, schedule, wait.  The per-job results are bit-exact with running
+/// each configuration standalone, at any scheduler concurrency.
+SweepResult run_sweep(const SweepConfig& cfg);
+
+}  // namespace emwd::batch

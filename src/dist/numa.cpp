@@ -1,11 +1,7 @@
 #include "dist/numa.hpp"
 
+#include "util/affinity.hpp"
 #include "util/machine_detect.hpp"
-
-#if defined(__linux__)
-#include <pthread.h>
-#include <sched.h>
-#endif
 
 namespace emwd::dist {
 
@@ -35,50 +31,19 @@ int node_for_shard(const NumaTopology& topo, int shard, int num_shards) {
   return shard * topo.num_nodes / num_shards;
 }
 
-#if defined(__linux__)
-
-namespace {
-
-bool set_affinity(const std::vector<int>& cpus) {
-  if (cpus.empty()) return false;
-  cpu_set_t set;
-  CPU_ZERO(&set);
-  for (int c : cpus) {
-    if (c >= 0 && c < CPU_SETSIZE) CPU_SET(c, &set);
-  }
-  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
-}
-
-}  // namespace
-
 bool bind_current_thread_to_node(const NumaTopology& topo, int node) {
   if (topo.num_nodes <= 1) return false;  // nothing to gain; keep the OS free
   if (node < 0 || node >= static_cast<int>(topo.node_cpus.size())) return false;
-  return set_affinity(topo.node_cpus[static_cast<std::size_t>(node)]);
+  return util::pin_current_thread(topo.node_cpus[static_cast<std::size_t>(node)]);
 }
 
 SavedAffinity save_current_affinity() {
-  SavedAffinity saved;
-  cpu_set_t set;
-  CPU_ZERO(&set);
-  if (pthread_getaffinity_np(pthread_self(), sizeof(set), &set) != 0) return saved;
-  for (int c = 0; c < CPU_SETSIZE; ++c) {
-    if (CPU_ISSET(c, &set)) saved.cpus.push_back(c);
-  }
-  saved.valid = !saved.cpus.empty();
-  return saved;
+  const util::ThreadAffinity saved = util::get_thread_affinity();
+  return SavedAffinity{saved.cpus, saved.valid};
 }
 
 void restore_affinity(const SavedAffinity& saved) {
-  if (saved.valid) set_affinity(saved.cpus);
+  util::restore_thread_affinity(util::ThreadAffinity{saved.cpus, saved.valid});
 }
-
-#else  // !__linux__
-
-bool bind_current_thread_to_node(const NumaTopology&, int) { return false; }
-SavedAffinity save_current_affinity() { return {}; }
-void restore_affinity(const SavedAffinity&) {}
-
-#endif
 
 }  // namespace emwd::dist

@@ -1,5 +1,6 @@
 #include "exec/engine.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <sstream>
 
@@ -21,6 +22,18 @@ void accumulate_work(EngineStats& into, const EngineStats& from) {
       std::strcmp(from.kernel_isa, "scalar") != 0) {
     into.kernel_isa = from.kernel_isa;
   }
+}
+
+EngineStats& EngineStats::merge(const EngineStats& other) {
+  const double total = seconds + other.seconds;
+  mlups = total > 0.0 ? (mlups * seconds + other.mlups * other.seconds) / total
+                      : std::max(mlups, other.mlups);
+  seconds = total;
+  steps += other.steps;
+  shards = std::max(shards, other.shards);
+  halo_overlapped = halo_overlapped || other.halo_overlapped;
+  accumulate_work(*this, other);
+  return *this;
 }
 
 std::string MwdParams::describe() const {

@@ -57,6 +57,15 @@ struct EngineStats {
   double halo_exposed_seconds() const {
     return halo_wait_seconds + halo_exchange_seconds - halo_hidden_seconds;
   }
+
+  /// Fold another run's stats into this one so batch results aggregate
+  /// without hand-rolled loops: times, steps and byte/work counters sum;
+  /// peak-like fields (`shards`) take the max; `halo_overlapped` ors;
+  /// `kernel_isa` promotes away from "scalar" exactly like accumulate_work.
+  /// `mlups` becomes the wall-time-weighted mean throughput (the max of the
+  /// two when neither run carries wall time), so merging a
+  /// default-constructed EngineStats is an identity in every field.
+  EngineStats& merge(const EngineStats& other);
 };
 
 /// Accumulate `from`'s work counters (lups, tiles, barrier episodes, wait

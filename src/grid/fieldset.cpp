@@ -25,6 +25,13 @@ void FieldSet::clear_fields() {
   for (auto& f : fields_) f.clear();
 }
 
+void FieldSet::clear_all() {
+  for (auto& f : fields_) f.clear();
+  for (auto& f : coeff_t_) f.clear();
+  for (auto& f : coeff_c_) f.clear();
+  for (auto& f : sources_) f.clear();
+}
+
 void FieldSet::copy_fields_from(const FieldSet& other) {
   if (!(layout_ == other.layout_)) {
     throw std::invalid_argument("copy_fields_from: layout mismatch");

@@ -51,6 +51,11 @@ class FieldSet {
   /// Zero all 12 field arrays (coefficients untouched).
   void clear_fields();
 
+  /// Zero all 40 arrays (fields, coefficients and sources, interior and
+  /// halo) — bitwise the state of a freshly constructed FieldSet, so pooled
+  /// sets can be recycled across simulations without allocator churn.
+  void clear_all();
+
   /// Copy the 12 field arrays from another set (layouts must match).
   void copy_fields_from(const FieldSet& other);
 

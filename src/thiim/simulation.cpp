@@ -68,29 +68,49 @@ exec::EngineSpec lower_engine_spec(const SimulationConfig& cfg) {
 }
 
 Simulation::Simulation(const SimulationConfig& cfg)
+    : Simulation(cfg, BorrowedState{}) {}
+
+Simulation::Simulation(const SimulationConfig& cfg, const BorrowedState& borrowed)
     : cfg_(cfg),
       layout_(cfg.grid),
-      fields_(layout_),
       materials_(layout_),
       params_(em::make_params(cfg.wavelength_cells, cfg.cfl)) {
-  fields_.set_x_boundary(cfg.x_boundary);
+  if (borrowed.fields) {
+    if (!(borrowed.fields->layout().interior() == cfg.grid)) {
+      throw std::invalid_argument(
+          "Simulation: borrowed FieldSet extents do not match cfg.grid");
+    }
+    fields_ = borrowed.fields;
+    // Recycled storage must be indistinguishable from a fresh allocation:
+    // zero every array (stale coefficients, sources and halos included).
+    fields_->clear_all();
+  } else {
+    owned_fields_ = std::make_unique<grid::FieldSet>(layout_);
+    fields_ = owned_fields_.get();
+  }
+  fields_->set_x_boundary(cfg.x_boundary);
 
-  // One construction path: an explicit spec string, or the deprecated flat
-  // fields lowered onto the identical spec, both built by the registry.
-  const exec::EngineSpec spec = cfg.engine_spec.empty()
-                                    ? lower_engine_spec(cfg)
-                                    : exec::parse_engine_spec(cfg.engine_spec);
-  exec::BuildContext ctx;
-  ctx.grid = cfg.grid;
-  ctx.threads = cfg.threads > 0 ? cfg.threads : util::detect_host().logical_cpus;
-  ctx.machine = models::host_machine();
-  engine_ = exec::EngineRegistry::global().build(spec, ctx);
+  if (borrowed.engine) {
+    engine_ = borrowed.engine;
+  } else {
+    // One construction path: an explicit spec string, or the deprecated flat
+    // fields lowered onto the identical spec, both built by the registry.
+    const exec::EngineSpec spec = cfg.engine_spec.empty()
+                                      ? lower_engine_spec(cfg)
+                                      : exec::parse_engine_spec(cfg.engine_spec);
+    exec::BuildContext ctx;
+    ctx.grid = cfg.grid;
+    ctx.threads = cfg.threads > 0 ? cfg.threads : util::detect_host().logical_cpus;
+    ctx.machine = models::host_machine();
+    owned_engine_ = exec::EngineRegistry::global().build(spec, ctx);
+    engine_ = owned_engine_.get();
+  }
 }
 
 void Simulation::finalize() {
   pml_ = em::PmlProfiles(layout_, cfg_.pml, params_.h);
-  em::build_coefficients(fields_, materials_, pml_, params_);
-  fields_.clear_fields();
+  em::build_coefficients(*fields_, materials_, pml_, params_);
+  fields_->clear_fields();
   finalized_ = true;
   steps_done_ = 0;
 }
@@ -98,18 +118,18 @@ void Simulation::finalize() {
 void Simulation::add_plane_wave(em::SourceField which, int k0,
                                 std::complex<double> amplitude) {
   if (!finalized_) throw std::logic_error("Simulation: finalize() before adding sources");
-  em::add_plane_wave(fields_, materials_, pml_, params_, which, k0, amplitude);
+  em::add_plane_wave(*fields_, materials_, pml_, params_, which, k0, amplitude);
 }
 
 void Simulation::add_point_dipole(em::SourceField which, int i, int j, int k,
                                   std::complex<double> amplitude) {
   if (!finalized_) throw std::logic_error("Simulation: finalize() before adding sources");
-  em::add_point_dipole(fields_, materials_, pml_, params_, which, i, j, k, amplitude);
+  em::add_point_dipole(*fields_, materials_, pml_, params_, which, i, j, k, amplitude);
 }
 
 void Simulation::run(int steps) {
   if (!finalized_) throw std::logic_error("Simulation: finalize() before run()");
-  engine_->run(fields_, steps);
+  engine_->run(*fields_, steps);
   steps_done_ += steps;
 }
 
@@ -119,11 +139,11 @@ double Simulation::run_until_converged(double tol, int max_steps, int check_ever
   double change = 1.0;
   int done = 0;
   while (done < max_steps) {
-    snapshot.copy_fields_from(fields_);
+    snapshot.copy_fields_from(*fields_);
     const int chunk = std::min(check_every, max_steps - done);
     run(chunk);
     done += chunk;
-    change = em::relative_change(fields_, snapshot);
+    change = em::relative_change(*fields_, snapshot);
     if (change < tol) break;
   }
   return change;

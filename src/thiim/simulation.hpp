@@ -93,9 +93,27 @@ struct SimulationConfig {
 /// (shard_engine == Sharded).
 exec::EngineSpec lower_engine_spec(const SimulationConfig& cfg);
 
+/// Pooled resources a Simulation may borrow instead of allocating and
+/// building its own — the seam the batch subsystem's EnginePool uses so
+/// successive jobs on the same grid shape skip the 40-array allocation and
+/// engine (re-)construction.  Both pointers are optional and non-owning;
+/// they must outlive the Simulation.
+///   engine: used as-is (cfg's engine selection is ignored).  The caller
+///           guarantees it was built for cfg.grid; engines keep per-shape
+///           prepared state (MWD tiling cache, sharded PreparableEngine
+///           FieldSets), which is exactly what pooling amortizes.
+///   fields: layout interior must equal cfg.grid (else std::invalid_argument).
+///           The set is clear_all()-ed on borrow, so results are bit-exact
+///           with a freshly constructed Simulation.
+struct BorrowedState {
+  exec::Engine* engine = nullptr;
+  grid::FieldSet* fields = nullptr;
+};
+
 class Simulation {
  public:
   explicit Simulation(const SimulationConfig& cfg);
+  Simulation(const SimulationConfig& cfg, const BorrowedState& borrowed);
 
   /// Material map; paint geometry before finalize().
   em::MaterialGrid& materials() { return materials_; }
@@ -116,20 +134,20 @@ class Simulation {
   /// below `tol` (or `max_steps`).  Returns the last relative change.
   double run_until_converged(double tol, int max_steps, int check_every = 10);
 
-  double total_energy() const { return em::total_energy(fields_); }
-  double electric_energy() const { return em::electric_energy(fields_); }
+  double total_energy() const { return em::total_energy(*fields_); }
+  double electric_energy() const { return em::electric_energy(*fields_); }
   std::vector<double> absorption_by_material() const {
-    return em::absorption_by_material(fields_, materials_, params_.omega);
+    return em::absorption_by_material(*fields_, materials_, params_.omega);
   }
   std::complex<double> E_at(int axis, int i, int j, int k) const {
-    return em::parent_E(fields_, axis, i, j, k);
+    return em::parent_E(*fields_, axis, i, j, k);
   }
   std::complex<double> H_at(int axis, int i, int j, int k) const {
-    return em::parent_H(fields_, axis, i, j, k);
+    return em::parent_H(*fields_, axis, i, j, k);
   }
 
-  grid::FieldSet& fields() { return fields_; }
-  const grid::FieldSet& fields() const { return fields_; }
+  grid::FieldSet& fields() { return *fields_; }
+  const grid::FieldSet& fields() const { return *fields_; }
   const em::ThiimParams& params() const { return params_; }
   const exec::Engine& engine() const { return *engine_; }
   const exec::EngineStats& last_stats() const { return engine_->stats(); }
@@ -138,11 +156,15 @@ class Simulation {
  private:
   SimulationConfig cfg_;
   grid::Layout layout_;
-  grid::FieldSet fields_;
+  // Owned storage backs the pointers unless the BorrowedState ctor supplied
+  // pooled instances; all code paths go through the pointers.
+  std::unique_ptr<grid::FieldSet> owned_fields_;
+  grid::FieldSet* fields_ = nullptr;
   em::MaterialGrid materials_;
   em::PmlProfiles pml_;
   em::ThiimParams params_;
-  std::unique_ptr<exec::Engine> engine_;
+  std::unique_ptr<exec::Engine> owned_engine_;
+  exec::Engine* engine_ = nullptr;
   bool finalized_ = false;
   int steps_done_ = 0;
 };

@@ -23,6 +23,7 @@
 
 #include "dist/sharded_engine.hpp"
 #include "exec/engine.hpp"
+#include "exec/engine_registry.hpp"
 #include "models/machine.hpp"
 #include "tune/space.hpp"
 #include "util/csv.hpp"
@@ -165,5 +166,24 @@ double time_sharded_plan(const ShardPlan& plan, grid::FieldSet& fs,
 
 /// Engine parameters executing `plan` (per-shard MWD inners).
 dist::ShardedParams to_sharded_params(const ShardPlan& plan, bool numa_bind = true);
+
+// ------------------------------------------------------- plan-cache seam
+
+/// True when building `spec` would invoke a tuner: kind "auto", or
+/// "sharded" with inner=auto.  Everything else builds deterministically
+/// from its pinned arguments.
+bool spec_needs_tuning(const exec::EngineSpec& spec);
+
+/// Resolve the tuned kinds of `spec` to a concrete, fully pinned spec for
+/// (ctx.grid, ctx threads, ctx machine): "auto" becomes the tuner's best
+/// `mwd(...)`, "sharded(inner=auto,...)" becomes the sharded tuner's plan
+/// (ShardPlan::to_spec, with the original numa/transport arguments carried
+/// over).  Specs that need no tuning return unchanged.  Building the
+/// resolved spec through the registry reproduces the engine the original
+/// spec would have built — the "auto" and "sharded" builders themselves
+/// construct through this function, and the batch layer's PlanCache
+/// memoizes it so jobs sharing a grid shape tune once.
+exec::EngineSpec resolve_auto_spec(const exec::EngineSpec& spec,
+                                   const exec::BuildContext& ctx);
 
 }  // namespace emwd::tune

@@ -44,40 +44,6 @@ bool is_indexed_inner_key(const std::string& key) {
   return true;
 }
 
-/// sharded(...) with inner=auto: the two-stage sharded tuner picks the
-/// plan, exactly as thiim's EngineKind::Sharded + shard_engine == Auto did.
-std::unique_ptr<exec::Engine> build_sharded_auto(const EngineSpec& spec,
-                                                 const BuildContext& ctx,
-                                                 int threads) {
-  if (spec.has("tps")) {
-    // Fail loudly rather than silently dropping a pin: the tuner derives
-    // the per-shard budget itself.
-    throw std::invalid_argument(
-        "engine spec: 'tps' does not apply with inner=auto (the tuner "
-        "derives the per-shard thread budget)");
-  }
-  tune::ShardedTuneConfig sc;
-  sc.threads = threads;
-  sc.grid = ctx.grid;
-  sc.machine = context_machine(ctx);
-  sc.fixed_shards = std::max(0L, spec.get_int("shards", 0));
-  sc.fixed_interval = std::max(0L, spec.get_int("interval", 0));
-  // Pin the overlap axis when present in either form (`overlap` or
-  // `overlap=0|1`); absent means search it.
-  if (spec.has("overlap")) sc.fixed_overlap = spec.get_bool("overlap", false) ? 1 : 0;
-  const std::string tune_mode = spec.scalar("tune").value_or("model");
-  if (tune_mode != "model" && tune_mode != "measured") {
-    throw std::invalid_argument("engine spec: sharded tune mode must be "
-                                "'model' or 'measured', got '" + tune_mode + "'");
-  }
-  sc.timed_refinement = tune_mode == "measured";
-  dist::ShardedParams p =
-      tune::to_sharded_params(tune::autotune_sharded(sc).best.plan,
-                              spec.get_bool("numa", true));
-  p.transport = spec.scalar("transport").value_or("local");
-  return dist::make_sharded_engine(p);
-}
-
 std::unique_ptr<exec::Engine> build_sharded(const EngineSpec& spec,
                                             const BuildContext& ctx) {
   static const char* const keys[] = {"shards", "interval", "overlap", "tps",
@@ -116,7 +82,10 @@ std::unique_ptr<exec::Engine> build_sharded(const EngineSpec& spec,
     if (!per_shard.empty()) {
       throw std::invalid_argument("engine spec: inner=auto excludes per-shard inners");
     }
-    return build_sharded_auto(spec, ctx, threads);
+    // The sharded tuner picks the plan (exactly as thiim's
+    // EngineKind::Sharded + shard_engine == Auto did); the resolved spec is
+    // fully pinned, so this re-enters build_sharded on the fixed-inner path.
+    return ctx.registry->build(tune::resolve_auto_spec(spec, ctx), ctx);
   }
   if (spec.has("tune")) {
     throw std::invalid_argument(
@@ -173,13 +142,7 @@ std::unique_ptr<exec::Engine> build_sharded(const EngineSpec& spec,
 /// auto: stage-1 (model-ranked) MWD autotuning — thiim's EngineKind::Auto.
 std::unique_ptr<exec::Engine> build_auto(const EngineSpec& spec,
                                          const BuildContext& ctx) {
-  static const char* const keys[] = {"threads", nullptr};
-  check_spec_keys(spec, keys);
-  tune::TuneConfig tc;
-  tc.threads = context_threads(spec, ctx);
-  tc.grid = ctx.grid;
-  tc.machine = context_machine(ctx);
-  return exec::make_mwd_engine(tune::autotune(tc).best);
+  return ctx.registry->build(tune::resolve_auto_spec(spec, ctx), ctx);
 }
 
 }  // namespace
@@ -190,3 +153,66 @@ void register_extended_builders(EngineRegistry& registry) {
 }
 
 }  // namespace emwd::exec::detail
+
+namespace emwd::tune {
+
+bool spec_needs_tuning(const exec::EngineSpec& spec) {
+  if (spec.kind == "auto") return true;
+  if (spec.kind != "sharded") return false;
+  const std::optional<exec::EngineSpec> inner = spec.child("inner");
+  return inner && inner->kind == "auto";
+}
+
+exec::EngineSpec resolve_auto_spec(const exec::EngineSpec& spec,
+                                   const exec::BuildContext& ctx) {
+  using exec::detail::check_spec_keys;
+  using exec::detail::context_machine;
+  using exec::detail::context_threads;
+
+  if (spec.kind == "auto") {
+    static const char* const keys[] = {"threads", nullptr};
+    check_spec_keys(spec, keys);
+    TuneConfig tc;
+    tc.threads = context_threads(spec, ctx);
+    tc.grid = ctx.grid;
+    tc.machine = context_machine(ctx);
+    return exec::to_spec(autotune(tc).best);
+  }
+
+  if (!spec_needs_tuning(spec)) return spec;
+
+  // sharded(...,inner=auto): the two-stage sharded tuner picks the plan.
+  if (spec.has("tps")) {
+    // Fail loudly rather than silently dropping a pin: the tuner derives
+    // the per-shard budget itself.
+    throw std::invalid_argument(
+        "engine spec: 'tps' does not apply with inner=auto (the tuner "
+        "derives the per-shard thread budget)");
+  }
+  ShardedTuneConfig sc;
+  sc.threads = context_threads(spec, ctx);
+  sc.grid = ctx.grid;
+  sc.machine = context_machine(ctx);
+  sc.fixed_shards = static_cast<int>(std::max(0L, spec.get_int("shards", 0)));
+  sc.fixed_interval = static_cast<int>(std::max(0L, spec.get_int("interval", 0)));
+  // Pin the overlap axis when present in either form (`overlap` or
+  // `overlap=0|1`); absent means search it.
+  if (spec.has("overlap")) sc.fixed_overlap = spec.get_bool("overlap", false) ? 1 : 0;
+  const std::string tune_mode = spec.scalar("tune").value_or("model");
+  if (tune_mode != "model" && tune_mode != "measured") {
+    throw std::invalid_argument("engine spec: sharded tune mode must be "
+                                "'model' or 'measured', got '" + tune_mode + "'");
+  }
+  sc.timed_refinement = tune_mode == "measured";
+
+  exec::EngineSpec resolved = autotune_sharded(sc).best.plan.to_spec();
+  // Carry the decomposition-independent arguments of the original spec —
+  // to_sharded_params/make_sharded_engine honored them before this seam.
+  if (!spec.get_bool("numa", true)) resolved.add("numa", 0L);
+  if (const std::optional<std::string> t = spec.scalar("transport")) {
+    resolved.add("transport", *t);
+  }
+  return resolved;
+}
+
+}  // namespace emwd::tune

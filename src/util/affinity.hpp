@@ -1,0 +1,28 @@
+// Thread -> cpu-set pinning (Linux sched affinity; no-op elsewhere).
+//
+// Child threads inherit the calling thread's mask, which is how whole
+// engine thread teams stay on the cpus their owner was pinned to: the
+// dist subsystem pins shard teams to NUMA nodes and the batch scheduler
+// pins job executors to their resource slot before spawning the engine.
+#pragma once
+
+#include <vector>
+
+namespace emwd::util {
+
+/// Pin the calling thread to exactly `cpus` (logical ids).  Returns false
+/// (affinity untouched) for an empty list, out-of-range ids only, or a
+/// platform without sched affinity.
+bool pin_current_thread(const std::vector<int>& cpus);
+
+/// A thread's allowed-cpu list, for restoring after a pinned region (the
+/// process may itself run under taskset/cgroup restrictions).
+struct ThreadAffinity {
+  std::vector<int> cpus;
+  bool valid = false;
+};
+
+ThreadAffinity get_thread_affinity();
+void restore_thread_affinity(const ThreadAffinity& saved);
+
+}  // namespace emwd::util

@@ -1,0 +1,544 @@
+// Batch subsystem tests — the contract of src/batch/README.md:
+//   * scheduling is placement-only: N jobs through the Scheduler at any
+//     concurrency are bit-exact with the sequential loop over the same
+//     configs (and with standalone thiim::Simulation runs);
+//   * the EnginePool / PlanCache demonstrably skip re-preparation and
+//     re-tuning on repeated grid shapes (counted in stats);
+//   * cancel() starts no further job after it returns and the queue drains
+//     deadlock-free;
+//   * ResourceManager partitions the machine into disjoint NUMA-pure slots.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "batch/engine_pool.hpp"
+#include "batch/job.hpp"
+#include "batch/resource.hpp"
+#include "batch/scheduler.hpp"
+#include "batch/sweep.hpp"
+#include "em/geometry.hpp"
+#include "thiim/simulation.hpp"
+#include "tune/autotuner.hpp"
+
+namespace {
+
+using namespace emwd;
+
+// ---------------------------------------------------------------- helpers
+
+util::HostInfo fake_host(const std::vector<std::vector<int>>& node_cpus) {
+  util::HostInfo host;
+  host.numa_node_cpus = node_cpus;
+  host.num_numa_nodes = static_cast<int>(node_cpus.size());
+  host.logical_cpus = 0;
+  for (const auto& n : node_cpus) host.logical_cpus += static_cast<int>(n.size());
+  return host;
+}
+
+/// A tiny but physical job: layered absorber + plane wave on a small grid.
+void paint_scene(thiim::Simulation& sim, const batch::Job&) {
+  auto& mats = sim.materials();
+  const auto ag = mats.add(em::silver());
+  const auto asi = mats.add(em::amorphous_silicon());
+  const int nz = sim.fields().layout().interior().nz;
+  em::GeometryBuilder g(mats);
+  g.layer(ag, 0, nz / 8);
+  g.layer(asi, nz / 8, nz / 2);
+  sim.finalize();
+  sim.add_plane_wave(em::SourceField::Ex, nz - 4, {1.0, 0.0});
+}
+
+thiim::SimulationConfig scene_config(double lambda, const std::string& spec) {
+  thiim::SimulationConfig cfg;
+  cfg.grid = {10, 10, 16};
+  cfg.wavelength_cells = lambda;
+  cfg.pml.thickness = 3;
+  cfg.engine_spec = spec;
+  cfg.threads = 2;  // pinned so every execution path sizes identically
+  return cfg;
+}
+
+struct Observables {
+  double total_energy = 0.0;
+  double electric_energy = 0.0;
+  std::vector<double> absorption;
+};
+
+/// The sequential-loop reference: a standalone Simulation per config.
+Observables run_standalone(const thiim::SimulationConfig& cfg, int steps) {
+  thiim::Simulation sim(cfg);
+  batch::Job dummy;
+  paint_scene(sim, dummy);
+  sim.run(steps);
+  return {sim.total_energy(), sim.electric_energy(), sim.absorption_by_material()};
+}
+
+// ----------------------------------------------------------- ResourceManager
+
+TEST(ResourceManager, DefaultsToOneSlotPerNumaNode) {
+  batch::ResourceManager rm(fake_host({{0, 1, 2, 3}, {4, 5, 6, 7}}), 0);
+  ASSERT_EQ(rm.num_slots(), 2);
+  EXPECT_EQ(rm.slot(0).cpus, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(rm.slot(1).cpus, (std::vector<int>{4, 5, 6, 7}));
+  EXPECT_EQ(rm.slot(0).numa_node, 0);
+  EXPECT_EQ(rm.slot(1).numa_node, 1);
+}
+
+TEST(ResourceManager, MergesNodesWhenFewerSlotsRequested) {
+  batch::ResourceManager rm(fake_host({{0, 1}, {2, 3}, {4, 5}, {6, 7}}), 2);
+  ASSERT_EQ(rm.num_slots(), 2);
+  EXPECT_EQ(rm.slot(0).cpus, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(rm.slot(1).cpus, (std::vector<int>{4, 5, 6, 7}));
+}
+
+TEST(ResourceManager, SplitsNodesNumaPureWhenMoreSlotsRequested) {
+  batch::ResourceManager rm(fake_host({{0, 1, 2, 3}, {4, 5, 6, 7}}), 4);
+  ASSERT_EQ(rm.num_slots(), 4);
+  for (const batch::Slot& s : rm.slots()) {
+    EXPECT_EQ(s.cpus.size(), 2u) << "slot " << s.id;
+    // NUMA purity: all cpus of a slot from one node.
+    for (int c : s.cpus) EXPECT_EQ(c / 4, s.numa_node) << "slot " << s.id;
+  }
+}
+
+TEST(ResourceManager, SlotsAreDisjointAndCoverNoCpuTwice) {
+  for (int want : {0, 1, 2, 3, 5, 8, 64}) {
+    batch::ResourceManager rm(fake_host({{0, 1, 2}, {3, 4, 5, 6}}), want);
+    std::set<int> seen;
+    for (const batch::Slot& s : rm.slots()) {
+      EXPECT_FALSE(s.cpus.empty()) << "want=" << want;
+      for (int c : s.cpus) {
+        EXPECT_TRUE(seen.insert(c).second) << "cpu " << c << " twice, want=" << want;
+      }
+    }
+    EXPECT_LE(rm.num_slots(), 7) << "more slots than cpus, want=" << want;
+    EXPECT_GE(rm.num_slots(), 1);
+  }
+}
+
+TEST(ResourceManager, UnevenSplitKeepsEverySlotNonEmpty) {
+  batch::ResourceManager rm(fake_host({{0, 1, 2}}), 2);
+  ASSERT_EQ(rm.num_slots(), 2);
+  EXPECT_EQ(rm.slot(0).cpus.size() + rm.slot(1).cpus.size(), 3u);
+  EXPECT_FALSE(rm.slot(0).cpus.empty());
+  EXPECT_FALSE(rm.slot(1).cpus.empty());
+}
+
+// ------------------------------------------------------- EnginePool / cache
+
+TEST(EnginePool, ReusesReleasedEnginesByKey) {
+  batch::EnginePool pool;
+  exec::BuildContext ctx;
+  ctx.grid = {8, 8, 8};
+  ctx.threads = 1;
+  const exec::EngineSpec spec = exec::parse_engine_spec("naive");
+
+  auto lease1 = pool.acquire_engine(spec, ctx);
+  EXPECT_FALSE(lease1.reused);
+  ASSERT_NE(lease1.engine, nullptr);
+  // Same key while leased: a second engine is built, never shared.
+  auto lease2 = pool.acquire_engine(spec, ctx);
+  EXPECT_FALSE(lease2.reused);
+  pool.release_engine(std::move(lease1));
+  pool.release_engine(std::move(lease2));
+
+  auto lease3 = pool.acquire_engine(spec, ctx);
+  EXPECT_TRUE(lease3.reused);
+  // A different key (other grid) builds fresh.
+  exec::BuildContext other = ctx;
+  other.grid = {6, 6, 6};
+  auto lease4 = pool.acquire_engine(spec, other);
+  EXPECT_FALSE(lease4.reused);
+
+  const batch::EnginePool::Stats st = pool.stats();
+  EXPECT_EQ(st.engine_builds, 3);
+  EXPECT_EQ(st.engine_hits, 1);
+}
+
+TEST(EnginePool, FieldSetsPoolByExtents) {
+  batch::EnginePool pool;
+  auto f1 = pool.acquire_fields({8, 8, 8});
+  EXPECT_FALSE(f1.reused);
+  pool.release_fields(std::move(f1));
+  auto f2 = pool.acquire_fields({8, 8, 8});
+  EXPECT_TRUE(f2.reused);
+  auto f3 = pool.acquire_fields({8, 8, 10});
+  EXPECT_FALSE(f3.reused);
+  EXPECT_EQ(f2.fields->layout().interior(), (grid::Extents{8, 8, 8}));
+}
+
+TEST(PlanCache, MemoizesAutoResolutionByShape) {
+  batch::PlanCache cache;
+  exec::BuildContext ctx;
+  ctx.grid = {12, 12, 16};
+  ctx.threads = 2;
+  const exec::EngineSpec spec = exec::parse_engine_spec("auto");
+
+  bool hit = true;
+  const exec::EngineSpec first = cache.resolve(spec, ctx, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_FALSE(tune::spec_needs_tuning(first)) << exec::to_string(first);
+
+  const exec::EngineSpec second = cache.resolve(spec, ctx, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(exec::to_string(first), exec::to_string(second));
+
+  // A different shape is a different plan entry.
+  exec::BuildContext other = ctx;
+  other.grid = {12, 12, 24};
+  cache.resolve(spec, other, &hit);
+  EXPECT_FALSE(hit);
+
+  const batch::PlanCache::Stats st = cache.stats();
+  EXPECT_EQ(st.misses, 2);
+  EXPECT_EQ(st.hits, 1);
+
+  // Pinned specs pass through untouched and uncounted.
+  const exec::EngineSpec pinned = exec::parse_engine_spec("mwd(dw=4,bz=2)");
+  EXPECT_EQ(exec::to_string(cache.resolve(pinned, ctx)), "mwd(dw=4,bz=2)");
+  EXPECT_EQ(cache.stats().misses, 2);
+}
+
+// ------------------------------------------------------- borrowed-state seam
+
+TEST(BorrowedState, RecycledDirtyFieldSetIsBitExactWithFresh) {
+  const thiim::SimulationConfig cfg = scene_config(14.0, "naive");
+  const Observables ref = run_standalone(cfg, 12);
+
+  // A FieldSet full of stale garbage in every array (fields, coefficients,
+  // sources), plus a separately built engine — the pool's reuse path.
+  grid::Layout layout(cfg.grid);
+  grid::FieldSet recycled(layout);
+  em::build_random_stable(recycled, 99);
+  exec::BuildContext ctx;
+  ctx.grid = cfg.grid;
+  ctx.threads = cfg.threads;
+  auto engine = exec::EngineRegistry::global().build("naive", ctx);
+
+  thiim::BorrowedState borrowed;
+  borrowed.engine = engine.get();
+  borrowed.fields = &recycled;
+  thiim::Simulation sim(cfg, borrowed);
+  batch::Job dummy;
+  paint_scene(sim, dummy);
+  sim.run(12);
+  EXPECT_EQ(sim.total_energy(), ref.total_energy);
+  EXPECT_EQ(sim.electric_energy(), ref.electric_energy);
+}
+
+TEST(BorrowedState, MismatchedExtentsThrow) {
+  thiim::SimulationConfig cfg = scene_config(14.0, "naive");
+  grid::FieldSet wrong((grid::Layout({4, 4, 4})));
+  thiim::BorrowedState borrowed;
+  borrowed.fields = &wrong;
+  EXPECT_THROW(thiim::Simulation(cfg, borrowed), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- determinism
+
+TEST(SchedulerDeterminism, ConcurrentExecutionIsBitExactWithSequentialLoop) {
+  // Three engine specs x three wavelengths; the sharded spec exercises the
+  // decomposed path under the scheduler.
+  const std::vector<std::string> specs = {
+      "naive", "mwd(dw=3,bz=2)", "sharded(shards=2,interval=2,inner=naive)"};
+  const std::vector<double> lambdas = {12.0, 16.0, 24.0};
+  const int steps = 8;
+
+  std::vector<thiim::SimulationConfig> configs;
+  std::vector<Observables> reference;
+  for (double lambda : lambdas) {
+    for (const std::string& spec : specs) {
+      configs.push_back(scene_config(lambda, spec));
+      reference.push_back(run_standalone(configs.back(), steps));
+    }
+  }
+
+  for (int concurrency : {1, 3}) {
+    batch::SchedulerConfig sc;
+    sc.concurrency = concurrency;
+    sc.pin_slots = false;  // placement must not matter; don't fight CI cgroups
+    batch::Scheduler scheduler(sc);
+    for (const auto& cfg : configs) {
+      batch::Job job;
+      job.config = cfg;
+      job.steps = steps;
+      job.setup = paint_scene;
+      scheduler.submit(std::move(job));
+    }
+    const std::vector<batch::JobResult> results = scheduler.wait_all();
+    ASSERT_EQ(results.size(), configs.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].ok) << "K=" << concurrency << " job " << i << ": "
+                                 << results[i].error;
+      EXPECT_EQ(results[i].index, i);
+      EXPECT_EQ(results[i].total_energy, reference[i].total_energy)
+          << "K=" << concurrency << " job " << i << " (" << results[i].engine_spec
+          << ")";
+      EXPECT_EQ(results[i].electric_energy, reference[i].electric_energy);
+      ASSERT_EQ(results[i].absorption.size(), reference[i].absorption.size());
+      for (std::size_t m = 0; m < reference[i].absorption.size(); ++m) {
+        EXPECT_EQ(results[i].absorption[m], reference[i].absorption[m])
+            << "K=" << concurrency << " job " << i << " material " << m;
+      }
+    }
+  }
+}
+
+TEST(SweepDeterminism, RunSweepMatchesSchedulerAndPreservesAxisOrder) {
+  batch::SweepConfig sweep;
+  sweep.base = scene_config(12.0, "mwd(dw=2,bz=2)");
+  sweep.wavelengths = {12.0, 18.0, 26.0};
+  sweep.steps = 6;
+  sweep.setup = paint_scene;
+  sweep.scheduler.concurrency = 2;
+  sweep.scheduler.pin_slots = false;
+  const batch::SweepResult swept = batch::run_sweep(sweep);
+
+  ASSERT_EQ(swept.results.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    thiim::SimulationConfig cfg = sweep.base;
+    cfg.wavelength_cells = sweep.wavelengths[i];
+    const Observables ref = run_standalone(cfg, 6);
+    EXPECT_EQ(swept.results[i].total_energy, ref.total_energy) << "axis point " << i;
+    EXPECT_EQ(swept.results[i].index, i);
+  }
+  EXPECT_EQ(swept.stats.completed, 3u);
+}
+
+// ------------------------------------------------------------ pool effects
+
+TEST(SchedulerPooling, RepeatedShapesSkipRebuildAndRetuning) {
+  const int n_jobs = 6;
+  batch::SchedulerConfig sc;
+  sc.concurrency = 2;
+  sc.pin_slots = false;
+  batch::Scheduler scheduler(sc);
+  for (int i = 0; i < n_jobs; ++i) {
+    batch::Job job;
+    job.config = scene_config(12.0 + i, "auto");  // same shape, same spec
+    job.steps = 4;
+    job.setup = paint_scene;
+    scheduler.submit(std::move(job));
+  }
+  const auto results = scheduler.wait_all();
+  const batch::BatchStats st = scheduler.stats();
+
+  ASSERT_EQ(st.completed, static_cast<std::size_t>(n_jobs));
+  // The tuner ran exactly once for the shared (spec, shape, threads) key.
+  EXPECT_EQ(st.plans.misses, 1);
+  EXPECT_EQ(st.plans.hits, n_jobs - 1);
+  // At most one engine/FieldSet pair per concurrent executor was built;
+  // everything else was reused from the pool.
+  EXPECT_LE(st.pool.engine_builds, 2);
+  EXPECT_GE(st.pool.engine_hits, n_jobs - 2);
+  EXPECT_LE(st.pool.fields_builds, 2);
+  EXPECT_GE(st.pool.fields_hits, n_jobs - 2);
+  int reused_jobs = 0;
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_FALSE(tune::spec_needs_tuning(exec::parse_engine_spec(r.engine_spec)));
+    if (r.engine_reused) ++reused_jobs;
+  }
+  EXPECT_GE(reused_jobs, n_jobs - 2);
+  // Merged engine stats cover every completed job.
+  EXPECT_EQ(st.engine.steps, static_cast<std::int64_t>(n_jobs) * 4);
+}
+
+// ------------------------------------------------------------- cancellation
+
+TEST(SchedulerCancel, NoJobStartsAfterCancelReturnsAndQueueDrains) {
+  std::promise<void> first_started;
+  std::atomic<int> setups_run{0};
+
+  batch::SchedulerConfig sc;
+  sc.concurrency = 1;
+  sc.pin_slots = false;
+  batch::Scheduler scheduler(sc);
+
+  auto slow_setup = [&](thiim::Simulation& sim, const batch::Job& job) {
+    if (setups_run.fetch_add(1) == 0) first_started.set_value();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    paint_scene(sim, job);
+  };
+  for (int i = 0; i < 6; ++i) {
+    batch::Job job;
+    job.config = scene_config(14.0, "naive");
+    job.steps = 2;
+    job.setup = slow_setup;
+    scheduler.submit(std::move(job));
+  }
+  // Cancel while job 0 is mid-setup: everything still queued must drain
+  // without running, and the already-running job completes normally.
+  first_started.get_future().wait();
+  scheduler.cancel();
+  const int started_at_cancel = setups_run.load();
+
+  const auto results = scheduler.wait_all();  // must not deadlock
+  ASSERT_EQ(results.size(), 6u);
+  EXPECT_EQ(setups_run.load(), started_at_cancel)
+      << "a job started after cancel() returned";
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].cancelled) << "job " << i;
+    EXPECT_FALSE(results[i].ok);
+  }
+  EXPECT_TRUE(results[0].ok) << results[0].error;  // was running; finished
+  const batch::BatchStats st = scheduler.stats();
+  EXPECT_EQ(st.cancelled, 5u);
+  EXPECT_EQ(st.completed + st.failed, 1u);
+
+  // Submissions after cancel() are recorded as cancelled, never run.
+  // (Scheduler is still open: wait_all already called, so skip; covered by
+  // the construction-order contract test below.)
+}
+
+TEST(SchedulerCancel, SubmitAfterCancelIsRecordedCancelled) {
+  batch::SchedulerConfig sc;
+  sc.concurrency = 1;
+  sc.pin_slots = false;
+  batch::Scheduler scheduler(sc);
+  scheduler.cancel();
+  batch::Job job;
+  job.config = scene_config(14.0, "naive");
+  job.setup = paint_scene;
+  const std::size_t idx = scheduler.submit(std::move(job));
+  const auto results = scheduler.wait_all();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[idx].cancelled);
+}
+
+TEST(SweepCancel, ProgressReturningFalseCancelsRemainder) {
+  batch::SweepConfig sweep;
+  sweep.base = scene_config(12.0, "naive");
+  for (int i = 0; i < 8; ++i) sweep.wavelengths.push_back(12.0 + i);
+  sweep.steps = 2;
+  sweep.setup = paint_scene;
+  sweep.scheduler.concurrency = 1;
+  sweep.scheduler.pin_slots = false;
+  sweep.progress = [](const batch::JobResult&, std::size_t, std::size_t) {
+    return false;  // cancel after the first finished job
+  };
+  const batch::SweepResult swept = batch::run_sweep(sweep);
+  ASSERT_EQ(swept.results.size(), 8u);
+  EXPECT_GE(swept.stats.cancelled, 1u);
+  EXPECT_LT(swept.stats.completed, 8u);
+  // Every job is accounted for exactly once.
+  EXPECT_EQ(swept.stats.completed + swept.stats.failed + swept.stats.cancelled, 8u);
+}
+
+// ----------------------------------------------------------------- ordering
+
+TEST(SchedulerPriority, HigherPriorityRunsFirstTiesInSubmissionOrder) {
+  std::promise<void> gate_entered;
+  std::promise<void> release_gate;
+  auto release_future = release_gate.get_future().share();
+
+  std::mutex order_mu;
+  std::vector<std::string> order;
+
+  batch::SchedulerConfig sc;
+  sc.concurrency = 1;
+  sc.pin_slots = false;
+  batch::Scheduler scheduler(sc);
+  scheduler.set_progress(
+      [&](const batch::JobResult& r, std::size_t, std::size_t) {
+        std::lock_guard<std::mutex> lock(order_mu);
+        order.push_back(r.name);
+      });
+
+  batch::Job gate;
+  gate.name = "gate";
+  gate.config = scene_config(14.0, "naive");
+  gate.steps = 1;
+  gate.setup = [&](thiim::Simulation& sim, const batch::Job& job) {
+    gate_entered.set_value();
+    release_future.wait();  // hold the only executor until all jobs queued
+    paint_scene(sim, job);
+  };
+  scheduler.submit(std::move(gate));
+  gate_entered.get_future().wait();
+
+  for (const auto& [name, prio] : std::vector<std::pair<std::string, int>>{
+           {"p0", 0}, {"p5a", 5}, {"p1", 1}, {"p5b", 5}}) {
+    batch::Job job;
+    job.name = name;
+    job.priority = prio;
+    job.config = scene_config(14.0, "naive");
+    job.steps = 1;
+    job.setup = paint_scene;
+    scheduler.submit(std::move(job));
+  }
+  release_gate.set_value();
+  scheduler.wait_all();
+
+  std::lock_guard<std::mutex> lock(order_mu);
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order[0], "gate");
+  EXPECT_EQ(order[1], "p5a");
+  EXPECT_EQ(order[2], "p5b");  // tie: submission order
+  EXPECT_EQ(order[3], "p1");
+  EXPECT_EQ(order[4], "p0");
+}
+
+// ----------------------------------------------------------- small contracts
+
+TEST(Scheduler, FailedJobsReportTheExceptionAndDontPoisonOthers) {
+  batch::SchedulerConfig sc;
+  sc.concurrency = 2;
+  sc.pin_slots = false;
+  batch::Scheduler scheduler(sc);
+
+  batch::Job bad;
+  bad.config = scene_config(14.0, "mwd(dw=0)");  // invalid: dw must be >= 1
+  bad.setup = paint_scene;
+  scheduler.submit(std::move(bad));
+  batch::Job good;
+  good.config = scene_config(14.0, "naive");
+  good.steps = 2;
+  good.setup = paint_scene;
+  scheduler.submit(std::move(good));
+
+  const auto results = scheduler.wait_all();
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_FALSE(results[0].error.empty());
+  EXPECT_TRUE(results[1].ok) << results[1].error;
+  const batch::BatchStats st = scheduler.stats();
+  EXPECT_EQ(st.failed, 1u);
+  EXPECT_EQ(st.completed, 1u);
+}
+
+TEST(Scheduler, SubmitAfterWaitAllThrows) {
+  batch::Scheduler scheduler(batch::SchedulerConfig{.concurrency = 1});
+  scheduler.wait_all();
+  batch::Job job;
+  EXPECT_THROW(scheduler.submit(std::move(job)), std::logic_error);
+}
+
+TEST(JobResult, RowMatchesHeaderAndJsonCarriesObservables) {
+  batch::JobResult r;
+  r.index = 3;
+  r.name = "lam=16";
+  r.ok = true;
+  r.total_energy = 1.5;
+  r.absorption = {0.25, 0.5};
+  r.engine_spec = "mwd(dw=4)";
+  r.stats.mlups = 12.5;
+  EXPECT_EQ(r.to_row().size(), batch::JobResult::row_header().size());
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"name\":\"lam=16\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"absorption\":[0.25,0.5]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"engine_spec\":\"mwd(dw=4)\""), std::string::npos);
+
+  const util::Table t = batch::JobResult::table({r});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cols(), batch::JobResult::row_header().size());
+}
+
+}  // namespace

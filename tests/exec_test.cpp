@@ -197,6 +197,99 @@ TEST(Engines, ReportStats) {
             mwd->stats().seconds * mwd->threads() + 1.0);
 }
 
+exec::EngineStats sample_stats(double seconds, double mlups) {
+  exec::EngineStats s;
+  s.seconds = seconds;
+  s.steps = 4;
+  s.lups = 1000;
+  s.mlups = mlups;
+  s.tiles_executed = 7;
+  s.barrier_episodes = 3;
+  s.queue_wait_seconds = 0.25;
+  s.barrier_wait_seconds = 0.5;
+  s.shards = 2;
+  s.halo_exchange_seconds = 0.125;
+  s.halo_bytes_moved = 4096;
+  s.halo_wait_seconds = 0.0625;
+  s.halo_hidden_seconds = 0.03125;
+  s.halo_overlapped = true;
+  s.kernel_isa = "avx2";
+  return s;
+}
+
+TEST(EngineStatsMerge, DefaultIsLeftAndRightIdentity) {
+  const exec::EngineStats x = sample_stats(2.0, 10.0);
+
+  // x.merge(zero) == x.
+  exec::EngineStats a = x;
+  a.merge(exec::EngineStats{});
+  EXPECT_EQ(a.seconds, x.seconds);
+  EXPECT_EQ(a.steps, x.steps);
+  EXPECT_EQ(a.lups, x.lups);
+  EXPECT_EQ(a.mlups, x.mlups);
+  EXPECT_EQ(a.tiles_executed, x.tiles_executed);
+  EXPECT_EQ(a.barrier_episodes, x.barrier_episodes);
+  EXPECT_EQ(a.queue_wait_seconds, x.queue_wait_seconds);
+  EXPECT_EQ(a.barrier_wait_seconds, x.barrier_wait_seconds);
+  EXPECT_EQ(a.shards, x.shards);
+  EXPECT_EQ(a.halo_exchange_seconds, x.halo_exchange_seconds);
+  EXPECT_EQ(a.halo_bytes_moved, x.halo_bytes_moved);
+  EXPECT_EQ(a.halo_wait_seconds, x.halo_wait_seconds);
+  EXPECT_EQ(a.halo_hidden_seconds, x.halo_hidden_seconds);
+  EXPECT_EQ(a.halo_overlapped, x.halo_overlapped);
+  EXPECT_STREQ(a.kernel_isa, x.kernel_isa);
+
+  // zero.merge(x) == x (mlups of a zero-seconds accumulator takes x's).
+  exec::EngineStats b;
+  b.merge(x);
+  EXPECT_EQ(b.seconds, x.seconds);
+  EXPECT_EQ(b.steps, x.steps);
+  EXPECT_EQ(b.lups, x.lups);
+  EXPECT_EQ(b.mlups, x.mlups);
+  EXPECT_EQ(b.shards, x.shards);
+  EXPECT_EQ(b.halo_bytes_moved, x.halo_bytes_moved);
+  EXPECT_EQ(b.halo_overlapped, x.halo_overlapped);
+  EXPECT_STREQ(b.kernel_isa, x.kernel_isa);
+}
+
+TEST(EngineStatsMerge, SumsTimesAndCountersMaxesPeaks) {
+  exec::EngineStats a = sample_stats(1.0, 30.0);
+  a.shards = 4;
+  a.halo_overlapped = false;
+  a.kernel_isa = "scalar";
+  const exec::EngineStats b = sample_stats(3.0, 10.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.seconds, 4.0);
+  EXPECT_EQ(a.steps, 8);
+  EXPECT_EQ(a.lups, 2000);
+  EXPECT_EQ(a.tiles_executed, 14);
+  EXPECT_EQ(a.barrier_episodes, 6);
+  EXPECT_EQ(a.queue_wait_seconds, 0.5);
+  EXPECT_EQ(a.barrier_wait_seconds, 1.0);
+  EXPECT_EQ(a.halo_exchange_seconds, 0.25);
+  EXPECT_EQ(a.halo_bytes_moved, 8192);
+  EXPECT_EQ(a.halo_wait_seconds, 0.125);
+  EXPECT_EQ(a.halo_hidden_seconds, 0.0625);
+  // Peaks: shard max, overlap or, ISA promotion away from "scalar"
+  // (consistent with accumulate_work).
+  EXPECT_EQ(a.shards, 4);
+  EXPECT_TRUE(a.halo_overlapped);
+  EXPECT_STREQ(a.kernel_isa, "avx2");
+  // Wall-time-weighted mean throughput: (30*1 + 10*3) / 4.
+  EXPECT_EQ(a.mlups, 15.0);
+}
+
+TEST(EngineStatsMerge, ZeroSecondsPairTakesMaxMlups) {
+  exec::EngineStats a;
+  a.mlups = 5.0;
+  exec::EngineStats b;
+  b.mlups = 9.0;
+  a.merge(b);
+  EXPECT_EQ(a.mlups, 9.0);
+  EXPECT_EQ(a.seconds, 0.0);
+}
+
 TEST(Engines, StatsRecordTheResolvedKernelIsa) {
   // All stock engines drive the scalar bitwise-reference row kernel; the
   // stats field exists so an ISA-dispatch miss is observable, not silent.
