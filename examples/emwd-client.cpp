@@ -1,0 +1,184 @@
+// emwd-client — command-line client for the emwdd daemon.
+//
+// Submits a sweep described by the one-line spec grammar (see
+// src/serve/README.md), streams the results and prints them as CSV in
+// expansion order.  The CSV carries only run-deterministic columns
+// (observables at 17 significant digits, no wall times), so the output of a
+// daemon-run sweep is byte-identical to the same sweep run in-process with
+// --inprocess — CI's serve smoke test gates on exactly that comparison.
+//
+//   emwd-client --socket=/tmp/emwdd.sock \
+//       --sweep='scene=layered;grid=16x16x32;lambda=18,24,30;steps=60;threads=2'
+//   emwd-client --sweep='...' --inprocess   # same CSV, no daemon
+//   emwd-client --status | python3 -m json.tool
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "batch/sweep.hpp"
+#include "serve/protocol.hpp"
+#include "serve/tables.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/socket.hpp"
+
+namespace {
+
+using namespace emwd;
+
+void print_csv(const std::vector<batch::JobResult>& rows) {
+  std::printf("index,name,status,steps,total_energy,electric_energy,absorption\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const batch::JobResult& r = rows[i];
+    const char* status = r.ok ? "ok" : (r.cancelled ? "cancelled" : "failed");
+    std::printf("%zu,%s,%s,%d,%.17g,%.17g,", i, r.name.c_str(), status,
+                r.steps_done, r.total_energy, r.electric_energy);
+    for (std::size_t a = 0; a < r.absorption.size(); ++a) {
+      std::printf("%s%.17g", a ? ";" : "", r.absorption[a]);
+    }
+    std::printf("\n");
+  }
+}
+
+int run_inprocess(const std::string& spec_text) {
+  const serve::SweepSpec spec = serve::parse_sweep_spec(spec_text);
+  const serve::Tables tables = serve::builtin_tables();
+  const serve::Scene* scene = tables.find(spec.scene);
+  if (!scene) {
+    std::fprintf(stderr, "emwd-client: unknown scene \"%s\"\n", spec.scene.c_str());
+    return 2;
+  }
+  const batch::SweepResult sweep =
+      batch::run_sweep(serve::to_sweep_config(spec, *scene));
+  print_csv(sweep.results);
+  for (const batch::JobResult& r : sweep.results) {
+    if (!r.ok) return 1;
+  }
+  return 0;
+}
+
+/// One request/response exchange; returns the single response payload.
+std::string roundtrip(int fd, const std::string& payload) {
+  if (!util::send_frame(fd, payload)) {
+    throw std::runtime_error("daemon closed the connection");
+  }
+  std::optional<std::string> reply = util::recv_frame(fd, serve::kMaxFrame);
+  if (!reply) throw std::runtime_error("daemon closed the connection");
+  return *reply;
+}
+
+int run_sweep_remote(int fd, const std::string& spec_text) {
+  serve::parse_sweep_spec(spec_text);  // fail fast, before touching the daemon
+  std::ostringstream os;
+  os << "{\"op\":\"sweep\",\"id\":\"cli\",\"spec\":" << util::json_quote(spec_text)
+     << '}';
+  if (!util::send_frame(fd, os.str())) {
+    throw std::runtime_error("daemon closed the connection");
+  }
+  std::map<std::size_t, batch::JobResult> rows;
+  std::size_t expected = 0;
+  for (;;) {
+    std::optional<std::string> payload = util::recv_frame(fd, serve::kMaxFrame);
+    if (!payload) throw std::runtime_error("daemon closed mid-sweep");
+    const util::JsonValue frame = util::JsonValue::parse(*payload);
+    const std::string type = frame.get_string("type", "");
+    if (type == "ack") {
+      expected = static_cast<std::size_t>(frame.get_int("jobs", 0));
+    } else if (type == "rejected") {
+      std::fprintf(stderr, "emwd-client: %ld job(s) rejected (%s)\n",
+                   frame.get_int("count", 0),
+                   frame.get_string("reason", "?").c_str());
+    } else if (type == "result") {
+      const util::JsonValue* result = frame.find("result");
+      if (!result) throw std::runtime_error("result frame without result member");
+      rows[static_cast<std::size_t>(frame.get_int("index", 0))] =
+          batch::JobResult::from_json(*result);
+    } else if (type == "done") {
+      break;
+    } else if (type == "error") {
+      std::fprintf(stderr, "emwd-client: daemon error: %s\n",
+                   frame.get_string("message", "?").c_str());
+      return 1;
+    }
+  }
+  std::vector<batch::JobResult> ordered;
+  ordered.reserve(rows.size());
+  for (auto& [index, r] : rows) ordered.push_back(std::move(r));
+  print_csv(ordered);
+  if (rows.size() < expected) {
+    std::fprintf(stderr, "emwd-client: %zu of %zu jobs produced no result\n",
+                 expected - rows.size(), expected);
+  }
+  for (const batch::JobResult& r : ordered) {
+    if (!r.ok) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli;
+  cli.add_flag("socket", "daemon unix socket path", "/tmp/emwdd.sock");
+  cli.add_flag("sweep", "sweep spec, e.g. scene=layered;grid=16x16x32;lambda=18,24",
+               "");
+  cli.add_flag("inprocess", "run --sweep locally via batch::run_sweep (no daemon)");
+  cli.add_flag("status", "print the daemon's status JSON");
+  cli.add_flag("ping", "liveness check");
+  cli.add_flag("reload", "hot-reload scene tables from a JSON file", "");
+  cli.add_flag("shutdown", "ask the daemon to stop");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "emwd-client: %s\n", cli.error().c_str());
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::fputs(cli.help_text("emwd-client").c_str(), stdout);
+    return 0;
+  }
+
+  try {
+    const std::string sweep = cli.get("sweep", "");
+    if (cli.get_bool("inprocess", false)) {
+      if (sweep.empty()) {
+        std::fprintf(stderr, "emwd-client: --inprocess requires --sweep\n");
+        return 2;
+      }
+      return run_inprocess(sweep);
+    }
+
+    util::UniqueFd fd = util::connect_unix(cli.get("socket", ""));
+    if (cli.get_bool("ping", false)) {
+      std::printf("%s\n", roundtrip(fd.get(), "{\"op\":\"ping\"}").c_str());
+    }
+    const std::string reload = cli.get("reload", "");
+    if (!reload.empty()) {
+      std::ifstream in(reload);
+      if (!in) {
+        std::fprintf(stderr, "emwd-client: cannot read %s\n", reload.c_str());
+        return 2;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      util::JsonValue::parse(text.str());  // reject byte soup before sending
+      std::printf("%s\n",
+                  roundtrip(fd.get(), "{\"op\":\"reload\",\"tables\":" + text.str() +
+                                          "}")
+                      .c_str());
+    }
+    int rc = 0;
+    if (!sweep.empty()) rc = run_sweep_remote(fd.get(), sweep);
+    if (cli.get_bool("status", false)) {
+      std::printf("%s\n", roundtrip(fd.get(), "{\"op\":\"status\"}").c_str());
+    }
+    if (cli.get_bool("shutdown", false)) {
+      roundtrip(fd.get(), "{\"op\":\"shutdown\"}");
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "emwd-client: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,123 @@
+// emwdd — the persistent simulation daemon.
+//
+// Binds a Unix-domain socket and serves the emwd wire protocol (see
+// src/serve/README.md): clients submit jobs and sweeps as JSON, the daemon
+// admits them through per-client fair-share, runs them on a long-lived
+// batch::Scheduler (pooled engines, cached tuning plans, NUMA slots) and
+// streams results back as they finish.  Scene tables are hot-reloadable;
+// SIGINT/SIGTERM or a client shutdown op stop the daemon cleanly.
+//
+//   emwdd --socket=/tmp/emwdd.sock --slots=2 --max-idle-engines=4
+//   emwd-client --socket=/tmp/emwdd.sock \
+//       --sweep='scene=layered;grid=16x16x32;lambda=18,24,30;steps=60'
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+int g_stop_pipe[2] = {-1, -1};
+
+extern "C" void on_stop_signal(int) {
+  const char byte = 1;
+  // Self-pipe: the only async-signal-safe thing to do is write one byte;
+  // the watcher thread turns it into Server::request_stop().
+  [[maybe_unused]] ssize_t n = ::write(g_stop_pipe[1], &byte, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace emwd;
+
+  util::Cli cli;
+  cli.add_flag("socket", "unix socket path to listen on", "/tmp/emwdd.sock");
+  cli.add_flag("concurrency", "concurrent executors (0: one per slot)", "0");
+  cli.add_flag("slots", "resource slots (0: one per NUMA domain)", "0");
+  cli.add_flag("threads-per-job", "engine threads for jobs that leave threads=0", "0");
+  cli.add_flag("no-pin", "do not pin executors to their slot cpus");
+  cli.add_flag("max-pending", "admission bound: total jobs waiting", "256");
+  cli.add_flag("max-per-client", "admission bound: per-client share", "128");
+  cli.add_flag("quantum", "fair-share jobs per round-robin visit", "4");
+  cli.add_flag("max-inflight", "jobs inside the scheduler (0: 2x executors)", "0");
+  cli.add_flag("max-idle-engines", "idle engines kept before LRU eviction", "8");
+  cli.add_flag("max-idle-fields", "idle FieldSets kept before LRU eviction", "16");
+  cli.add_flag("tables", "scene tables JSON file applied at startup", "");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "emwdd: %s\n", cli.error().c_str());
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::fputs(cli.help_text("emwdd").c_str(), stdout);
+    return 0;
+  }
+
+  serve::ServerConfig cfg;
+  cfg.socket_path = cli.get("socket", cfg.socket_path);
+  cfg.scheduler.concurrency = static_cast<int>(cli.get_int("concurrency", 0));
+  cfg.scheduler.slots = static_cast<int>(cli.get_int("slots", 0));
+  cfg.scheduler.threads_per_job = static_cast<int>(cli.get_int("threads-per-job", 0));
+  cfg.scheduler.pin_slots = !cli.get_bool("no-pin", false);
+  cfg.scheduler.max_idle_engines = static_cast<int>(cli.get_int("max-idle-engines", 8));
+  cfg.scheduler.max_idle_fields = static_cast<int>(cli.get_int("max-idle-fields", 16));
+  cfg.admission.max_pending =
+      static_cast<std::size_t>(cli.get_int("max-pending", 256));
+  cfg.admission.max_per_client =
+      static_cast<std::size_t>(cli.get_int("max-per-client", 128));
+  cfg.admission.quantum = static_cast<std::size_t>(cli.get_int("quantum", 4));
+  cfg.max_inflight = static_cast<std::size_t>(cli.get_int("max-inflight", 0));
+
+  const std::string tables_path = cli.get("tables", "");
+  if (!tables_path.empty()) {
+    std::ifstream in(tables_path);
+    if (!in) {
+      std::fprintf(stderr, "emwdd: cannot read --tables file %s\n",
+                   tables_path.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    cfg.initial_tables_json = text.str();
+  }
+
+  if (::pipe(g_stop_pipe) != 0) {
+    std::perror("emwdd: pipe");
+    return 1;
+  }
+  struct sigaction sa = {};
+  sa.sa_handler = on_stop_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill the daemon
+
+  try {
+    serve::Server server(cfg);
+    std::thread watcher([&server] {
+      char byte = 0;
+      while (::read(g_stop_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+      }
+      server.request_stop();  // idempotent; also fires on pipe EOF at exit
+    });
+    std::printf("emwdd: listening on %s\n", server.socket_path().c_str());
+    std::fflush(stdout);
+    server.wait_for_stop();
+    std::printf("emwdd: shutting down\n");
+    std::fflush(stdout);
+    server.stop();
+    ::close(g_stop_pipe[1]);  // EOF unblocks the watcher if no signal fired
+    watcher.join();
+    ::close(g_stop_pipe[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "emwdd: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

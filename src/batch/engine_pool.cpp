@@ -66,6 +66,46 @@ void PlanCache::clear() {
   plans_.clear();
 }
 
+template <typename M, typename T>
+void EnginePool::evict_lru(M& idle, int max_idle, int& idle_count,
+                           std::int64_t& evictions,
+                           std::vector<std::unique_ptr<T>>& graveyard) {
+  if (max_idle <= 0) return;
+  while (idle_count > max_idle) {
+    // Within a key the vector is release-ordered, so each key's oldest sits
+    // at the front; the global LRU victim is the minimum tick over fronts.
+    auto victim = idle.end();
+    for (auto it = idle.begin(); it != idle.end(); ++it) {
+      if (it->second.empty()) continue;
+      if (victim == idle.end() ||
+          it->second.front().tick < victim->second.front().tick) {
+        victim = it;
+      }
+    }
+    if (victim == idle.end()) return;  // inventory inconsistent; bail out
+    graveyard.push_back(std::move(victim->second.front().item));
+    victim->second.erase(victim->second.begin());
+    if (victim->second.empty()) idle.erase(victim);
+    --idle_count;
+    ++evictions;
+  }
+}
+
+void EnginePool::set_max_idle(int max_idle_engines, int max_idle_fields) {
+  std::vector<std::unique_ptr<exec::Engine>> dead_engines;
+  std::vector<std::unique_ptr<grid::FieldSet>> dead_fields;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    max_idle_engines_ = max_idle_engines;
+    max_idle_fields_ = max_idle_fields;
+    evict_lru(idle_engines_, max_idle_engines_, stats_.idle_engines,
+              stats_.engine_evictions, dead_engines);
+    evict_lru(idle_fields_, max_idle_fields_, stats_.idle_fields,
+              stats_.fields_evictions, dead_fields);
+  }
+  // Destruction outside the lock: engine teardown joins worker threads.
+}
+
 EnginePool::EngineLease EnginePool::acquire_engine(const exec::EngineSpec& spec,
                                                    const exec::BuildContext& ctx) {
   EngineLease lease;
@@ -74,7 +114,7 @@ EnginePool::EngineLease EnginePool::acquire_engine(const exec::EngineSpec& spec,
     std::lock_guard<std::mutex> lock(mu_);
     auto it = idle_engines_.find(lease.key);
     if (it != idle_engines_.end() && !it->second.empty()) {
-      lease.engine = std::move(it->second.back());
+      lease.engine = std::move(it->second.back().item);
       it->second.pop_back();
       lease.reused = true;
       ++stats_.engine_hits;
@@ -89,9 +129,14 @@ EnginePool::EngineLease EnginePool::acquire_engine(const exec::EngineSpec& spec,
 
 void EnginePool::release_engine(EngineLease&& lease) {
   if (!lease.engine) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  idle_engines_[lease.key].push_back(std::move(lease.engine));
-  ++stats_.idle_engines;
+  std::vector<std::unique_ptr<exec::Engine>> dead;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    idle_engines_[lease.key].push_back({std::move(lease.engine), ++tick_});
+    ++stats_.idle_engines;
+    evict_lru(idle_engines_, max_idle_engines_, stats_.idle_engines,
+              stats_.engine_evictions, dead);
+  }
 }
 
 EnginePool::FieldsLease EnginePool::acquire_fields(const grid::Extents& e) {
@@ -103,7 +148,7 @@ EnginePool::FieldsLease EnginePool::acquire_fields(const grid::Extents& e) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = idle_fields_.find(lease.key);
     if (it != idle_fields_.end() && !it->second.empty()) {
-      lease.fields = std::move(it->second.back());
+      lease.fields = std::move(it->second.back().item);
       it->second.pop_back();
       lease.reused = true;
       ++stats_.fields_hits;
@@ -118,9 +163,14 @@ EnginePool::FieldsLease EnginePool::acquire_fields(const grid::Extents& e) {
 
 void EnginePool::release_fields(FieldsLease&& lease) {
   if (!lease.fields) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  idle_fields_[lease.key].push_back(std::move(lease.fields));
-  ++stats_.idle_fields;
+  std::vector<std::unique_ptr<grid::FieldSet>> dead;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    idle_fields_[lease.key].push_back({std::move(lease.fields), ++tick_});
+    ++stats_.idle_fields;
+    evict_lru(idle_fields_, max_idle_fields_, stats_.idle_fields,
+              stats_.fields_evictions, dead);
+  }
 }
 
 EnginePool::Stats EnginePool::stats() const {

@@ -79,9 +79,20 @@ class EnginePool {
     std::int64_t engine_builds = 0;
     std::int64_t fields_hits = 0;
     std::int64_t fields_builds = 0;
+    std::int64_t engine_evictions = 0;  // idle engines dropped by the LRU bound
+    std::int64_t fields_evictions = 0;
     int idle_engines = 0;
     int idle_fields = 0;
   };
+
+  /// Bound the idle inventory: when a release would push the idle count
+  /// past `max_idle_*`, the least-recently-released idle entry (across all
+  /// keys) is destroyed instead of hoarded.  <= 0 means unbounded (the
+  /// default) — a long-lived daemon serving many shapes should set both so
+  /// its memory stays bounded (see SchedulerConfig::max_idle_engines).
+  /// Lowering the bound evicts immediately; outstanding leases are never
+  /// touched.
+  void set_max_idle(int max_idle_engines, int max_idle_fields);
 
   /// Fetch an idle engine for (spec, ctx.grid, ctx threads) or build one
   /// through EngineRegistry::global().  `spec` should already be resolved
@@ -105,10 +116,32 @@ class EnginePool {
   void clear();
 
  private:
+  /// Idle entries carry the release tick that drives LRU eviction; within a
+  /// key the vector is release-ordered, so front() is that key's oldest and
+  /// back() its warmest (acquire pops the back).
+  template <typename T>
+  struct Idle {
+    std::unique_ptr<T> item;
+    std::uint64_t tick = 0;
+  };
+  using IdleEngines = std::map<std::string, std::vector<Idle<exec::Engine>>>;
+  using IdleFields = std::map<std::string, std::vector<Idle<grid::FieldSet>>>;
+
+  /// Drop least-recently-released entries until `idle_count` <= `max_idle`
+  /// (no-op when unbounded).  Destroyed OUTSIDE the lock by the caller:
+  /// engine destructors join thread teams.  Requires mu_ held.
+  template <typename M, typename T>
+  static void evict_lru(M& idle, int max_idle, int& idle_count,
+                        std::int64_t& evictions,
+                        std::vector<std::unique_ptr<T>>& graveyard);
+
   mutable std::mutex mu_;
-  std::map<std::string, std::vector<std::unique_ptr<exec::Engine>>> idle_engines_;
-  std::map<std::string, std::vector<std::unique_ptr<grid::FieldSet>>> idle_fields_;
+  IdleEngines idle_engines_;
+  IdleFields idle_fields_;
   Stats stats_;
+  std::uint64_t tick_ = 0;
+  int max_idle_engines_ = 0;  // <= 0: unbounded
+  int max_idle_fields_ = 0;
 };
 
 /// The memoization/pool key: canonical spec text + grid extents + resolved

@@ -1,38 +1,41 @@
 #include "batch/job.hpp"
 
-#include <cstdio>
+#include <climits>
 #include <sstream>
+#include <stdexcept>
+
+#include "exec/engine_spec.hpp"
+#include "kernels/update_simd.hpp"
 
 namespace emwd::batch {
 
 namespace {
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+using util::json_escape;
+using util::json_quote;
+using util::JsonValue;
 
 const char* status_of(const JobResult& r) {
   if (r.ok) return "ok";
   return r.cancelled ? "cancelled" : "failed";
+}
+
+const char* boundary_name(grid::XBoundary b) {
+  return b == grid::XBoundary::Periodic ? "periodic" : "dirichlet";
+}
+
+grid::XBoundary boundary_from(const std::string& name) {
+  if (name == "periodic") return grid::XBoundary::Periodic;
+  if (name == "dirichlet") return grid::XBoundary::Dirichlet;
+  throw std::invalid_argument("Job::from_json: unknown x_boundary \"" + name + '"');
+}
+
+int checked_int(long v, const char* what) {
+  if (v < INT_MIN || v > INT_MAX) {
+    throw std::invalid_argument(std::string("Job::from_json: ") + what +
+                                " out of int range");
+  }
+  return static_cast<int>(v);
 }
 
 }  // namespace
@@ -88,6 +91,136 @@ std::string JobResult::to_json() const {
      << ",\"engine_reused\":" << (engine_reused ? "true" : "false")
      << ",\"plan_cache_hit\":" << (plan_cache_hit ? "true" : "false") << '}';
   return os.str();
+}
+
+JobResult JobResult::from_json(const std::string& text) {
+  return from_json(JsonValue::parse(text));
+}
+
+JobResult JobResult::from_json(const JsonValue& doc) {
+  if (!doc.is_object()) {
+    throw std::invalid_argument("JobResult::from_json: expected an object");
+  }
+  JobResult r;
+  const long index = doc.get_int("index", 0);
+  if (index < 0) throw std::invalid_argument("JobResult::from_json: negative index");
+  r.index = static_cast<std::size_t>(index);
+  r.name = doc.get_string("name", "");
+  const std::string status = doc.get_string("status", "failed");
+  if (status == "ok") {
+    r.ok = true;
+  } else if (status == "cancelled") {
+    r.cancelled = true;
+  } else if (status != "failed") {
+    throw std::invalid_argument("JobResult::from_json: unknown status \"" + status +
+                                '"');
+  }
+  r.error = doc.get_string("error", "");
+  r.steps_done = checked_int(doc.get_int("steps_done", 0), "steps_done");
+  r.wall_seconds = doc.get_double("wall_seconds", 0.0);
+  r.total_energy = doc.get_double("total_energy", 0.0);
+  r.electric_energy = doc.get_double("electric_energy", 0.0);
+  r.converged_change = doc.get_double("converged_change", 0.0);
+  if (const JsonValue* abs = doc.find("absorption")) {
+    for (const JsonValue& v : abs->as_array()) r.absorption.push_back(v.as_number());
+  }
+  r.stats.mlups = doc.get_double("mlups", 0.0);
+  r.stats.seconds = doc.get_double("engine_seconds", 0.0);
+  r.stats.lups = doc.get_int("lups", 0);
+  r.stats.shards = checked_int(doc.get_int("shards", 1), "shards");
+  // kernel_isa is a static never-dangling string in EngineStats; intern the
+  // known names and degrade anything else to the scalar default.
+  const std::string isa = doc.get_string("kernel_isa", "scalar");
+  r.stats.kernel_isa = isa == "avx2" ? kernels::to_string(kernels::KernelIsa::Avx2)
+                                     : kernels::to_string(kernels::KernelIsa::Scalar);
+  r.slot = checked_int(doc.get_int("slot", -1), "slot");
+  r.threads = checked_int(doc.get_int("threads", 0), "threads");
+  r.engine_spec = doc.get_string("engine_spec", "");
+  r.engine_name = doc.get_string("engine_name", "");
+  r.engine_reused = doc.get_bool("engine_reused", false);
+  r.plan_cache_hit = doc.get_bool("plan_cache_hit", false);
+  return r;
+}
+
+std::string Job::to_json() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"name\":" << json_quote(name) << ",\"steps\":" << steps
+     << ",\"converge_tol\":" << converge_tol << ",\"max_steps\":" << max_steps
+     << ",\"check_every\":" << check_every << ",\"priority\":" << priority
+     << ",\"config\":{\"grid\":[" << config.grid.nx << ',' << config.grid.ny << ','
+     << config.grid.nz << "],\"wavelength_cells\":" << config.wavelength_cells
+     << ",\"cfl\":" << config.cfl << ",\"pml\":{\"thickness\":" << config.pml.thickness
+     << ",\"grading\":" << config.pml.grading << ",\"r0\":" << config.pml.r0
+     << ",\"on_x\":" << (config.pml.on_x ? "true" : "false")
+     << ",\"on_y\":" << (config.pml.on_y ? "true" : "false")
+     << ",\"on_z\":" << (config.pml.on_z ? "true" : "false")
+     << "},\"x_boundary\":\"" << boundary_name(config.x_boundary)
+     << "\",\"engine_spec\":" << json_quote(config.engine_spec)
+     << ",\"threads\":" << config.threads << "}}";
+  return os.str();
+}
+
+Job Job::from_json(const std::string& text) {
+  return from_json(JsonValue::parse(text));
+}
+
+Job Job::from_json(const JsonValue& doc) {
+  if (!doc.is_object()) {
+    throw std::invalid_argument("Job::from_json: expected an object");
+  }
+  Job job;
+  job.name = doc.get_string("name", "");
+  job.steps = checked_int(doc.get_int("steps", job.steps), "steps");
+  job.converge_tol = doc.get_double("converge_tol", job.converge_tol);
+  job.max_steps = checked_int(doc.get_int("max_steps", job.max_steps), "max_steps");
+  job.check_every =
+      checked_int(doc.get_int("check_every", job.check_every), "check_every");
+  job.priority = checked_int(doc.get_int("priority", job.priority), "priority");
+
+  if (const JsonValue* cfg = doc.find("config")) {
+    if (!cfg->is_object()) {
+      throw std::invalid_argument("Job::from_json: \"config\" must be an object");
+    }
+    if (const JsonValue* g = cfg->find("grid")) {
+      const JsonValue::Array& a = g->as_array();
+      if (a.size() != 3) {
+        throw std::invalid_argument("Job::from_json: \"grid\" must be [nx,ny,nz]");
+      }
+      job.config.grid = {checked_int(a[0].as_int(), "grid.nx"),
+                         checked_int(a[1].as_int(), "grid.ny"),
+                         checked_int(a[2].as_int(), "grid.nz")};
+      if (job.config.grid.nx < 1 || job.config.grid.ny < 1 || job.config.grid.nz < 1) {
+        throw std::invalid_argument("Job::from_json: grid extents must be >= 1");
+      }
+    }
+    job.config.wavelength_cells =
+        cfg->get_double("wavelength_cells", job.config.wavelength_cells);
+    job.config.cfl = cfg->get_double("cfl", job.config.cfl);
+    if (const JsonValue* pml = cfg->find("pml")) {
+      if (!pml->is_object()) {
+        throw std::invalid_argument("Job::from_json: \"pml\" must be an object");
+      }
+      job.config.pml.thickness =
+          checked_int(pml->get_int("thickness", job.config.pml.thickness), "pml.thickness");
+      job.config.pml.grading = pml->get_double("grading", job.config.pml.grading);
+      job.config.pml.r0 = pml->get_double("r0", job.config.pml.r0);
+      job.config.pml.on_x = pml->get_bool("on_x", job.config.pml.on_x);
+      job.config.pml.on_y = pml->get_bool("on_y", job.config.pml.on_y);
+      job.config.pml.on_z = pml->get_bool("on_z", job.config.pml.on_z);
+    }
+    job.config.x_boundary =
+        boundary_from(cfg->get_string("x_boundary", boundary_name(job.config.x_boundary)));
+    job.config.engine_spec = cfg->get_string("engine_spec", "");
+    if (!job.config.engine_spec.empty()) {
+      // Validate eagerly so a bad spec is rejected at admission, not when an
+      // executor thread finally claims the job.
+      job.config.engine_spec =
+          exec::to_string(exec::parse_engine_spec(job.config.engine_spec));
+    }
+    job.config.threads = checked_int(cfg->get_int("threads", 0), "threads");
+  }
+  return job;
 }
 
 }  // namespace emwd::batch

@@ -18,6 +18,7 @@
 #include "exec/engine.hpp"
 #include "thiim/simulation.hpp"
 #include "util/csv.hpp"
+#include "util/json.hpp"
 
 namespace emwd::batch {
 
@@ -56,6 +57,21 @@ struct Job {
   /// ordered result table from Scheduler::wait_all()/run_sweep() does not
   /// require this; use it for streaming consumers (live CSV, progress UI).
   std::function<void(const JobResult&)> sink;
+
+  /// One JSON object (single line) carrying every wire-transportable field:
+  /// name/steps/priority/convergence knobs plus the simulation config
+  /// (grid, wavelength, cfl, pml, boundary, engine spec, threads).  The
+  /// callable members (setup, sink) are code, not data — a remote submitter
+  /// names a server-side scene instead (see src/serve/README.md).
+  std::string to_json() const;
+
+  /// Inverse of to_json.  Absent members keep the default-constructed
+  /// value; present members are type-checked and a non-empty engine_spec is
+  /// validated against the spec grammar.  Throws std::invalid_argument on
+  /// malformed JSON or ill-typed members; never crashes on byte soup
+  /// (fuzz-tested next to the spec-grammar tests).
+  static Job from_json(const std::string& text);
+  static Job from_json(const util::JsonValue& doc);
 };
 
 /// The canonical per-job record.  All observables are bit-exact outputs of
@@ -97,6 +113,13 @@ struct JobResult {
   /// One JSON object (single line, no trailing newline) carrying every
   /// field including the absorption array.
   std::string to_json() const;
+
+  /// Inverse of to_json — the emwd-client uses it to turn streamed result
+  /// frames back into typed records.  Round-trip exact: to_json emits 17
+  /// significant digits, so from_json(to_json(r)).to_json() == to_json(r).
+  /// Throws std::invalid_argument on malformed or ill-typed input.
+  static JobResult from_json(const std::string& text);
+  static JobResult from_json(const util::JsonValue& doc);
 };
 
 }  // namespace emwd::batch

@@ -32,6 +32,7 @@ Scheduler::Scheduler(SchedulerConfig cfg)
       cfg_.concurrency > 0 ? cfg_.concurrency : resources_.num_slots();
   stats_.slots = resources_.num_slots();
   stats_.executors = executors;
+  pool_.set_max_idle(cfg_.max_idle_engines, cfg_.max_idle_fields);
   executors_.reserve(static_cast<std::size_t>(executors));
   for (int i = 0; i < executors; ++i) {
     executors_.emplace_back([this, i] { executor_loop(i); });
@@ -129,6 +130,12 @@ std::vector<JobResult> Scheduler::wait_all() {
 BatchStats Scheduler::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   BatchStats out = stats_;
+  // Occupancy is read under the same mutex that claims and finishes jobs,
+  // so the identity queued + running + done == submitted holds exactly in
+  // every snapshot (the serve daemon's Status endpoint relies on it).
+  out.queued = queue_.size();
+  out.running = running_;
+  for (const Entry& e : queue_) ++out.queue_depth[e.priority];
   out.pool = pool_.stats();
   out.plans = plan_cache_.stats();
   return out;
@@ -152,9 +159,17 @@ void Scheduler::executor_loop(int executor_id) {
       std::pop_heap(queue_.begin(), queue_.end(), SchedulerEntryLess{});
       entry = std::move(queue_.back());
       queue_.pop_back();
+      ++running_;  // claimed under the same lock; finish_result undoes it
     }
     auto sink = entry.job.sink;
-    JobResult r = run_job(std::move(entry.job), entry.seq, slot_id);
+    JobResult r;
+    {
+      // A job may repin this executor (sharded NUMA binding, user setup
+      // code); restore the slot mask after every job — throwing included —
+      // so one job's cpuset never leaks into the next job on this thread.
+      util::ScopedAffinity affinity_guard;
+      r = run_job(std::move(entry.job), entry.seq, slot_id);
+    }
     finish_result(std::move(r), sink);
   }
 }
@@ -249,12 +264,15 @@ void Scheduler::finish_result(JobResult&& result,
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (result.cancelled) {
-      ++stats_.cancelled;
-    } else if (result.ok) {
-      ++stats_.completed;
-      stats_.engine.merge(result.stats);
+      ++stats_.cancelled;  // drained, never claimed: running_ untouched
     } else {
-      ++stats_.failed;
+      --running_;  // every non-cancelled result came through an executor claim
+      if (result.ok) {
+        ++stats_.completed;
+        stats_.engine.merge(result.stats);
+      } else {
+        ++stats_.failed;
+      }
     }
     if (observed) snapshot = result;
     results_[result.index] = std::move(result);

@@ -24,6 +24,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -51,17 +52,29 @@ struct SchedulerConfig {
   bool pool_engines = true;
   /// Memoize `auto`-spec tuning via the PlanCache.
   bool cache_plans = true;
+  /// Idle-inventory bounds forwarded to EnginePool::set_max_idle: a
+  /// long-lived scheduler (the emwdd daemon) keeps at most this many idle
+  /// engines / FieldSets, LRU-evicting the rest.  <= 0 = unbounded.
+  int max_idle_engines = 0;
+  int max_idle_fields = 0;
   /// Host topology override for tests; unset = util::detect_host().
   std::optional<util::HostInfo> host;
 };
 
-/// Aggregate batch outcome: job counters, pool/plan-cache effectiveness and
-/// the merged engine stats of every completed job (EngineStats::merge).
+/// Aggregate batch outcome: job counters, queue occupancy, pool/plan-cache
+/// effectiveness and the merged engine stats of every completed job
+/// (EngineStats::merge).  stats() fills every field under one lock, so the
+/// snapshot is self-consistent: queued + running + completed + failed +
+/// cancelled == submitted holds exactly, and queue_depth sums to queued.
 struct BatchStats {
   std::size_t submitted = 0;
   std::size_t completed = 0;  // ran to completion (ok)
   std::size_t failed = 0;     // threw
   std::size_t cancelled = 0;  // drained before starting
+  std::size_t queued = 0;     // submitted, not yet claimed by an executor
+  std::size_t running = 0;    // claimed, still executing
+  /// Pending-queue depth per priority level (only levels with waiters).
+  std::map<int, std::size_t> queue_depth;
   EnginePool::Stats pool;
   PlanCache::Stats plans;
   int slots = 0;
@@ -123,6 +136,7 @@ class Scheduler {
   std::vector<Entry> queue_;  // max-heap by (priority, -seq)
   std::vector<JobResult> results_;
   std::size_t done_ = 0;
+  std::size_t running_ = 0;  // claimed by an executor, not yet finished
   bool cancelled_ = false;
   bool closing_ = false;
   bool joined_ = false;

@@ -20,7 +20,7 @@ std::string job_name(const SweepConfig& cfg, double lambda, const grid::Extents&
 
 }  // namespace
 
-SweepResult run_sweep(const SweepConfig& cfg) {
+std::vector<Job> expand_sweep_jobs(const SweepConfig& cfg) {
   const std::vector<double> lambdas =
       cfg.wavelengths.empty() ? std::vector<double>{cfg.base.wavelength_cells}
                               : cfg.wavelengths;
@@ -29,20 +29,8 @@ SweepResult run_sweep(const SweepConfig& cfg) {
   const std::vector<std::string> specs =
       cfg.engine_specs.empty() ? std::vector<std::string>{cfg.base.engine_spec}
                                : cfg.engine_specs;
-
-  util::Timer timer;
-  Scheduler scheduler(cfg.scheduler);
-  if (cfg.progress) {
-    // A false return cancels the remainder; cancel() never blocks on jobs,
-    // so calling it from the progress callback is safe.
-    auto progress = cfg.progress;
-    Scheduler* sched = &scheduler;
-    scheduler.set_progress(
-        [progress, sched](const JobResult& r, std::size_t done, std::size_t total) {
-          if (!progress(r, done, total)) sched->cancel();
-        });
-  }
-
+  std::vector<Job> jobs;
+  jobs.reserve(lambdas.size() * grids.size() * specs.size());
   for (double lambda : lambdas) {
     for (const grid::Extents& e : grids) {
       for (const std::string& spec : specs) {
@@ -57,10 +45,28 @@ SweepResult run_sweep(const SweepConfig& cfg) {
         job.max_steps = cfg.max_steps;
         job.check_every = cfg.check_every;
         job.setup = cfg.setup;
-        scheduler.submit(std::move(job));
+        jobs.push_back(std::move(job));
       }
     }
   }
+  return jobs;
+}
+
+SweepResult run_sweep(const SweepConfig& cfg) {
+  util::Timer timer;
+  Scheduler scheduler(cfg.scheduler);
+  if (cfg.progress) {
+    // A false return cancels the remainder; cancel() never blocks on jobs,
+    // so calling it from the progress callback is safe.
+    auto progress = cfg.progress;
+    Scheduler* sched = &scheduler;
+    scheduler.set_progress(
+        [progress, sched](const JobResult& r, std::size_t done, std::size_t total) {
+          if (!progress(r, done, total)) sched->cancel();
+        });
+  }
+
+  for (Job& job : expand_sweep_jobs(cfg)) scheduler.submit(std::move(job));
 
   SweepResult result;
   result.results = scheduler.wait_all();

@@ -57,6 +57,13 @@ struct SweepResult {
   util::Table to_table() const { return JobResult::table(results); }
 };
 
+/// The job fleet run_sweep would schedule, in axis-expansion order
+/// (wavelength x grid x engine) with run_sweep's naming, without running
+/// anything.  The serve daemon admits exactly this fleet for a remote
+/// sweep, which is what makes client-submitted results bit-exact with an
+/// in-process run_sweep of the same spec (CI gates on it).
+std::vector<Job> expand_sweep_jobs(const SweepConfig& cfg);
+
 /// Expand, schedule, wait.  The per-job results are bit-exact with running
 /// each configuration standalone, at any scheduler concurrency.
 SweepResult run_sweep(const SweepConfig& cfg);

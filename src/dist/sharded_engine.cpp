@@ -12,6 +12,7 @@
 #include "dist/partition.hpp"
 #include "exec/thread_pool.hpp"
 #include "grid/fieldset.hpp"
+#include "util/affinity.hpp"
 #include "util/barrier.hpp"
 #include "util/timer.hpp"
 
@@ -39,24 +40,20 @@ std::string ShardedParams::describe() const {
 
 namespace {
 
-/// Binds the current thread to a shard's NUMA node and restores the saved
-/// affinity on scope exit — including exceptional exits (ThreadTeam's tid 0
-/// runs on the caller thread, which must not stay pinned after a throw).
+/// Binds the current thread to a shard's NUMA node for the scope — a thin
+/// wrapper over util::ScopedAffinity, which restores the saved mask on any
+/// exit including exceptional ones (ThreadTeam's tid 0 runs on the caller
+/// thread, which must not stay pinned after a throw).
 class ScopedNodeBinding {
  public:
-  ScopedNodeBinding(bool enable, const NumaTopology& topo, int shard, int num_shards)
-      : saved_(save_current_affinity()),
-        bound_(enable &&
-               bind_current_thread_to_node(topo, node_for_shard(topo, shard, num_shards))) {}
-  ~ScopedNodeBinding() {
-    if (bound_) restore_affinity(saved_);
+  ScopedNodeBinding(bool enable, const NumaTopology& topo, int shard, int num_shards) {
+    if (enable) {
+      bind_current_thread_to_node(topo, node_for_shard(topo, shard, num_shards));
+    }
   }
-  ScopedNodeBinding(const ScopedNodeBinding&) = delete;
-  ScopedNodeBinding& operator=(const ScopedNodeBinding&) = delete;
 
  private:
-  SavedAffinity saved_;
-  bool bound_;
+  util::ScopedAffinity guard_;  // saved before the bind above runs
 };
 
 class ShardedEngine final : public PreparableEngine {

@@ -1,0 +1,124 @@
+#include "serve/fair_share.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace emwd::serve {
+
+FairShareQueue::FairShareQueue(AdmissionConfig cfg) : cfg_(cfg) {
+  cfg_.max_pending = std::max<std::size_t>(1, cfg_.max_pending);
+  cfg_.max_per_client = std::max<std::size_t>(1, cfg_.max_per_client);
+  cfg_.quantum = std::max<std::size_t>(1, cfg_.quantum);
+}
+
+FairShareQueue::Admit FairShareQueue::push(PendingJob item) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return Admit::Closed;
+    if (pending_ >= cfg_.max_pending) {
+      ++stats_.rejected_queue_full;
+      return Admit::QueueFull;
+    }
+    ClientQueue& cq = clients_[item.client];
+    if (cq.jobs.size() >= cfg_.max_per_client) {
+      ++stats_.rejected_client_full;
+      return Admit::ClientFull;
+    }
+    if (cq.jobs.empty()) rotation_.push_back(item.client);
+    cq.jobs.push_back(std::move(item));
+    ++pending_;
+    ++stats_.admitted;
+  }
+  cv_.notify_one();
+  return Admit::Ok;
+}
+
+std::optional<PendingJob> FairShareQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return pending_ > 0 || closed_; });
+  if (pending_ == 0) return std::nullopt;
+
+  if (cursor_ >= rotation_.size()) cursor_ = 0;
+  const int client = rotation_[cursor_];
+  ClientQueue& cq = clients_[client];
+  if (cq.credit == 0) cq.credit = cfg_.quantum;
+
+  PendingJob item = std::move(cq.jobs.front());
+  cq.jobs.pop_front();
+  --cq.credit;
+  --pending_;
+  ++stats_.dispatched;
+
+  if (cq.jobs.empty()) {
+    // Client exhausted: leaves the rotation; a later push re-appends it at
+    // the back (no credit carry-over, so it cannot jump the line).
+    cq.credit = 0;
+    clients_.erase(client);
+    rotation_.erase(rotation_.begin() + static_cast<std::ptrdiff_t>(cursor_));
+    // cursor_ now points at the next client already.
+  } else if (cq.credit == 0) {
+    ++cursor_;  // visit over, next client's turn
+  }
+  if (cursor_ >= rotation_.size()) cursor_ = 0;
+  return item;
+}
+
+std::vector<PendingJob> FairShareQueue::cancel_client(int client) {
+  std::vector<PendingJob> dropped;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clients_.find(client);
+  if (it == clients_.end()) return dropped;
+  for (PendingJob& job : it->second.jobs) dropped.push_back(std::move(job));
+  pending_ -= dropped.size();
+  stats_.cancelled += dropped.size();
+  clients_.erase(it);
+  drop_from_rotation_locked(client);
+  return dropped;
+}
+
+std::vector<PendingJob> FairShareQueue::drain_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return take_all_locked();
+}
+
+void FairShareQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+FairShareQueue::Stats FairShareQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out = stats_;
+  out.pending = pending_;
+  out.clients = clients_.size();
+  return out;
+}
+
+std::vector<PendingJob> FairShareQueue::take_all_locked() {
+  std::vector<PendingJob> dropped;
+  dropped.reserve(pending_);
+  // Rotation order, so cancelled-result frames stream in a fair order too.
+  for (int client : rotation_) {
+    for (PendingJob& job : clients_[client].jobs) dropped.push_back(std::move(job));
+  }
+  clients_.clear();
+  rotation_.clear();
+  cursor_ = 0;
+  pending_ = 0;
+  stats_.cancelled += dropped.size();
+  return dropped;
+}
+
+void FairShareQueue::drop_from_rotation_locked(int client) {
+  auto pos = std::find(rotation_.begin(), rotation_.end(), client);
+  if (pos == rotation_.end()) return;
+  const std::size_t idx = static_cast<std::size_t>(pos - rotation_.begin());
+  rotation_.erase(pos);
+  if (idx < cursor_) --cursor_;
+  if (cursor_ >= rotation_.size()) cursor_ = 0;
+}
+
+}  // namespace emwd::serve

@@ -1,0 +1,106 @@
+// serve::FairShareQueue — bounded admission with deficit-round-robin
+// draining.
+//
+// The daemon must not let one greedy client starve the others: the batch
+// Scheduler's internal heap is strict priority + FIFO, so if every admitted
+// job went straight into it, a client that submits 500 jobs first would own
+// the machine for the whole backlog.  Instead admitted jobs wait here, in a
+// per-client deque, and the dispatcher pops them with deficit round-robin:
+// each visit to a client grants it `quantum` credits, one job costs one
+// credit, and the rotation advances when a client's credits or jobs run
+// out.  Two clients with deep backlogs therefore interleave in blocks of
+// `quantum` regardless of arrival order (serve_test asserts the exact
+// pattern).
+//
+// Admission is bounded twice — total pending and per-client pending — and
+// rejects are explicit (the caller reports them on the wire) rather than
+// blocking the session thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "batch/job.hpp"
+
+namespace emwd::serve {
+
+struct AdmissionConfig {
+  std::size_t max_pending = 256;    // total jobs waiting for dispatch
+  std::size_t max_per_client = 128; // per-client share of the above
+  std::size_t quantum = 4;          // jobs per round-robin visit
+};
+
+/// One admitted job waiting for dispatch, tagged with its origin so
+/// results and cancellations can be routed back.
+struct PendingJob {
+  int client = 0;           // session id
+  std::uint64_t request = 0;  // server-assigned request serial
+  std::string request_id;   // wire correlation id (echoed on frames)
+  std::size_t index = 0;    // position within the request's expansion
+  batch::Job job;
+};
+
+class FairShareQueue {
+ public:
+  enum class Admit { Ok, QueueFull, ClientFull, Closed };
+
+  struct Stats {
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected_queue_full = 0;
+    std::uint64_t rejected_client_full = 0;
+    std::uint64_t dispatched = 0;  // handed to the dispatcher via pop()
+    std::uint64_t cancelled = 0;   // dropped by cancel_client/drain_all
+    std::size_t pending = 0;       // currently waiting
+    std::size_t clients = 0;       // clients with pending work
+  };
+
+  explicit FairShareQueue(AdmissionConfig cfg = {});
+
+  /// Admit or reject; never blocks.  Rejections are counted and must be
+  /// reported to the submitting client by the caller.
+  Admit push(PendingJob item);
+
+  /// Next job in DRR order.  Blocks until work arrives; returns nullopt
+  /// once close() has been called and the queue is empty.
+  std::optional<PendingJob> pop();
+
+  /// Drop every pending job of `client` (a disconnect or an explicit
+  /// cancel) and return them so the caller can stream cancelled results.
+  std::vector<PendingJob> cancel_client(int client);
+
+  /// Drop everything (server shutdown).
+  std::vector<PendingJob> drain_all();
+
+  /// Reject further pushes and wake blocked poppers.
+  void close();
+
+  Stats stats() const;
+
+ private:
+  struct ClientQueue {
+    std::deque<PendingJob> jobs;
+    std::size_t credit = 0;  // remaining quantum for the current visit
+  };
+
+  std::vector<PendingJob> take_all_locked();
+  void drop_from_rotation_locked(int client);
+
+  AdmissionConfig cfg_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<int, ClientQueue> clients_;
+  std::vector<int> rotation_;  // clients with pending jobs, visit order
+  std::size_t cursor_ = 0;     // current position in rotation_
+  std::size_t pending_ = 0;
+  bool closed_ = false;
+  Stats stats_;
+};
+
+}  // namespace emwd::serve

@@ -1,0 +1,54 @@
+#include "serve/metrics.hpp"
+
+#include <sstream>
+
+namespace emwd::serve {
+
+std::string metrics_to_json(const Metrics& server, const FairShareQueue::Stats& queue,
+                            const batch::BatchStats& scheduler,
+                            std::uint64_t tables_version) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"type\":\"status\",\"server\":{"
+     << "\"connections_total\":" << server.connections_total
+     << ",\"connections_active\":" << server.connections_active
+     << ",\"requests\":" << server.requests
+     << ",\"protocol_errors\":" << server.protocol_errors
+     << ",\"results_streamed\":" << server.results_streamed
+     << ",\"reloads\":" << server.reloads << ",\"inflight\":" << server.inflight
+     << "},\"queue\":{"
+     << "\"admitted\":" << queue.admitted
+     << ",\"rejected_queue_full\":" << queue.rejected_queue_full
+     << ",\"rejected_client_full\":" << queue.rejected_client_full
+     << ",\"dispatched\":" << queue.dispatched
+     << ",\"cancelled\":" << queue.cancelled << ",\"pending\":" << queue.pending
+     << ",\"clients\":" << queue.clients << "},\"scheduler\":{"
+     << "\"submitted\":" << scheduler.submitted
+     << ",\"completed\":" << scheduler.completed
+     << ",\"failed\":" << scheduler.failed
+     << ",\"cancelled\":" << scheduler.cancelled
+     << ",\"queued\":" << scheduler.queued << ",\"running\":" << scheduler.running
+     << ",\"queue_depth\":{";
+  bool first = true;
+  for (const auto& [priority, depth] : scheduler.queue_depth) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << priority << "\":" << depth;
+  }
+  os << "},\"slots\":" << scheduler.slots << ",\"executors\":" << scheduler.executors
+     << ",\"pool\":{"
+     << "\"engine_hits\":" << scheduler.pool.engine_hits
+     << ",\"engine_builds\":" << scheduler.pool.engine_builds
+     << ",\"fields_hits\":" << scheduler.pool.fields_hits
+     << ",\"fields_builds\":" << scheduler.pool.fields_builds
+     << ",\"engine_evictions\":" << scheduler.pool.engine_evictions
+     << ",\"fields_evictions\":" << scheduler.pool.fields_evictions
+     << ",\"idle_engines\":" << scheduler.pool.idle_engines
+     << ",\"idle_fields\":" << scheduler.pool.idle_fields << "},\"plans\":{"
+     << "\"hits\":" << scheduler.plans.hits
+     << ",\"misses\":" << scheduler.plans.misses << "},\"mlups\":"
+     << scheduler.engine.mlups << "},\"tables_version\":" << tables_version << '}';
+  return os.str();
+}
+
+}  // namespace emwd::serve

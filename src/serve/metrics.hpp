@@ -1,0 +1,39 @@
+// serve::Metrics — the daemon's live counters and their JSON rendering.
+//
+// The Status op answers with one JSON object assembled from three
+// lock-consistent snapshots: the server's own counters (taken under the
+// metrics mutex), FairShareQueue::stats() and batch::Scheduler::stats().
+// Each snapshot is internally consistent (the scheduler one holds the
+// identity queued + running + completed + failed + cancelled == submitted);
+// across the three there is no global barrier — a job can move from
+// "pending" to "running" between snapshots — which is the usual monitoring
+// contract and costs no serving throughput.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "batch/scheduler.hpp"
+#include "serve/fair_share.hpp"
+
+namespace emwd::serve {
+
+/// Server-level counters; the Server mutates them under its metrics mutex.
+struct Metrics {
+  std::uint64_t connections_total = 0;
+  std::size_t connections_active = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t protocol_errors = 0;  // malformed frames / bad requests
+  std::uint64_t results_streamed = 0;
+  std::uint64_t reloads = 0;
+  std::size_t inflight = 0;  // dispatched to the scheduler, not yet finished
+};
+
+/// Render the Status payload: {"type":"status","server":{...},
+/// "queue":{...},"scheduler":{...},"tables_version":N}.
+std::string metrics_to_json(const Metrics& server, const FairShareQueue::Stats& queue,
+                            const batch::BatchStats& scheduler,
+                            std::uint64_t tables_version);
+
+}  // namespace emwd::serve

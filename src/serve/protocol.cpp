@@ -1,0 +1,234 @@
+#include "serve/protocol.hpp"
+
+#include <climits>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "exec/engine_spec.hpp"
+
+namespace emwd::serve {
+
+namespace {
+
+using util::json_quote;
+using util::JsonValue;
+
+Op op_by_name(const std::string& name) {
+  if (name == "ping") return Op::Ping;
+  if (name == "submit") return Op::Submit;
+  if (name == "sweep") return Op::Sweep;
+  if (name == "cancel") return Op::Cancel;
+  if (name == "status") return Op::Status;
+  if (name == "reload") return Op::Reload;
+  if (name == "shutdown") return Op::Shutdown;
+  throw std::invalid_argument("serve: unknown op \"" + name + '"');
+}
+
+int spec_int(const std::string& key, const std::string& value) {
+  std::size_t used = 0;
+  long v = 0;
+  try {
+    v = std::stol(value, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != value.size() || v < INT_MIN || v > INT_MAX) {
+    throw std::invalid_argument("sweep spec: bad integer for \"" + key + "\": " +
+                                value);
+  }
+  return static_cast<int>(v);
+}
+
+double spec_double(const std::string& key, const std::string& value) {
+  const char* begin = value.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end != begin + value.size() || value.empty()) {
+    throw std::invalid_argument("sweep spec: bad number for \"" + key + "\": " +
+                                value);
+  }
+  return v;
+}
+
+grid::Extents parse_extents(const std::string& text) {
+  grid::Extents e{};
+  int* dims[3] = {&e.nx, &e.ny, &e.nz};
+  std::size_t pos = 0;
+  for (int d = 0; d < 3; ++d) {
+    const std::size_t next = d < 2 ? text.find('x', pos) : text.size();
+    if (next == std::string::npos) {
+      throw std::invalid_argument("sweep spec: grid must be NXxNYxNZ: " + text);
+    }
+    *dims[d] = spec_int("grid", text.substr(pos, next - pos));
+    if (*dims[d] < 1) {
+      throw std::invalid_argument("sweep spec: grid extents must be >= 1: " + text);
+    }
+    pos = next + 1;
+  }
+  return e;
+}
+
+}  // namespace
+
+Request parse_request(const std::string& payload) {
+  Request req;
+  req.doc = JsonValue::parse(payload);
+  if (!req.doc.is_object()) {
+    throw std::invalid_argument("serve: request must be a JSON object");
+  }
+  req.op = op_by_name(req.doc.get_string("op", ""));
+  req.id = req.doc.get_string("id", "");
+  return req;
+}
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> items;
+  int depth = 0;
+  std::string current;
+  for (char c : text) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == ',' && depth == 0) {
+      items.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  items.push_back(current);
+  for (const std::string& item : items) {
+    if (item.empty()) {
+      throw std::invalid_argument("sweep spec: empty list item in \"" + text + '"');
+    }
+  }
+  return items;
+}
+
+SweepSpec parse_sweep_spec(const std::string& text) {
+  SweepSpec spec;
+  spec.base.grid = {12, 12, 24};
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find(';', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string pair = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("sweep spec: expected key=value, got \"" + pair +
+                                  '"');
+    }
+    const std::string key = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    if (key == "scene") {
+      spec.scene = value;
+    } else if (key == "grid") {
+      spec.grids.clear();
+      for (const std::string& g : split_list(value)) {
+        spec.grids.push_back(parse_extents(g));
+      }
+      spec.base.grid = spec.grids.front();
+    } else if (key == "lambda") {
+      for (const std::string& l : split_list(value)) {
+        const double lambda = spec_double("lambda", l);
+        if (lambda <= 0.0) {
+          throw std::invalid_argument("sweep spec: lambda must be > 0");
+        }
+        spec.wavelengths.push_back(lambda);
+      }
+    } else if (key == "engine") {
+      for (const std::string& e : split_list(value)) {
+        // Validate (and canonicalize) against the spec grammar at parse
+        // time, so a typo is rejected at admission instead of on an
+        // executor thread.
+        spec.engine_specs.push_back(exec::to_string(exec::parse_engine_spec(e)));
+      }
+    } else if (key == "steps") {
+      spec.steps = spec_int(key, value);
+    } else if (key == "tol") {
+      spec.converge_tol = spec_double(key, value);
+    } else if (key == "max_steps") {
+      spec.max_steps = spec_int(key, value);
+    } else if (key == "check_every") {
+      spec.check_every = spec_int(key, value);
+    } else if (key == "threads") {
+      spec.base.threads = spec_int(key, value);
+    } else if (key == "cfl") {
+      spec.base.cfl = spec_double(key, value);
+    } else if (key == "pml") {
+      spec.base.pml.thickness = spec_int(key, value);
+    } else if (key == "xb") {
+      if (value == "periodic") {
+        spec.base.x_boundary = grid::XBoundary::Periodic;
+      } else if (value == "dirichlet") {
+        spec.base.x_boundary = grid::XBoundary::Dirichlet;
+      } else {
+        throw std::invalid_argument("sweep spec: xb must be dirichlet|periodic");
+      }
+    } else if (key == "priority") {
+      spec.priority = spec_int(key, value);
+    } else {
+      throw std::invalid_argument("sweep spec: unknown key \"" + key + '"');
+    }
+  }
+  if (spec.steps < 1 && spec.converge_tol <= 0.0) {
+    throw std::invalid_argument("sweep spec: steps must be >= 1");
+  }
+  return spec;
+}
+
+batch::SweepConfig to_sweep_config(const SweepSpec& spec, const Scene& scene) {
+  batch::SweepConfig cfg;
+  cfg.base = spec.base;
+  cfg.wavelengths = spec.wavelengths;
+  cfg.grids = spec.grids;
+  cfg.engine_specs = spec.engine_specs;
+  cfg.steps = spec.steps;
+  cfg.converge_tol = spec.converge_tol;
+  cfg.max_steps = spec.max_steps;
+  cfg.check_every = spec.check_every;
+  cfg.setup = scene.setup();
+  return cfg;
+}
+
+std::string make_ack(const std::string& id, std::size_t jobs) {
+  std::ostringstream os;
+  os << "{\"type\":\"ack\",\"id\":" << json_quote(id) << ",\"jobs\":" << jobs << '}';
+  return os.str();
+}
+
+std::string make_rejected(const std::string& id, std::size_t count,
+                          const std::string& reason) {
+  std::ostringstream os;
+  os << "{\"type\":\"rejected\",\"id\":" << json_quote(id) << ",\"count\":" << count
+     << ",\"reason\":" << json_quote(reason) << '}';
+  return os.str();
+}
+
+std::string make_result(const std::string& id, std::size_t index,
+                        const batch::JobResult& r) {
+  std::ostringstream os;
+  os << "{\"type\":\"result\",\"id\":" << json_quote(id) << ",\"index\":" << index
+     << ",\"result\":" << r.to_json() << '}';
+  return os.str();
+}
+
+std::string make_done(const std::string& id, std::size_t streamed) {
+  std::ostringstream os;
+  os << "{\"type\":\"done\",\"id\":" << json_quote(id) << ",\"results\":" << streamed
+     << '}';
+  return os.str();
+}
+
+std::string make_error(const std::string& id, const std::string& message) {
+  std::ostringstream os;
+  os << "{\"type\":\"error\",\"id\":" << json_quote(id)
+     << ",\"message\":" << json_quote(message) << '}';
+  return os.str();
+}
+
+std::string make_pong() { return "{\"type\":\"pong\"}"; }
+
+}  // namespace emwd::serve

@@ -1,0 +1,93 @@
+// serve wire protocol — requests, response builders and the sweep-spec
+// mini-grammar.
+//
+// Transport framing lives in util/socket.hpp (4-byte big-endian length +
+// payload); every payload here is one JSON object.  Requests carry an `op`
+// plus op-specific members; the server answers each request with exactly
+// one `ack`/`error`/`status`/`pong` frame and, for job-bearing ops, streams
+// `result` frames (one per job, completion order) followed by one `done`
+// frame.  See src/serve/README.md for the full contract.
+//
+// The sweep-spec string is the human-facing way to describe a sweep on one
+// line (emwd-client --sweep, the `spec` member of the sweep op):
+//
+//   scene=layered;grid=16x16x32;lambda=18,24,30;steps=60;
+//       engine=mwd(dw=8,bz=2,tc=2);threads=2
+//
+// Semicolon-separated key=value pairs; list values split on top-level
+// commas (commas inside parentheses belong to engine specs).  Keys:
+// scene, grid (NXxNYxNZ list), lambda (list), engine (list), steps, tol,
+// max_steps, check_every, threads, cfl, pml (thickness), xb
+// (dirichlet|periodic), priority.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "batch/job.hpp"
+#include "batch/sweep.hpp"
+#include "serve/tables.hpp"
+#include "util/json.hpp"
+
+namespace emwd::serve {
+
+/// Frame payloads above this are a protocol violation (recv_frame throws
+/// before allocating).
+constexpr std::uint32_t kMaxFrame = 1u << 20;
+
+enum class Op { Ping, Submit, Sweep, Cancel, Status, Reload, Shutdown };
+
+struct Request {
+  Op op = Op::Ping;
+  /// Client-chosen correlation id, echoed on every response frame for this
+  /// request; defaults to the server-assigned request serial when empty.
+  std::string id;
+  util::JsonValue doc;  // the full request object (op-specific members)
+};
+
+/// Parse one request payload; throws std::invalid_argument on malformed
+/// JSON, a missing/unknown op, or an ill-typed id.
+Request parse_request(const std::string& payload);
+
+/// A parsed sweep-spec string: the axes plus the shared job template.
+struct SweepSpec {
+  std::string scene = "vacuum";
+  std::vector<double> wavelengths;
+  std::vector<grid::Extents> grids;
+  std::vector<std::string> engine_specs;
+  thiim::SimulationConfig base;  // grid/cfl/pml/boundary/threads defaults
+  int steps = 100;
+  double converge_tol = 0.0;
+  int max_steps = 0;
+  int check_every = 10;
+  int priority = 0;
+};
+
+/// Parse the mini-grammar above; throws std::invalid_argument naming the
+/// offending key.  Never crashes on byte soup.
+SweepSpec parse_sweep_spec(const std::string& text);
+
+/// Split on top-level commas only (parenthesis depth 0), so engine specs
+/// like "mwd(dw=8,bz=2)" survive list position.  Empty items are rejected.
+std::vector<std::string> split_list(const std::string& text);
+
+/// Lower a SweepSpec onto the batch sweep config it means, binding the
+/// scene's setup.  The daemon expands this via batch::expand_sweep_jobs and
+/// the client's --inprocess path feeds it to batch::run_sweep unchanged —
+/// one code path, which is what the bit-exactness CI gate leans on.
+batch::SweepConfig to_sweep_config(const SweepSpec& spec, const Scene& scene);
+
+// ----------------------------------------------------------- responses
+// Builders keep the wire format in one translation unit; all return a
+// complete single-object payload.
+std::string make_ack(const std::string& id, std::size_t jobs);
+std::string make_rejected(const std::string& id, std::size_t count,
+                          const std::string& reason);
+std::string make_result(const std::string& id, std::size_t index,
+                        const batch::JobResult& r);
+std::string make_done(const std::string& id, std::size_t streamed);
+std::string make_error(const std::string& id, const std::string& message);
+std::string make_pong();
+
+}  // namespace emwd::serve

@@ -1,0 +1,235 @@
+#include "serve/tables.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "em/geometry.hpp"
+
+namespace emwd::serve {
+
+namespace {
+
+using util::JsonValue;
+
+em::SourceField source_field_by_name(const std::string& name) {
+  if (name == "Ex") return em::SourceField::Ex;
+  if (name == "Ey") return em::SourceField::Ey;
+  if (name == "Hx") return em::SourceField::Hx;
+  if (name == "Hy") return em::SourceField::Hy;
+  throw std::invalid_argument("Scene::from_json: unknown source field \"" + name +
+                              "\" (expected Ex|Ey|Hx|Hy)");
+}
+
+int clamp_plane(double frac, int nz) {
+  const int k = static_cast<int>(std::lround(frac * nz));
+  return std::clamp(k, 0, nz);
+}
+
+double unit_fraction(const JsonValue& v, const char* what) {
+  const double f = v.as_number();
+  if (!(f >= 0.0 && f <= 1.0)) {
+    throw std::invalid_argument(std::string("Scene::from_json: ") + what +
+                                " must be in [0, 1]");
+  }
+  return f;
+}
+
+}  // namespace
+
+em::Material material_by_name(const std::string& name) {
+  if (name == "vacuum") return em::vacuum();
+  if (name == "glass") return em::glass();
+  if (name == "tco") return em::tco();
+  if (name == "a_si") return em::amorphous_silicon();
+  if (name == "uc_si") return em::microcrystalline_silicon();
+  if (name == "silver") return em::silver();
+  throw std::invalid_argument("serve: unknown material \"" + name +
+                              "\" (expected vacuum|glass|tco|a_si|uc_si|silver)");
+}
+
+void Scene::apply(thiim::Simulation& sim) const {
+  em::MaterialGrid& mats = sim.materials();
+  const int nz = mats.layout().nz();
+  // One palette id per distinct material name, in first-use order, so the
+  // absorption-by-material vector has a stable, scene-determined shape.
+  std::map<std::string, std::uint8_t> ids;
+  em::GeometryBuilder builder(mats);
+  for (const SceneLayer& layer : layers) {
+    auto it = ids.find(layer.material);
+    if (it == ids.end()) {
+      it = ids.emplace(layer.material, mats.add(material_by_name(layer.material)))
+               .first;
+    }
+    const int k_lo = clamp_plane(layer.z_lo, nz);
+    const int k_hi = clamp_plane(layer.z_hi, nz);
+    if (layer.rough_amp > 0.0) {
+      builder.textured_layer(it->second, k_lo, k_hi,
+                             em::GeometryBuilder::rough_texture(
+                                 layer.rough_amp, layer.rough_corr, layer.rough_seed));
+    } else {
+      builder.layer(it->second, k_lo, k_hi);
+    }
+  }
+  sim.finalize();
+  if (source) {
+    const int k0 = std::min(clamp_plane(source->z, nz), nz - 1);
+    sim.add_plane_wave(source->field, k0, source->amplitude);
+  }
+}
+
+std::function<void(thiim::Simulation&, const batch::Job&)> Scene::setup() const {
+  return [scene = *this](thiim::Simulation& sim, const batch::Job&) {
+    scene.apply(sim);
+  };
+}
+
+Scene Scene::from_json(const JsonValue& doc) {
+  if (!doc.is_object()) {
+    throw std::invalid_argument("Scene::from_json: expected an object");
+  }
+  Scene scene;
+  scene.name = doc.get_string("name", "");
+  if (scene.name.empty()) {
+    throw std::invalid_argument("Scene::from_json: \"name\" is required");
+  }
+  if (const JsonValue* layers = doc.find("layers")) {
+    for (const JsonValue& l : layers->as_array()) {
+      if (!l.is_object()) {
+        throw std::invalid_argument("Scene::from_json: layers must be objects");
+      }
+      SceneLayer layer;
+      layer.material = l.get_string("material", "");
+      material_by_name(layer.material);  // validate at parse time
+      const JsonValue* z = l.find("z");
+      if (!z || z->as_array().size() != 2) {
+        throw std::invalid_argument("Scene::from_json: layer \"z\" must be [lo, hi]");
+      }
+      layer.z_lo = unit_fraction(z->as_array()[0], "layer z");
+      layer.z_hi = unit_fraction(z->as_array()[1], "layer z");
+      if (layer.z_hi < layer.z_lo) {
+        throw std::invalid_argument("Scene::from_json: layer z hi < lo");
+      }
+      if (const JsonValue* rough = l.find("rough")) {
+        layer.rough_amp = rough->get_double("amp", 0.0);
+        layer.rough_corr = rough->get_double("corr", layer.rough_corr);
+        const long seed = rough->get_int("seed", 0);
+        if (layer.rough_amp < 0.0 || layer.rough_corr <= 0.0 || seed < 0) {
+          throw std::invalid_argument("Scene::from_json: bad rough texture");
+        }
+        layer.rough_seed = static_cast<std::uint64_t>(seed);
+      }
+      scene.layers.push_back(std::move(layer));
+    }
+  }
+  const JsonValue* src = doc.find("source");
+  if (src && !src->is_null()) {
+    SceneSource source;
+    source.field = source_field_by_name(src->get_string("field", "Ex"));
+    source.z = unit_fraction(JsonValue(src->get_double("z", source.z)), "source z");
+    if (const JsonValue* amp = src->find("amplitude")) {
+      const JsonValue::Array& a = amp->as_array();
+      if (a.size() != 2) {
+        throw std::invalid_argument(
+            "Scene::from_json: \"amplitude\" must be [re, im]");
+      }
+      source.amplitude = {a[0].as_number(), a[1].as_number()};
+    }
+    scene.source = source;
+  } else if (!src) {
+    scene.source = SceneSource{};  // default plane wave unless explicitly null
+  }
+  return scene;
+}
+
+const Scene* Tables::find(const std::string& name) const {
+  auto it = scenes.find(name);
+  return it == scenes.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Tables::names() const {
+  std::vector<std::string> out;
+  out.reserve(scenes.size());
+  for (const auto& [name, scene] : scenes) out.push_back(name);
+  return out;
+}
+
+Tables builtin_tables() {
+  Tables t;
+  t.version = 1;
+
+  Scene vacuum;
+  vacuum.name = "vacuum";
+  vacuum.source = SceneSource{};
+  t.scenes.emplace(vacuum.name, std::move(vacuum));
+
+  // Flat single-junction stack, bottom-up: glass superstrate, TCO front
+  // contact, a-Si:H absorber, silver back reflector; plane wave injected in
+  // the vacuum above the stack.
+  Scene layered;
+  layered.name = "layered";
+  layered.layers = {
+      {"glass", 0.00, 0.20, 0.0, 2.0, 0},
+      {"tco", 0.20, 0.30, 0.0, 2.0, 0},
+      {"a_si", 0.30, 0.55, 0.0, 2.0, 0},
+      {"silver", 0.55, 0.65, 0.0, 2.0, 0},
+  };
+  layered.source = SceneSource{em::SourceField::Ex, 0.85, {1.0, 0.0}};
+  t.scenes.emplace(layered.name, std::move(layered));
+
+  // Micromorph tandem with rough etched interfaces (the paper's production
+  // geometry class): texture amplitudes are in cells, seeds fixed so the
+  // scene is deterministic.
+  Scene tandem;
+  tandem.name = "tandem";
+  tandem.layers = {
+      {"glass", 0.00, 0.15, 0.0, 2.0, 0},
+      {"tco", 0.15, 0.25, 1.0, 3.0, 11},
+      {"uc_si", 0.25, 0.45, 1.5, 3.0, 23},
+      {"a_si", 0.45, 0.60, 1.5, 4.0, 37},
+      {"silver", 0.60, 0.70, 0.0, 2.0, 0},
+  };
+  tandem.source = SceneSource{em::SourceField::Ex, 0.88, {1.0, 0.0}};
+  t.scenes.emplace(tandem.name, std::move(tandem));
+
+  return t;
+}
+
+TableStore::TableStore()
+    : tables_(std::make_shared<const Tables>(builtin_tables())) {}
+
+std::shared_ptr<const Tables> TableStore::snapshot() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return tables_;
+}
+
+std::vector<std::string> TableStore::reload(const util::JsonValue& doc) {
+  if (!doc.is_object()) {
+    throw std::invalid_argument("TableStore::reload: expected an object");
+  }
+  // Build the whole generation before taking the exclusive lock; a parse
+  // error leaves the current tables untouched.
+  Tables next = builtin_tables();
+  if (const JsonValue* scenes = doc.find("scenes")) {
+    for (const JsonValue& s : scenes->as_array()) {
+      Scene scene = Scene::from_json(s);
+      next.scenes.insert_or_assign(scene.name, std::move(scene));
+    }
+  }
+  std::vector<std::string> names = next.names();
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    next.version = tables_->version + 1;
+    tables_ = std::make_shared<const Tables>(std::move(next));
+  }
+  return names;
+}
+
+std::uint64_t TableStore::version() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return tables_->version;
+}
+
+}  // namespace emwd::serve

@@ -1,0 +1,120 @@
+// serve::TableStore — named material/geometry tables behind a hot-reload
+// seam.
+//
+// A batch::Job travels the wire as data, but its `setup` member is code: a
+// remote submitter cannot ship a geometry-painting callback.  Instead the
+// daemon keeps a table of named Scenes — declarative layer stacks plus a
+// plane-wave source, resolution-independent (layer bounds are fractions of
+// nz so one scene serves every grid in a sweep) — and a client names the
+// scene its jobs should run in.
+//
+// Reload contract: TableStore hands out immutable snapshots
+// (shared_ptr<const Tables>) under a shared lock; Reload builds the new
+// tables entirely offline and swaps the pointer under the exclusive lock —
+// a pointer assignment, never a parse or an allocation.  Jobs capture the
+// Scene (by value) at admission, so a reload never stalls serving and never
+// changes a job that was already admitted; serve_test runs Reload in a
+// tight loop against an active sweep under TSan to hold the contract.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "batch/job.hpp"
+#include "em/source.hpp"
+#include "thiim/simulation.hpp"
+#include "util/json.hpp"
+
+namespace emwd::serve {
+
+/// One horizontal slab of a scene, bottom (k = 0) upwards.  Bounds are
+/// fractions of the grid's nz in [0, 1]; `rough_amp > 0` textures the upper
+/// surface with GeometryBuilder::rough_texture (deterministic hash noise,
+/// so the same scene on the same grid always paints the same cells).
+struct SceneLayer {
+  std::string material;  // vacuum|glass|tco|a_si|uc_si|silver
+  double z_lo = 0.0;
+  double z_hi = 0.0;
+  double rough_amp = 0.0;    // cells; 0 = flat interface
+  double rough_corr = 2.0;   // correlation length in cells
+  std::uint64_t rough_seed = 0;
+};
+
+/// Plane-wave source at fractional height `z` (of nz, clamped to the grid).
+struct SceneSource {
+  em::SourceField field = em::SourceField::Ex;
+  double z = 0.875;
+  std::complex<double> amplitude{1.0, 0.0};
+};
+
+/// A named, declarative simulation scene.  Small and copyable by design:
+/// admitted jobs hold their own copy, which is what decouples them from
+/// later reloads.
+struct Scene {
+  std::string name;
+  std::vector<SceneLayer> layers;
+  std::optional<SceneSource> source;
+
+  /// Paint the layers, finalize, add the source.  Deterministic per
+  /// (scene, grid): in-process and daemon-side runs of the same scene are
+  /// bit-exact.
+  void apply(thiim::Simulation& sim) const;
+
+  /// Job::setup adapter capturing a copy of this scene.
+  std::function<void(thiim::Simulation&, const batch::Job&)> setup() const;
+
+  /// Parse a scene object: {"name":..., "layers":[{"material":...,
+  /// "z":[lo,hi], "rough":{"amp":...,"corr":...,"seed":...}}, ...],
+  /// "source":{"field":"Ex","z":0.9,"amplitude":[re,im]} | null}.
+  /// Throws std::invalid_argument on malformed input.
+  static Scene from_json(const util::JsonValue& doc);
+};
+
+/// Material preset by scene name; throws std::invalid_argument on unknown
+/// names (listing the known ones).
+em::Material material_by_name(const std::string& name);
+
+/// An immutable generation of the scene tables.
+struct Tables {
+  std::uint64_t version = 0;
+  std::map<std::string, Scene> scenes;
+
+  const Scene* find(const std::string& name) const;
+  std::vector<std::string> names() const;
+};
+
+/// The builtin scenes every daemon starts with: "vacuum" (empty box, plane
+/// wave), "layered" (flat glass/TCO/a-Si/silver solar stack) and "tandem"
+/// (a-Si + uc-Si tandem with rough etched interfaces, the paper's Fig. 1
+/// class of setup).
+Tables builtin_tables();
+
+/// Thread-safe holder of the current Tables generation.
+class TableStore {
+ public:
+  TableStore();  // starts at builtin_tables(), version 1
+
+  /// The current generation; O(1) under a shared lock.
+  std::shared_ptr<const Tables> snapshot() const;
+
+  /// Replace the user scenes: parses {"scenes":[...]} offline, layers the
+  /// result over the builtins (same-name scenes override), then swaps the
+  /// snapshot pointer under the exclusive lock.  Returns the new
+  /// generation's scene names.  Throws std::invalid_argument without
+  /// touching the current tables on malformed input.
+  std::vector<std::string> reload(const util::JsonValue& doc);
+
+  std::uint64_t version() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::shared_ptr<const Tables> tables_;
+};
+
+}  // namespace emwd::serve

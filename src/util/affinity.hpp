@@ -25,4 +25,37 @@ struct ThreadAffinity {
 ThreadAffinity get_thread_affinity();
 void restore_thread_affinity(const ThreadAffinity& saved);
 
+/// RAII affinity scope: saves the calling thread's mask on construction and
+/// restores it on destruction — including exceptional exits, so a throwing
+/// job can never leak a pinned cpuset into a pooled executor thread (the
+/// batch scheduler wraps every job run in one, and the sharded engine's
+/// per-shard NUMA binding is built on it).
+class ScopedAffinity {
+ public:
+  /// Save the current mask; restore it when the scope ends.
+  ScopedAffinity() : saved_(get_thread_affinity()) {}
+
+  /// Save the current mask, then pin to `cpus` (best effort; pinned()
+  /// reports whether it took).  The saved mask is restored either way, so
+  /// any pinning done inside the scope — by this ctor or by code running
+  /// under it — is undone on exit.
+  explicit ScopedAffinity(const std::vector<int>& cpus)
+      : saved_(get_thread_affinity()), pinned_(pin_current_thread(cpus)) {}
+
+  ~ScopedAffinity() { restore_thread_affinity(saved_); }
+
+  ScopedAffinity(const ScopedAffinity&) = delete;
+  ScopedAffinity& operator=(const ScopedAffinity&) = delete;
+
+  bool pinned() const { return pinned_; }
+
+  /// Keep whatever mask is current: skip the restore (for intentional
+  /// thread-lifetime pins like the scheduler's executor slot pin).
+  void release() { saved_.valid = false; }
+
+ private:
+  ThreadAffinity saved_;
+  bool pinned_ = false;
+};
+
 }  // namespace emwd::util

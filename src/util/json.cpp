@@ -1,0 +1,365 @@
+#include "util/json.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace emwd::util {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t pos, const std::string& what) {
+  throw std::invalid_argument("json: " + what + " at offset " + std::to_string(pos));
+}
+
+/// Byte-offset parser over the whole document.  Depth-bounded so arbitrarily
+/// nested byte soup ("[[[[[...") throws instead of overflowing the stack.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  JsonValue run() {
+    JsonValue v = value(0);
+    skip_ws();
+    if (pos_ != s_.size()) fail(pos_, "trailing characters");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail(pos_, "unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= s_.size() || s_[pos_] != c) {
+      fail(pos_, std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool literal(const char* word) {
+    std::size_t n = 0;
+    while (word[n]) ++n;
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue value(int depth) {
+    if (depth > kMaxDepth) fail(pos_, "nesting too deep");
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return object(depth);
+      case '[': return array(depth);
+      case '"': return JsonValue(string());
+      case 't':
+        if (literal("true")) return JsonValue(true);
+        fail(pos_, "invalid literal");
+      case 'f':
+        if (literal("false")) return JsonValue(false);
+        fail(pos_, "invalid literal");
+      case 'n':
+        if (literal("null")) return JsonValue();
+        fail(pos_, "invalid literal");
+      default: return number();
+    }
+  }
+
+  JsonValue object(int depth) {
+    expect('{');
+    JsonValue::Object members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(members));
+    }
+    for (;;) {
+      skip_ws();
+      if (peek() != '"') fail(pos_, "expected member name");
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      members.emplace_back(std::move(key), value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return JsonValue(std::move(members));
+      }
+      fail(pos_, "expected ',' or '}'");
+    }
+  }
+
+  JsonValue array(int depth) {
+    expect('[');
+    JsonValue::Array items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(items));
+    }
+    for (;;) {
+      items.push_back(value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return JsonValue(std::move(items));
+      }
+      fail(pos_, "expected ',' or ']'");
+    }
+  }
+
+  unsigned hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= s_.size()) fail(pos_, "truncated \\u escape");
+      const char c = s_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+      else fail(pos_ - 1, "invalid \\u escape");
+    }
+    return v;
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) fail(pos_, "unterminated string");
+      const unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c < 0x20) fail(pos_, "unescaped control character");
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (pos_ >= s_.size()) fail(pos_, "truncated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // Surrogate pair: the low half must follow immediately.
+            if (pos_ + 1 >= s_.size() || s_[pos_] != '\\' || s_[pos_ + 1] != 'u') {
+              fail(pos_, "unpaired surrogate");
+            }
+            pos_ += 2;
+            const unsigned lo = hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail(pos_, "invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail(pos_, "unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail(pos_ - 1, "invalid escape");
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    if (pos_ >= s_.size() || s_[pos_] < '0' || s_[pos_] > '9') {
+      fail(start, "invalid value");
+    }
+    if (s_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') ++pos_;
+    }
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= s_.size() || s_[pos_] < '0' || s_[pos_] > '9') {
+        fail(pos_, "invalid fraction");
+      }
+      while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (pos_ >= s_.size() || s_[pos_] < '0' || s_[pos_] > '9') {
+        fail(pos_, "invalid exponent");
+      }
+      while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') ++pos_;
+    }
+    const std::string token = s_.substr(start, pos_ - start);
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail(start, "invalid number");
+    // Over/underflow clamps to +-inf / 0, which strtod reports via errno;
+    // accept it (RFC 8259 leaves range behavior to implementations).
+    return JsonValue(v);
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+[[noreturn]] void type_fail(const char* want, JsonValue::Type got) {
+  static const char* names[] = {"null", "bool", "number", "string", "array", "object"};
+  throw std::invalid_argument(std::string("json: expected ") + want + ", got " +
+                              names[static_cast<int>(got)]);
+}
+
+}  // namespace
+
+JsonValue JsonValue::parse(const std::string& text) { return Parser(text).run(); }
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::Bool) type_fail("bool", type_);
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (type_ != Type::Number) type_fail("number", type_);
+  return num_;
+}
+
+long JsonValue::as_int() const {
+  const double d = as_number();
+  const long v = static_cast<long>(d);
+  if (static_cast<double>(v) != d) {
+    throw std::invalid_argument("json: expected integer, got " + std::to_string(d));
+  }
+  return v;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::String) type_fail("string", type_);
+  return str_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  if (type_ != Type::Array) type_fail("array", type_);
+  return arr_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  if (type_ != Type::Object) type_fail("object", type_);
+  return obj_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type_ != Type::Object) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+template <typename T, typename Fn>
+T member_or(const JsonValue& v, const std::string& key, T fallback, Fn get) {
+  const JsonValue* m = v.find(key);
+  if (!m || m->is_null()) return fallback;
+  try {
+    return get(*m);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("json: member \"" + key + "\": " + e.what());
+  }
+}
+}  // namespace
+
+bool JsonValue::get_bool(const std::string& key, bool fallback) const {
+  return member_or(*this, key, fallback, [](const JsonValue& m) { return m.as_bool(); });
+}
+
+double JsonValue::get_double(const std::string& key, double fallback) const {
+  return member_or(*this, key, fallback,
+                   [](const JsonValue& m) { return m.as_number(); });
+}
+
+long JsonValue::get_int(const std::string& key, long fallback) const {
+  return member_or(*this, key, fallback, [](const JsonValue& m) { return m.as_int(); });
+}
+
+std::string JsonValue::get_string(const std::string& key,
+                                  const std::string& fallback) const {
+  return member_or(*this, key, fallback,
+                   [](const JsonValue& m) { return m.as_string(); });
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_quote(const std::string& s) { return '"' + json_escape(s) + '"'; }
+
+}  // namespace emwd::util

@@ -1,0 +1,83 @@
+// Minimal JSON value type + strict recursive-descent parser.
+//
+// The serve subsystem's wire protocol and batch::Job::from_json need to
+// read JSON produced by arbitrary clients; this parser accepts exactly
+// RFC-8259 JSON (objects, arrays, strings with escapes, numbers, literals),
+// throws std::invalid_argument with the offending byte offset on anything
+// else and never crashes on byte soup (depth-bounded, fuzz-tested).  Object
+// member order is preserved so serializers that re-emit a document are
+// deterministic.  Numbers are stored as double; emitters in this codebase
+// print with 17 significant digits, which strtod round-trips bit-exactly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace emwd::util {
+
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  using Array = std::vector<JsonValue>;
+  /// Members in document order (objects here are small; lookup is linear).
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;  // null
+  JsonValue(bool b) : type_(Type::Bool), bool_(b) {}
+  JsonValue(double d) : type_(Type::Number), num_(d) {}
+  JsonValue(std::string s) : type_(Type::String), str_(std::move(s)) {}
+  JsonValue(Array a) : type_(Type::Array), arr_(std::move(a)) {}
+  JsonValue(Object o) : type_(Type::Object), obj_(std::move(o)) {}
+
+  /// Parse a complete document (one value, trailing whitespace only).
+  /// Throws std::invalid_argument on malformed input; never crashes.
+  static JsonValue parse(const std::string& text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  /// Typed access; throws std::invalid_argument on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  /// Number that must be integral and fit a long (protocol knobs are
+  /// int-sized; 1e300 steps must not silently truncate).
+  long as_int() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  // ------------------------------------------------- object conveniences
+  /// Member lookup; nullptr when absent or when this is not an object.
+  const JsonValue* find(const std::string& key) const;
+  /// Typed member getters: fallback when the key is absent, throws
+  /// std::invalid_argument (naming the key) when present with a wrong type.
+  bool get_bool(const std::string& key, bool fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  long get_int(const std::string& key, long fallback) const;
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Escape a string for embedding in a JSON document (no surrounding quotes).
+std::string json_escape(const std::string& s);
+
+/// `"key":"escaped"` convenience used by the hand-rolled emitters.
+std::string json_quote(const std::string& s);
+
+}  // namespace emwd::util

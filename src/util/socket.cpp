@@ -1,0 +1,140 @@
+#include "util/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+#if defined(_WIN32)
+#error "util/socket: POSIX-only (the serve subsystem targets Linux)"
+#endif
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace emwd::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+/// write() the whole buffer; false on peer-gone, throws on other errors.
+bool write_all(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    // MSG_NOSIGNAL: a vanished client must surface as EPIPE, not SIGPIPE.
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET || errno == ENOTCONN) return false;
+      throw_errno("send");
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// read() exactly n bytes.  0 = EOF hit (either before any byte or midway),
+/// 1 = complete, throws on real errors.
+bool read_all(int fd, char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t r = ::recv(fd, data + off, n - off, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET || errno == ENOTCONN) return false;
+      throw_errno("recv");
+    }
+    if (r == 0) return false;  // peer closed
+    off += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+void UniqueFd::shutdown_both() const {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+UniqueFd listen_unix(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw std::invalid_argument("listen_unix: path empty or too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket");
+  ::unlink(path.c_str());  // stale socket file from a previous run
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("bind " + path);
+  }
+  if (::listen(fd.get(), backlog) != 0) throw_errno("listen " + path);
+  return fd;
+}
+
+UniqueFd connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw std::invalid_argument("connect_unix: path empty or too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket");
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("connect " + path);
+  }
+  return fd;
+}
+
+UniqueFd accept_connection(const UniqueFd& listener) {
+  for (;;) {
+    const int fd = ::accept(listener.get(), nullptr, nullptr);
+    if (fd >= 0) return UniqueFd(fd);
+    if (errno == EINTR) continue;
+    // The stop path shuts the listener down; accept then fails with EINVAL
+    // (Linux) or ECONNABORTED.  Report "no more connections", not an error.
+    if (errno == EINVAL || errno == ECONNABORTED || errno == EBADF) return UniqueFd();
+    throw_errno("accept");
+  }
+}
+
+bool send_frame(int fd, const std::string& payload) {
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  char header[4] = {static_cast<char>((n >> 24) & 0xFF),
+                    static_cast<char>((n >> 16) & 0xFF),
+                    static_cast<char>((n >> 8) & 0xFF), static_cast<char>(n & 0xFF)};
+  if (!write_all(fd, header, sizeof(header))) return false;
+  return write_all(fd, payload.data(), payload.size());
+}
+
+std::optional<std::string> recv_frame(int fd, std::uint32_t max_payload) {
+  char header[4];
+  if (!read_all(fd, header, sizeof(header))) return std::nullopt;
+  const std::uint32_t n = (static_cast<std::uint32_t>(static_cast<unsigned char>(header[0])) << 24) |
+                          (static_cast<std::uint32_t>(static_cast<unsigned char>(header[1])) << 16) |
+                          (static_cast<std::uint32_t>(static_cast<unsigned char>(header[2])) << 8) |
+                          static_cast<std::uint32_t>(static_cast<unsigned char>(header[3]));
+  if (n > max_payload) {
+    throw std::invalid_argument("recv_frame: announced payload of " +
+                                std::to_string(n) + " bytes exceeds limit of " +
+                                std::to_string(max_payload));
+  }
+  std::string payload(n, '\0');
+  if (n > 0 && !read_all(fd, payload.data(), n)) return std::nullopt;
+  return payload;
+}
+
+}  // namespace emwd::util

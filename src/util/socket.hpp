@@ -1,0 +1,70 @@
+// Unix-domain sockets + length-prefixed framing (Linux/POSIX; the serve
+// subsystem's transport).
+//
+// Frames are a 4-byte big-endian payload length followed by that many bytes
+// — the same framing on both directions of the emwdd protocol.  All reads
+// and writes loop over partial transfers and retry EINTR; errors throw
+// std::system_error except where the contract says "connection closed",
+// which is an expected event (a client hanging up) and reported as a value.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace emwd::util {
+
+/// RAII file descriptor: closes on destruction, move-only.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset(int fd = -1);
+
+  /// shutdown(SHUT_RDWR): unblocks a thread sitting in recv/accept on this
+  /// fd without racing the close (the fd number stays reserved).
+  void shutdown_both() const;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bind + listen on a Unix-domain socket at `path` (an existing socket file
+/// is unlinked first).  Throws std::system_error on failure.
+UniqueFd listen_unix(const std::string& path, int backlog = 16);
+
+/// Connect to the Unix-domain socket at `path`.  Throws std::system_error.
+UniqueFd connect_unix(const std::string& path);
+
+/// Accept one connection; returns an invalid fd when the listening socket
+/// was shut down (server stop), throws std::system_error on real errors.
+UniqueFd accept_connection(const UniqueFd& listener);
+
+/// Write one frame (4-byte big-endian length + payload).  Returns false
+/// when the peer has gone away (EPIPE/ECONNRESET/shutdown), throws
+/// std::system_error on other errors.  Thread-safety is the caller's job.
+bool send_frame(int fd, const std::string& payload);
+
+/// Read one frame.  nullopt = orderly close (EOF before a new header) or
+/// peer reset; throws std::invalid_argument when the announced length
+/// exceeds `max_payload` (protocol violation) and std::system_error on real
+/// errors.  EOF in the middle of a frame counts as a reset, not an error.
+std::optional<std::string> recv_frame(int fd, std::uint32_t max_payload);
+
+}  // namespace emwd::util

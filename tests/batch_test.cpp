@@ -541,4 +541,119 @@ TEST(JobResult, RowMatchesHeaderAndJsonCarriesObservables) {
   EXPECT_EQ(t.cols(), batch::JobResult::row_header().size());
 }
 
+// ------------------------------------------------------------ idle eviction
+
+TEST(EnginePool, IdleBoundEvictsLeastRecentlyReleasedEngine) {
+  batch::EnginePool pool;
+  pool.set_max_idle(2, 0);
+  exec::BuildContext ctx;
+  ctx.grid = {8, 8, 8};
+  ctx.threads = 1;
+  const exec::EngineSpec spec = exec::parse_engine_spec("naive");
+  exec::BuildContext other = ctx;
+  other.grid = {6, 6, 6};
+
+  auto a = pool.acquire_engine(spec, ctx);
+  auto b = pool.acquire_engine(spec, ctx);
+  auto c = pool.acquire_engine(spec, other);
+  pool.release_engine(std::move(a));  // oldest idle
+  pool.release_engine(std::move(b));
+  pool.release_engine(std::move(c));  // bound 2: evicts `a`, the global LRU
+
+  batch::EnginePool::Stats st = pool.stats();
+  EXPECT_EQ(st.engine_evictions, 1);
+  EXPECT_EQ(st.idle_engines, 2);
+
+  // The survivors are b (warmest of the 8x8x8 key) and c (6x6x6): the same
+  // key hits once then builds, the other key still hits.
+  auto r1 = pool.acquire_engine(spec, ctx);
+  EXPECT_TRUE(r1.reused);
+  auto r2 = pool.acquire_engine(spec, ctx);
+  EXPECT_FALSE(r2.reused);
+  auto r3 = pool.acquire_engine(spec, other);
+  EXPECT_TRUE(r3.reused);
+
+  pool.release_engine(std::move(r1));
+  pool.release_engine(std::move(r2));
+  pool.release_engine(std::move(r3));
+  EXPECT_EQ(pool.stats().engine_evictions, 2);
+  EXPECT_EQ(pool.stats().idle_engines, 2);
+
+  // Lowering the bound evicts immediately; raising it never does.
+  pool.set_max_idle(1, 0);
+  st = pool.stats();
+  EXPECT_EQ(st.idle_engines, 1);
+  EXPECT_EQ(st.engine_evictions, 3);
+  pool.set_max_idle(0, 0);  // back to unbounded
+  EXPECT_EQ(pool.stats().engine_evictions, 3);
+}
+
+TEST(EnginePool, IdleBoundEvictsFieldSetsIndependently) {
+  batch::EnginePool pool;
+  pool.set_max_idle(0, 1);
+  auto f1 = pool.acquire_fields({8, 8, 8});
+  auto f2 = pool.acquire_fields({8, 8, 10});
+  pool.release_fields(std::move(f1));
+  pool.release_fields(std::move(f2));  // evicts the older 8x8x8 set
+  const batch::EnginePool::Stats st = pool.stats();
+  EXPECT_EQ(st.fields_evictions, 1);
+  EXPECT_EQ(st.idle_fields, 1);
+  EXPECT_FALSE(pool.acquire_fields({8, 8, 8}).reused);
+  EXPECT_TRUE(pool.acquire_fields({8, 8, 10}).reused);
+}
+
+// ----------------------------------------------------------- stats snapshot
+
+TEST(Scheduler, StatsSnapshotHoldsTheAccountingIdentity) {
+  std::promise<void> gate_entered;
+  std::promise<void> release_gate;
+  auto release_future = release_gate.get_future().share();
+
+  batch::SchedulerConfig sc;
+  sc.concurrency = 1;
+  sc.pin_slots = false;
+  batch::Scheduler scheduler(sc);
+
+  batch::Job gate;
+  gate.config = scene_config(14.0, "naive");
+  gate.steps = 1;
+  gate.setup = [&](thiim::Simulation& sim, const batch::Job& job) {
+    gate_entered.set_value();
+    release_future.wait();  // hold the only executor
+    paint_scene(sim, job);
+  };
+  scheduler.submit(std::move(gate));
+  gate_entered.get_future().wait();
+
+  for (const auto& [lambda, prio] :
+       std::vector<std::pair<double, int>>{{12.0, 0}, {13.0, 2}, {14.0, 2}}) {
+    batch::Job job;
+    job.priority = prio;
+    job.config = scene_config(lambda, "naive");
+    job.steps = 1;
+    job.setup = paint_scene;
+    scheduler.submit(std::move(job));
+  }
+
+  // The gate is claimed (running), the rest sit in the queue by priority.
+  batch::BatchStats st = scheduler.stats();
+  EXPECT_EQ(st.submitted, 4u);
+  EXPECT_EQ(st.running, 1u);
+  EXPECT_EQ(st.queued, 3u);
+  EXPECT_EQ(st.queue_depth.at(0), 1u);
+  EXPECT_EQ(st.queue_depth.at(2), 2u);
+  EXPECT_EQ(st.completed + st.failed + st.cancelled + st.queued + st.running,
+            st.submitted);
+
+  release_gate.set_value();
+  scheduler.wait_all();
+  st = scheduler.stats();
+  EXPECT_EQ(st.running, 0u);
+  EXPECT_EQ(st.queued, 0u);
+  EXPECT_TRUE(st.queue_depth.empty());
+  EXPECT_EQ(st.completed, 4u);
+  EXPECT_EQ(st.completed + st.failed + st.cancelled + st.queued + st.running,
+            st.submitted);
+}
+
 }  // namespace

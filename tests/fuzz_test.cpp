@@ -6,7 +6,10 @@
 #include <list>
 #include <map>
 #include <set>
+#include <stdexcept>
+#include <string>
 
+#include "batch/job.hpp"
 #include "cachesim/cache.hpp"
 #include "em/coefficients.hpp"
 #include "exec/engine.hpp"
@@ -293,6 +296,133 @@ TEST(Fuzz, PeriodicEquivalenceRandomParams) {
     kernels::reference_step(ref, 3);
     exec::make_mwd_engine(p)->run(fs, 3);
     ASSERT_EQ(grid::FieldSet::max_field_diff(fs, ref), 0.0) << p.describe();
+  }
+}
+
+// --------------------------------------------------------- batch JSON wire
+
+std::string random_name(util::Xoshiro256& rng) {
+  static const char pool[] = "abc\"\\/\t{}[]:,x=0";
+  std::string name;
+  const int len = static_cast<int>(rng.below(12));
+  for (int i = 0; i < len; ++i) name += pool[rng.below(sizeof(pool) - 1)];
+  return name;
+}
+
+batch::Job random_job(util::Xoshiro256& rng) {
+  static const char* const specs[] = {"", "naive", "spatial(by=8)", "auto",
+                                      "mwd(dw=4,bz=2,tc=2)"};
+  batch::Job job;
+  job.name = random_name(rng);
+  job.steps = 1 + static_cast<int>(rng.below(1000));
+  job.converge_tol = rng.below(2) ? 0.0 : rng.uniform(1e-12, 1e-2);
+  job.max_steps = static_cast<int>(rng.below(5000));
+  job.check_every = 1 + static_cast<int>(rng.below(50));
+  job.priority = static_cast<int>(rng.below(9)) - 4;
+  job.config.grid = {1 + static_cast<int>(rng.below(64)),
+                     1 + static_cast<int>(rng.below(64)),
+                     1 + static_cast<int>(rng.below(64))};
+  job.config.wavelength_cells = rng.uniform(4.0, 64.0);
+  job.config.cfl = rng.uniform(0.1, 0.6);
+  job.config.pml.thickness = static_cast<int>(rng.below(6));
+  job.config.pml.grading = rng.uniform(1.0, 4.0);
+  job.config.pml.r0 = rng.uniform(1e-8, 1e-2);
+  job.config.pml.on_x = rng.below(2) != 0;
+  job.config.pml.on_y = rng.below(2) != 0;
+  job.config.pml.on_z = rng.below(2) != 0;
+  job.config.x_boundary =
+      rng.below(2) ? grid::XBoundary::Periodic : grid::XBoundary::Dirichlet;
+  job.config.engine_spec = specs[rng.below(5)];
+  job.config.threads = static_cast<int>(rng.below(16));
+  return job;
+}
+
+TEST(Fuzz, JobJsonRoundTripRandomJobs) {
+  // to_json/from_json are inverses on the wire-transportable fields: the
+  // serialized form is a fixed point (17-significant-digit doubles make the
+  // numeric members bit-exact through the text).
+  util::Xoshiro256 rng(11011);
+  for (int trial = 0; trial < 200; ++trial) {
+    const batch::Job job = random_job(rng);
+    const std::string text = job.to_json();
+    batch::Job reparsed;
+    ASSERT_NO_THROW(reparsed = batch::Job::from_json(text)) << text;
+    ASSERT_EQ(reparsed.to_json(), text);
+  }
+}
+
+batch::JobResult random_result(util::Xoshiro256& rng) {
+  batch::JobResult r;
+  r.index = rng.below(10000);
+  r.name = random_name(rng);
+  switch (rng.below(3)) {
+    case 0: r.ok = true; break;
+    case 1: r.cancelled = true; break;
+    default: r.error = random_name(rng); break;
+  }
+  r.total_energy = rng.uniform(0.0, 1e6);
+  r.electric_energy = rng.uniform(0.0, 1e6);
+  const int n_abs = static_cast<int>(rng.below(5));
+  for (int i = 0; i < n_abs; ++i) r.absorption.push_back(rng.uniform(0.0, 1.0));
+  r.converged_change = rng.uniform(0.0, 1.0);
+  r.steps_done = static_cast<int>(rng.below(100000));
+  r.stats.mlups = rng.uniform(0.0, 5000.0);
+  r.stats.seconds = rng.uniform(0.0, 100.0);
+  r.stats.lups = static_cast<long>(rng.below(1ull << 40));
+  r.stats.shards = 1 + static_cast<int>(rng.below(8));
+  r.wall_seconds = rng.uniform(0.0, 100.0);
+  r.slot = static_cast<int>(rng.below(9)) - 1;
+  r.threads = static_cast<int>(rng.below(64));
+  r.engine_spec = "mwd(dw=8,bz=2)";
+  r.engine_name = random_name(rng);
+  r.engine_reused = rng.below(2) != 0;
+  r.plan_cache_hit = rng.below(2) != 0;
+  return r;
+}
+
+TEST(Fuzz, JobResultJsonRoundTripRandomResults) {
+  util::Xoshiro256 rng(12012);
+  for (int trial = 0; trial < 200; ++trial) {
+    const batch::JobResult r = random_result(rng);
+    const std::string text = r.to_json();
+    batch::JobResult reparsed;
+    ASSERT_NO_THROW(reparsed = batch::JobResult::from_json(text)) << text;
+    ASSERT_EQ(reparsed.to_json(), text);
+  }
+}
+
+TEST(Fuzz, JobFromJsonByteSoupThrowsNeverCrashes) {
+  // Anything a client can put in a frame must either parse or throw
+  // std::invalid_argument — never crash, never propagate another type.
+  util::Xoshiro256 rng(13013);
+  const std::string alphabet = "{}[]\",:0123456789.eE+-truefalsngrid ";
+  for (int trial = 0; trial < 1500; ++trial) {
+    std::string text;
+    const int len = static_cast<int>(rng.below(48));
+    for (int i = 0; i < len; ++i) text += alphabet[rng.below(alphabet.size())];
+    try {
+      (void)batch::Job::from_json(text);
+    } catch (const std::invalid_argument&) {
+      // expected for malformed soup
+    }
+    try {
+      (void)batch::JobResult::from_json(text);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+TEST(Fuzz, JobFromJsonTruncatedPrefixesThrowNeverCrash) {
+  util::Xoshiro256 rng(14014);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::string text = random_job(rng).to_json();
+    for (std::size_t len = 0; len < text.size(); ++len) {
+      // Every proper prefix is incomplete JSON: the top-level brace only
+      // closes at the end.
+      EXPECT_THROW((void)batch::Job::from_json(text.substr(0, len)),
+                   std::invalid_argument)
+          << text.substr(0, len);
+    }
   }
 }
 

@@ -1,0 +1,617 @@
+// Tests for the serve subsystem: wire protocol, fair-share admission,
+// scene tables, and the emwdd Server end-to-end over a real Unix socket.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "batch/sweep.hpp"
+#include "thiim/simulation.hpp"
+#include "serve/fair_share.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/tables.hpp"
+#include "util/json.hpp"
+#include "util/socket.hpp"
+
+namespace {
+
+using namespace emwd;
+using util::JsonValue;
+
+std::string test_socket_path(const char* tag) {
+  return "/tmp/emwd_serve_test_" + std::to_string(::getpid()) + "_" + tag + ".sock";
+}
+
+/// Blocking test client over the framed protocol.
+struct Client {
+  util::UniqueFd fd;
+
+  explicit Client(const std::string& path) : fd(util::connect_unix(path)) {}
+
+  void send(const std::string& payload) {
+    ASSERT_TRUE(util::send_frame(fd.get(), payload));
+  }
+  JsonValue recv() {
+    std::optional<std::string> payload = util::recv_frame(fd.get(), serve::kMaxFrame);
+    if (!payload) throw std::runtime_error("server closed the connection");
+    return JsonValue::parse(*payload);
+  }
+
+  /// Run a sweep request to completion; returns results keyed by the outer
+  /// (expansion-order) index, plus rejected/cancelled counts.
+  struct SweepOutcome {
+    std::map<std::size_t, batch::JobResult> results;
+    std::size_t acked_jobs = 0;
+    std::size_t rejected = 0;
+    std::size_t done_results = 0;
+  };
+  SweepOutcome run_sweep(const std::string& spec) {
+    std::ostringstream os;
+    os << "{\"op\":\"sweep\",\"spec\":" << util::json_quote(spec) << '}';
+    send(os.str());
+    return collect();
+  }
+  SweepOutcome collect() {
+    SweepOutcome out;
+    for (;;) {
+      const JsonValue frame = recv();
+      const std::string type = frame.get_string("type", "");
+      if (type == "ack") {
+        out.acked_jobs = static_cast<std::size_t>(frame.get_int("jobs", 0));
+      } else if (type == "rejected") {
+        out.rejected += static_cast<std::size_t>(frame.get_int("count", 0));
+      } else if (type == "result") {
+        const JsonValue* r = frame.find("result");
+        if (r == nullptr) throw std::runtime_error("result frame without result");
+        out.results[static_cast<std::size_t>(frame.get_int("index", 0))] =
+            batch::JobResult::from_json(*r);
+      } else if (type == "done") {
+        out.done_results = static_cast<std::size_t>(frame.get_int("results", 0));
+        return out;
+      } else if (type == "error") {
+        throw std::runtime_error("server error: " + frame.get_string("message", ""));
+      }
+    }
+  }
+};
+
+serve::ServerConfig small_server(const std::string& path) {
+  serve::ServerConfig cfg;
+  cfg.socket_path = path;
+  cfg.scheduler.concurrency = 2;
+  cfg.scheduler.slots = 1;
+  cfg.scheduler.pin_slots = false;
+  return cfg;
+}
+
+constexpr const char* kSweep =
+    "scene=layered;grid=10x10x16;lambda=16,22;steps=30;threads=2;engine=naive;pml=3";
+
+// -------------------------------------------------------------- protocol
+
+TEST(ServeProtocol, ParseRequestOpsAndErrors) {
+  EXPECT_EQ(serve::parse_request("{\"op\":\"ping\"}").op, serve::Op::Ping);
+  EXPECT_EQ(serve::parse_request("{\"op\":\"status\",\"id\":\"x\"}").id, "x");
+  EXPECT_EQ(serve::parse_request("{\"op\":\"shutdown\"}").op, serve::Op::Shutdown);
+  EXPECT_THROW(serve::parse_request("{\"op\":\"nope\"}"), std::invalid_argument);
+  EXPECT_THROW(serve::parse_request("{}"), std::invalid_argument);
+  EXPECT_THROW(serve::parse_request("[1,2]"), std::invalid_argument);
+  EXPECT_THROW(serve::parse_request("not json at all"), std::invalid_argument);
+}
+
+TEST(ServeProtocol, SplitListRespectsParentheses) {
+  const auto items = serve::split_list("naive,mwd(dw=8,bz=2),spatial");
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[1], "mwd(dw=8,bz=2)");
+  EXPECT_THROW(serve::split_list("a,,b"), std::invalid_argument);
+}
+
+TEST(ServeProtocol, ParseSweepSpecFull) {
+  const serve::SweepSpec spec = serve::parse_sweep_spec(
+      "scene=tandem;grid=8x8x12,16x16x24;lambda=14,18;steps=40;tol=1e-6;"
+      "max_steps=500;check_every=5;threads=3;cfl=0.4;pml=4;xb=periodic;priority=2;"
+      "engine=naive");
+  EXPECT_EQ(spec.scene, "tandem");
+  ASSERT_EQ(spec.grids.size(), 2u);
+  EXPECT_EQ(spec.grids[1].nz, 24);
+  ASSERT_EQ(spec.wavelengths.size(), 2u);
+  EXPECT_EQ(spec.steps, 40);
+  EXPECT_DOUBLE_EQ(spec.converge_tol, 1e-6);
+  EXPECT_EQ(spec.max_steps, 500);
+  EXPECT_EQ(spec.check_every, 5);
+  EXPECT_EQ(spec.base.threads, 3);
+  EXPECT_DOUBLE_EQ(spec.base.cfl, 0.4);
+  EXPECT_EQ(spec.base.pml.thickness, 4);
+  EXPECT_EQ(spec.base.x_boundary, grid::XBoundary::Periodic);
+  EXPECT_EQ(spec.priority, 2);
+  ASSERT_EQ(spec.engine_specs.size(), 1u);
+}
+
+TEST(ServeProtocol, ParseSweepSpecRejectsBadInput) {
+  EXPECT_THROW(serve::parse_sweep_spec("grid=16x16"), std::invalid_argument);
+  EXPECT_THROW(serve::parse_sweep_spec("grid=0x4x4"), std::invalid_argument);
+  EXPECT_THROW(serve::parse_sweep_spec("lambda=-3"), std::invalid_argument);
+  EXPECT_THROW(serve::parse_sweep_spec("steps=abc"), std::invalid_argument);
+  EXPECT_THROW(serve::parse_sweep_spec("bogus=1"), std::invalid_argument);
+  EXPECT_THROW(serve::parse_sweep_spec("xb=diagonal"), std::invalid_argument);
+  EXPECT_THROW(serve::parse_sweep_spec("engine=mwd(dw=)"),
+               std::invalid_argument);
+  EXPECT_THROW(serve::parse_sweep_spec("steps"), std::invalid_argument);
+  EXPECT_THROW(serve::parse_sweep_spec("steps=0"), std::invalid_argument);
+}
+
+TEST(ServeProtocol, ResponseBuildersEmitValidJson) {
+  const JsonValue ack = JsonValue::parse(serve::make_ack("r1", 7));
+  EXPECT_EQ(ack.get_string("type", ""), "ack");
+  EXPECT_EQ(ack.get_int("jobs", 0), 7);
+  batch::JobResult r;
+  r.name = "quote\"me";
+  r.ok = true;
+  const JsonValue res = JsonValue::parse(serve::make_result("r1", 3, r));
+  EXPECT_EQ(res.get_int("index", 0), 3);
+  EXPECT_EQ(res.find("result")->get_string("name", ""), "quote\"me");
+  const JsonValue err = JsonValue::parse(serve::make_error("", "bad \\ stuff"));
+  EXPECT_EQ(err.get_string("message", ""), "bad \\ stuff");
+}
+
+// ------------------------------------------------------------ fair share
+
+serve::PendingJob pending(int client, std::size_t index) {
+  serve::PendingJob p;
+  p.client = client;
+  p.index = index;
+  return p;
+}
+
+TEST(FairShare, DeficitRoundRobinInterleavesClients) {
+  serve::FairShareQueue q({.max_pending = 64, .max_per_client = 32, .quantum = 2});
+  for (std::size_t i = 0; i < 6; ++i) {
+    ASSERT_EQ(q.push(pending(1, i)), serve::FairShareQueue::Admit::Ok);
+  }
+  for (std::size_t i = 0; i < 6; ++i) {
+    ASSERT_EQ(q.push(pending(2, i)), serve::FairShareQueue::Admit::Ok);
+  }
+  // Client 1 arrived entirely first, but DRR pops in quantum-sized blocks.
+  std::vector<int> order;
+  for (int i = 0; i < 12; ++i) order.push_back(q.pop()->client);
+  EXPECT_EQ(order, (std::vector<int>{1, 1, 2, 2, 1, 1, 2, 2, 1, 1, 2, 2}));
+}
+
+TEST(FairShare, PerClientIndexOrderIsPreserved) {
+  serve::FairShareQueue q({.max_pending = 64, .max_per_client = 32, .quantum = 1});
+  for (std::size_t i = 0; i < 4; ++i) ASSERT_EQ(q.push(pending(1, i)),
+                                                serve::FairShareQueue::Admit::Ok);
+  for (std::size_t i = 0; i < 4; ++i) ASSERT_EQ(q.push(pending(2, i)),
+                                                serve::FairShareQueue::Admit::Ok);
+  std::map<int, std::size_t> next;
+  for (int i = 0; i < 8; ++i) {
+    const serve::PendingJob p = *q.pop();
+    EXPECT_EQ(p.index, next[p.client]++);
+  }
+}
+
+TEST(FairShare, BoundsRejectExplicitly) {
+  serve::FairShareQueue q({.max_pending = 3, .max_per_client = 2, .quantum = 1});
+  EXPECT_EQ(q.push(pending(1, 0)), serve::FairShareQueue::Admit::Ok);
+  EXPECT_EQ(q.push(pending(1, 1)), serve::FairShareQueue::Admit::Ok);
+  EXPECT_EQ(q.push(pending(1, 2)), serve::FairShareQueue::Admit::ClientFull);
+  EXPECT_EQ(q.push(pending(2, 0)), serve::FairShareQueue::Admit::Ok);
+  EXPECT_EQ(q.push(pending(3, 0)), serve::FairShareQueue::Admit::QueueFull);
+  const auto st = q.stats();
+  EXPECT_EQ(st.admitted, 3u);
+  EXPECT_EQ(st.rejected_client_full, 1u);
+  EXPECT_EQ(st.rejected_queue_full, 1u);
+  EXPECT_EQ(st.pending, 3u);
+  EXPECT_EQ(st.clients, 2u);
+}
+
+TEST(FairShare, CancelClientDropsOnlyThatClient) {
+  serve::FairShareQueue q;
+  for (std::size_t i = 0; i < 3; ++i) q.push(pending(1, i));
+  for (std::size_t i = 0; i < 2; ++i) q.push(pending(2, i));
+  const auto dropped = q.cancel_client(1);
+  ASSERT_EQ(dropped.size(), 3u);
+  EXPECT_EQ(q.stats().pending, 2u);
+  EXPECT_EQ(q.pop()->client, 2);
+  EXPECT_EQ(q.pop()->client, 2);
+  EXPECT_TRUE(q.cancel_client(1).empty());
+}
+
+TEST(FairShare, CloseWakesPoppersAndRejectsPushes) {
+  serve::FairShareQueue q;
+  std::thread popper([&] { EXPECT_FALSE(q.pop().has_value()); });
+  q.close();
+  popper.join();
+  EXPECT_EQ(q.push(pending(1, 0)), serve::FairShareQueue::Admit::Closed);
+  EXPECT_TRUE(q.drain_all().empty());
+}
+
+// ---------------------------------------------------------------- tables
+
+TEST(Tables, BuiltinsArePresent) {
+  const serve::Tables t = serve::builtin_tables();
+  EXPECT_NE(t.find("vacuum"), nullptr);
+  EXPECT_NE(t.find("layered"), nullptr);
+  EXPECT_NE(t.find("tandem"), nullptr);
+  EXPECT_EQ(t.find("nope"), nullptr);
+}
+
+TEST(Tables, SceneAppliesDeterministically) {
+  thiim::SimulationConfig cfg;
+  cfg.grid = {10, 10, 16};
+  cfg.pml.thickness = 3;
+  cfg.engine_spec = "naive";
+  cfg.threads = 1;
+  const serve::Tables t = serve::builtin_tables();
+  double energy[2] = {0.0, 0.0};
+  for (int trial = 0; trial < 2; ++trial) {
+    thiim::Simulation sim(cfg);
+    t.find("tandem")->apply(sim);
+    sim.run(25);
+    energy[trial] = sim.total_energy();
+  }
+  EXPECT_GT(energy[0], 0.0);
+  EXPECT_EQ(energy[0], energy[1]);  // bit-exact, rough texture included
+}
+
+TEST(Tables, ReloadSwapsWithoutDisturbingSnapshots) {
+  serve::TableStore store;
+  EXPECT_EQ(store.version(), 1u);
+  auto before = store.snapshot();
+  const auto names = store.reload(JsonValue::parse(
+      R"({"scenes":[{"name":"custom","layers":[{"material":"glass","z":[0.0,0.5]}]},
+          {"name":"layered","layers":[{"material":"silver","z":[0.0,0.1]}]}]})"));
+  EXPECT_EQ(store.version(), 2u);
+  auto after = store.snapshot();
+  // The old snapshot is untouched (jobs admitted before the reload hold it).
+  EXPECT_EQ(before->version, 1u);
+  EXPECT_EQ(before->find("custom"), nullptr);
+  EXPECT_EQ(before->find("layered")->layers.size(), 4u);
+  // The new generation has the custom scene and the layered override.
+  EXPECT_NE(after->find("custom"), nullptr);
+  EXPECT_EQ(after->find("layered")->layers.size(), 1u);
+  EXPECT_NE(after->find("tandem"), nullptr);  // builtins survive
+  EXPECT_EQ(names.size(), 4u);
+}
+
+TEST(Tables, ReloadRejectsBadInputWithoutSwapping) {
+  serve::TableStore store;
+  EXPECT_THROW(store.reload(JsonValue::parse(
+                   R"({"scenes":[{"name":"x","layers":[{"material":"unobtainium",
+                        "z":[0,1]}]}]})")),
+               std::invalid_argument);
+  EXPECT_THROW(store.reload(JsonValue::parse(
+                   R"({"scenes":[{"layers":[]}]})")),
+               std::invalid_argument);
+  EXPECT_THROW(store.reload(JsonValue::parse(
+                   R"({"scenes":[{"name":"x","layers":[{"material":"glass",
+                        "z":[0.8,0.2]}]}]})")),
+               std::invalid_argument);
+  EXPECT_EQ(store.version(), 1u);
+}
+
+// ------------------------------------------------------------ end to end
+
+TEST(ServeEndToEnd, SweepIsBitExactWithInProcessRunSweep) {
+  const std::string path = test_socket_path("exact");
+  serve::Server server(small_server(path));
+
+  Client client(path);
+  Client::SweepOutcome remote;
+  ASSERT_NO_THROW(remote = client.run_sweep(kSweep));
+  ASSERT_EQ(remote.acked_jobs, 2u);
+  ASSERT_EQ(remote.results.size(), 2u);
+  EXPECT_EQ(remote.rejected, 0u);
+
+  const serve::SweepSpec spec = serve::parse_sweep_spec(kSweep);
+  const serve::Tables tables = serve::builtin_tables();
+  batch::SweepConfig sweep = serve::to_sweep_config(spec, *tables.find(spec.scene));
+  sweep.scheduler.concurrency = 1;
+  sweep.scheduler.pin_slots = false;
+  const batch::SweepResult local = batch::run_sweep(sweep);
+  ASSERT_EQ(local.results.size(), 2u);
+
+  for (std::size_t i = 0; i < 2; ++i) {
+    const batch::JobResult& r = remote.results.at(i);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.name, local.results[i].name);
+    EXPECT_EQ(r.steps_done, local.results[i].steps_done);
+    // Observables survive the wire bit-exactly (17 significant digits).
+    EXPECT_EQ(r.total_energy, local.results[i].total_energy);
+    EXPECT_EQ(r.electric_energy, local.results[i].electric_energy);
+    ASSERT_EQ(r.absorption.size(), local.results[i].absorption.size());
+    for (std::size_t a = 0; a < r.absorption.size(); ++a) {
+      EXPECT_EQ(r.absorption[a], local.results[i].absorption[a]);
+    }
+  }
+  server.stop();
+}
+
+TEST(ServeEndToEnd, SubmitSingleJobWithScene) {
+  const std::string path = test_socket_path("submit");
+  serve::Server server(small_server(path));
+  Client client(path);
+  batch::Job job;
+  job.name = "one";
+  job.config.grid = {10, 10, 16};
+  job.config.pml.thickness = 3;
+  job.config.engine_spec = "naive";
+  job.config.threads = 2;
+  job.steps = 20;
+  client.send("{\"op\":\"submit\",\"scene\":\"vacuum\",\"job\":" + job.to_json() +
+              "}");
+  const Client::SweepOutcome out = client.collect();
+  ASSERT_EQ(out.results.size(), 1u);
+  EXPECT_TRUE(out.results.at(0).ok) << out.results.at(0).error;
+  EXPECT_EQ(out.results.at(0).name, "one");
+  EXPECT_GT(out.results.at(0).total_energy, 0.0);
+  server.stop();
+}
+
+TEST(ServeEndToEnd, StatusSnapshotHoldsTheAccountingIdentity) {
+  const std::string path = test_socket_path("status");
+  serve::Server server(small_server(path));
+  Client client(path);
+  (void)client.run_sweep(kSweep);
+  client.send("{\"op\":\"status\"}");
+  const JsonValue status = client.recv();
+  EXPECT_EQ(status.get_string("type", ""), "status");
+  const JsonValue* sched = status.find("scheduler");
+  ASSERT_NE(sched, nullptr);
+  const long submitted = sched->get_int("submitted", -1);
+  EXPECT_EQ(submitted, 2);
+  EXPECT_EQ(sched->get_int("completed", -1) + sched->get_int("failed", -1) +
+                sched->get_int("cancelled", -1) + sched->get_int("queued", -1) +
+                sched->get_int("running", -1),
+            submitted);
+  const JsonValue* queue = status.find("queue");
+  ASSERT_NE(queue, nullptr);
+  EXPECT_EQ(queue->get_int("admitted", -1), 2);
+  EXPECT_EQ(queue->get_int("dispatched", -1), 2);
+  EXPECT_EQ(status.find("server")->get_int("results_streamed", -1), 2);
+  EXPECT_EQ(status.get_int("tables_version", 0), 1);
+  server.stop();
+}
+
+TEST(ServeEndToEnd, ConcurrentClientsTuneOncePerPlanCacheKey) {
+  const std::string path = test_socket_path("plans");
+  serve::Server server(small_server(path));
+  // Two clients race the same auto spec on the same shape; the PlanCache
+  // must run the tuner exactly once.
+  constexpr const char* kAutoSweep =
+      "scene=vacuum;grid=10x10x16;lambda=13,15;steps=4;threads=2;engine=auto;pml=3";
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&] {
+      try {
+        Client client(path);
+        const Client::SweepOutcome out = client.run_sweep(kAutoSweep);
+        if (out.results.size() != 2) ++failures;
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  Client client(path);
+  client.send("{\"op\":\"status\"}");
+  const JsonValue status = client.recv();
+  const JsonValue* plans = status.find("scheduler")->find("plans");
+  ASSERT_NE(plans, nullptr);
+  EXPECT_EQ(plans->get_int("misses", -1), 1);
+  EXPECT_EQ(plans->get_int("hits", -1), 3);
+  server.stop();
+}
+
+TEST(ServeEndToEnd, ReloadUnderLoadNeverDisturbsInFlightJobs) {
+  const std::string path = test_socket_path("reload");
+  serve::Server server(small_server(path));
+
+  // Reload hammers the tables — including an override of the very scene the
+  // sweep uses — while the sweep runs.  Admitted jobs hold their Scene copy,
+  // so the results must still be bit-exact with a quiet run.
+  std::atomic<bool> stop_reloading{false};
+  std::thread reloader([&] {
+    Client reload_client(path);
+    const std::string payload =
+        R"({"op":"reload","tables":{"scenes":[{"name":"layered",
+            "layers":[{"material":"silver","z":[0.0,0.9]}]}]}})";
+    while (!stop_reloading.load()) {
+      reload_client.send(payload);
+      const JsonValue reply = reload_client.recv();
+      ASSERT_EQ(reply.get_string("type", ""), "reloaded");
+    }
+  });
+
+  Client client(path);
+  Client::SweepOutcome remote;
+  ASSERT_NO_THROW(remote = client.run_sweep(kSweep));
+  stop_reloading.store(true);
+  reloader.join();
+
+  const serve::SweepSpec spec = serve::parse_sweep_spec(kSweep);
+  const serve::Tables tables = serve::builtin_tables();
+  batch::SweepConfig sweep = serve::to_sweep_config(spec, *tables.find(spec.scene));
+  sweep.scheduler.concurrency = 1;
+  sweep.scheduler.pin_slots = false;
+  const batch::SweepResult local = batch::run_sweep(sweep);
+  ASSERT_EQ(remote.results.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    ASSERT_TRUE(remote.results.at(i).ok);
+    EXPECT_EQ(remote.results.at(i).total_energy, local.results[i].total_energy);
+  }
+  server.stop();
+}
+
+/// Occupy the single executor with a gate job so queue contents are
+/// deterministic, run `body`, then release the gate and drain.
+class GatedServer {
+ public:
+  explicit GatedServer(const std::string& path, serve::ServerConfig cfg)
+      : server_(std::move(cfg)), gate_client_(path) {
+    gate_client_.send(
+        "{\"op\":\"sweep\",\"id\":\"gate\",\"spec\":"
+        "\"scene=vacuum;grid=10x10x16;lambda=20;steps=15000;threads=1;"
+        "engine=naive;pml=3\"}");
+    wait_until_running();
+  }
+
+  serve::Server& server() { return server_; }
+  Client::SweepOutcome finish_gate() { return gate_client_.collect(); }
+
+ private:
+  void wait_until_running() {
+    // Wait until the gate job holds the inflight slot.
+    for (int spin = 0; spin < 2000; ++spin) {
+      const JsonValue status = JsonValue::parse(server_.status_json());
+      if (status.find("scheduler")->get_int("running", 0) >= 1) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    FAIL() << "gate job never started";
+  }
+
+  serve::Server server_;
+  Client gate_client_;
+};
+
+TEST(ServeEndToEnd, AdmissionBoundRejectsExplicitlyAndStillCompletes) {
+  const std::string path = test_socket_path("reject");
+  serve::ServerConfig cfg = small_server(path);
+  cfg.scheduler.concurrency = 1;
+  cfg.max_inflight = 1;
+  cfg.admission.max_pending = 1;
+  GatedServer gated(path, cfg);
+
+  // One inflight slot is held by the gate and the pending queue holds one
+  // job, so a four-job sweep gets exactly one admission and three rejects.
+  Client client(path);
+  const Client::SweepOutcome out = client.run_sweep(
+      "scene=vacuum;grid=10x10x16;lambda=11,12,13,14;steps=5;threads=1;"
+      "engine=naive;pml=3");
+  EXPECT_EQ(out.acked_jobs, 4u);
+  EXPECT_EQ(out.rejected, 3u);
+  ASSERT_EQ(out.results.size(), 1u);
+  EXPECT_TRUE(out.results.begin()->second.ok);
+
+  const Client::SweepOutcome gate = gated.finish_gate();
+  EXPECT_EQ(gate.results.size(), 1u);
+  gated.server().stop();
+}
+
+TEST(ServeEndToEnd, CancelDropsPendingJobsAsCancelledResults) {
+  const std::string path = test_socket_path("cancel");
+  serve::ServerConfig cfg = small_server(path);
+  cfg.scheduler.concurrency = 1;
+  cfg.max_inflight = 1;
+  GatedServer gated(path, cfg);
+
+  Client client(path);
+  client.send(
+      "{\"op\":\"sweep\",\"spec\":\"scene=vacuum;grid=10x10x16;lambda=11,12,13;"
+      "steps=5;threads=1;engine=naive;pml=3\"}");
+  const JsonValue ack = client.recv();
+  ASSERT_EQ(ack.get_string("type", ""), "ack");
+  client.send("{\"op\":\"cancel\"}");
+
+  std::size_t cancelled = 0;
+  std::size_t cancel_acked = 0;
+  for (;;) {
+    const JsonValue frame = client.recv();
+    const std::string type = frame.get_string("type", "");
+    if (type == "ack") {
+      cancel_acked = static_cast<std::size_t>(frame.get_int("jobs", 0));
+    } else if (type == "result") {
+      EXPECT_EQ(frame.find("result")->get_string("status", ""), "cancelled");
+      ++cancelled;
+    } else if (type == "done") {
+      break;
+    }
+  }
+  EXPECT_EQ(cancel_acked, 3u);
+  EXPECT_EQ(cancelled, 3u);
+
+  const Client::SweepOutcome gate = gated.finish_gate();
+  EXPECT_EQ(gate.results.size(), 1u);
+  gated.server().stop();
+}
+
+TEST(ServeEndToEnd, ByteSoupGetsAnErrorFrameAndTheConnectionSurvives) {
+  const std::string path = test_socket_path("soup");
+  serve::Server server(small_server(path));
+  Client client(path);
+  const std::vector<std::string> soups = {
+      "",          std::string("\x00\xff\xfe garbage", 11),
+      "{",         "[1,2,3]",
+      "{\"op\":42}", "{\"op\":\"sweep\",\"spec\":\"@@\"}"};
+  for (const std::string& soup : soups) {
+    client.send(soup);
+    EXPECT_EQ(client.recv().get_string("type", ""), "error") << soup;
+  }
+  client.send("{\"op\":\"ping\"}");
+  EXPECT_EQ(client.recv().get_string("type", ""), "pong");
+  server.stop();
+}
+
+TEST(ServeEndToEnd, OversizedFrameAnnouncementDropsTheConnection) {
+  const std::string path = test_socket_path("oversize");
+  serve::ServerConfig cfg = small_server(path);
+  cfg.max_frame = 1024;
+  serve::Server server(std::move(cfg));
+  Client client(path);
+  const unsigned char header[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::send(client.fd.get(), header, 4, 0), 4);
+  EXPECT_EQ(client.recv().get_string("type", ""), "error");
+  EXPECT_FALSE(util::recv_frame(client.fd.get(), serve::kMaxFrame).has_value());
+  server.stop();
+}
+
+TEST(ServeEndToEnd, ClientShutdownOpStopsTheServer) {
+  const std::string path = test_socket_path("shutdown");
+  serve::Server server(small_server(path));
+  Client client(path);
+  client.send("{\"op\":\"shutdown\"}");
+  EXPECT_EQ(client.recv().get_string("type", ""), "ack");
+  server.wait_for_stop();  // returns only because the op fired request_stop
+  server.stop();
+  EXPECT_THROW(Client other(path), std::system_error);
+}
+
+TEST(ServeEndToEnd, DisconnectedClientsPendingJobsAreDropped) {
+  const std::string path = test_socket_path("vanish");
+  serve::ServerConfig cfg = small_server(path);
+  cfg.scheduler.concurrency = 1;
+  cfg.max_inflight = 1;
+  GatedServer gated(path, cfg);
+  {
+    Client client(path);
+    client.send(
+        "{\"op\":\"sweep\",\"spec\":\"scene=vacuum;grid=10x10x16;lambda=11,12;"
+        "steps=5;threads=1;engine=naive;pml=3\"}");
+    (void)client.recv();  // ack, then hang up with jobs still pending
+  }
+  const Client::SweepOutcome gate = gated.finish_gate();
+  EXPECT_EQ(gate.results.size(), 1u);
+  // The vanished client's jobs never ran: submitted == gate only, and the
+  // queue recorded the drop.
+  const JsonValue status = JsonValue::parse(gated.server().status_json());
+  EXPECT_EQ(status.find("scheduler")->get_int("submitted", -1), 1);
+  EXPECT_EQ(status.find("queue")->get_int("cancelled", -1), 2);
+  gated.server().stop();
+}
+
+}  // namespace

@@ -2,11 +2,17 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "util/affinity.hpp"
 #include "util/aligned.hpp"
+#include "util/json.hpp"
 #include "util/barrier.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -235,6 +241,138 @@ TEST(MachineDetect, SaneFallbacks) {
   EXPECT_GE(info.logical_cpus, 1);
   EXPECT_GT(info.l1d_bytes, 0u);
   EXPECT_GT(info.l3_bytes, 0u);
+}
+
+// ---------------------------------------------------------------- JSON
+
+TEST(Json, ParsesScalarsObjectsAndArrays) {
+  const JsonValue doc = JsonValue::parse(
+      R"({"s":"hi","n":-2.5e2,"i":42,"t":true,"f":false,"z":null,
+          "a":[1,"two",[3]],"o":{"k":1}})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.get_string("s", ""), "hi");
+  EXPECT_DOUBLE_EQ(doc.get_double("n", 0.0), -250.0);
+  EXPECT_EQ(doc.get_int("i", 0), 42);
+  EXPECT_TRUE(doc.get_bool("t", false));
+  EXPECT_FALSE(doc.get_bool("f", true));
+  EXPECT_TRUE(doc.find("z")->is_null());
+  const JsonValue::Array& a = doc.find("a")->as_array();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[1].as_string(), "two");
+  EXPECT_EQ(a[2].as_array()[0].as_int(), 3);
+  EXPECT_EQ(doc.find("o")->get_int("k", 0), 1);
+  // Absent keys fall back; present-but-mistyped keys throw by name.
+  EXPECT_EQ(doc.get_int("missing", -7), -7);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW(doc.get_int("s", 0), std::invalid_argument);
+  EXPECT_THROW(doc.get_string("i", ""), std::invalid_argument);
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  const JsonValue doc =
+      JsonValue::parse("\"a\\\"b\\\\c\\/d\\n\\t\\r\\b\\f\\u0041\\u00e9\"");
+  EXPECT_EQ(doc.as_string(), std::string("a\"b\\c/d\n\t\r\b\fA\xc3\xa9"));
+  // json_escape is the inverse direction: its output re-parses to the input.
+  const std::string nasty = "quote\" slash\\ ctrl\x01\n end";
+  EXPECT_EQ(JsonValue::parse('"' + json_escape(nasty) + '"').as_string(), nasty);
+}
+
+TEST(Json, ObjectOrderIsPreserved) {
+  const JsonValue doc = JsonValue::parse(R"({"z":1,"a":2,"m":3})");
+  const JsonValue::Object& o = doc.as_object();
+  ASSERT_EQ(o.size(), 3u);
+  EXPECT_EQ(o[0].first, "z");
+  EXPECT_EQ(o[1].first, "a");
+  EXPECT_EQ(o[2].first, "m");
+}
+
+TEST(Json, MalformedInputsThrowNeverCrash) {
+  const char* const malformed[] = {
+      "",        " ",        "{",         "}",          "[",       "]",
+      "{]",      "[}",       "nul",       "tru",        "falsey",  "01",
+      "1.",      ".5",       "1e",        "+1",         "--1",     "\"",
+      "\"\\\"",  "\"\\x\"",  "\"\\u12\"", "{\"a\"}",    "{\"a\":}", "{a:1}",
+      "[1,]",    "{\"a\":1,}", "[1 2]",   "{} {}",      "1 1",     "\x80",
+      "\"tab\tliteral\"",
+  };
+  for (const char* text : malformed) {
+    EXPECT_THROW(JsonValue::parse(text), std::invalid_argument) << text;
+  }
+}
+
+TEST(Json, DepthBombThrowsInsteadOfOverflowing) {
+  std::string deep;
+  for (int i = 0; i < 100000; ++i) deep += '[';
+  EXPECT_THROW(JsonValue::parse(deep), std::invalid_argument);
+  std::string deep_obj;
+  for (int i = 0; i < 100000; ++i) deep_obj += "{\"a\":";
+  EXPECT_THROW(JsonValue::parse(deep_obj), std::invalid_argument);
+}
+
+TEST(Json, SeventeenDigitDoublesRoundTripBitExactly) {
+  Xoshiro256 rng(15015);
+  char buf[64];
+  for (int trial = 0; trial < 1000; ++trial) {
+    const double d = (rng.uniform() - 0.5) * std::pow(10.0, double(rng.below(60)) - 30.0);
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    EXPECT_EQ(JsonValue::parse(buf).as_number(), d) << buf;
+  }
+}
+
+TEST(Json, AsIntRejectsNonIntegralAndHugeNumbers) {
+  EXPECT_EQ(JsonValue::parse("-9007199254740992").as_int(), -9007199254740992L);
+  EXPECT_THROW(JsonValue::parse("1.5").as_int(), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("1e300").as_int(), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- affinity
+
+TEST(Affinity, ScopedAffinityRestoresTheSavedMask) {
+  const ThreadAffinity before = get_thread_affinity();
+  if (!before.valid || before.cpus.empty()) {
+    GTEST_SKIP() << "no sched affinity on this platform";
+  }
+  {
+    ScopedAffinity scope({before.cpus.front()});
+    EXPECT_TRUE(scope.pinned());
+    EXPECT_EQ(get_thread_affinity().cpus, std::vector<int>{before.cpus.front()});
+  }
+  EXPECT_EQ(get_thread_affinity().cpus, before.cpus);
+}
+
+TEST(Affinity, ScopedAffinityUndoesPinsMadeInsideTheScope) {
+  const ThreadAffinity before = get_thread_affinity();
+  if (!before.valid || before.cpus.empty()) {
+    GTEST_SKIP() << "no sched affinity on this platform";
+  }
+  {
+    ScopedAffinity scope;  // save-only form
+    EXPECT_FALSE(scope.pinned());
+    pin_current_thread({before.cpus.back()});
+  }
+  EXPECT_EQ(get_thread_affinity().cpus, before.cpus);
+}
+
+TEST(Affinity, ReleaseKeepsTheCurrentMask) {
+  const ThreadAffinity before = get_thread_affinity();
+  if (!before.valid || before.cpus.empty()) {
+    GTEST_SKIP() << "no sched affinity on this platform";
+  }
+  std::thread([&] {
+    {
+      ScopedAffinity scope({before.cpus.front()});
+      scope.release();
+    }
+    // The pin survives the scope; this thread dies right after, so the
+    // leaked mask is intentional and contained.
+    EXPECT_EQ(get_thread_affinity().cpus, std::vector<int>{before.cpus.front()});
+  }).join();
+  EXPECT_EQ(get_thread_affinity().cpus, before.cpus);
+}
+
+TEST(Affinity, EmptyAndBogusCpuListsAreRejected) {
+  EXPECT_FALSE(pin_current_thread({}));
+  EXPECT_FALSE(pin_current_thread({1 << 20}));
 }
 
 }  // namespace
