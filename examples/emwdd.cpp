@@ -112,6 +112,10 @@ int main(int argc, char** argv) {
     std::printf("emwdd: shutting down\n");
     std::fflush(stdout);
     server.stop();
+    // Drop the handlers before closing the write end: a signal landing
+    // after the close would write(2) into a dead (possibly reused) fd.
+    ::signal(SIGINT, SIG_IGN);
+    ::signal(SIGTERM, SIG_IGN);
     ::close(g_stop_pipe[1]);  // EOF unblocks the watcher if no signal fired
     watcher.join();
     ::close(g_stop_pipe[0]);

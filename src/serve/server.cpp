@@ -149,15 +149,22 @@ void Server::accept_loop() {
 }
 
 void Server::reap_finished_sessions() {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
-  for (auto it = sessions_.begin(); it != sessions_.end();) {
-    if (!it->second->open.load() && it->second->thread.joinable()) {
-      it->second->thread.join();
-      it = sessions_.erase(it);
-    } else {
-      ++it;
+  std::vector<std::shared_ptr<Session>> done;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if (it->second->finished.load() && it->second->thread.joinable()) {
+        done.push_back(it->second);
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
+  // Join outside sessions_mu_: a session's exit path takes that lock
+  // (stream_cancelled -> find_session), so joining under it deadlocks the
+  // accept thread against the exiting session thread.
+  for (const auto& session : done) session->thread.join();
 }
 
 std::shared_ptr<Server::Session> Server::find_session(int id) const {
@@ -218,6 +225,7 @@ void Server::session_loop(const std::shared_ptr<Session>& session) {
     std::lock_guard<std::mutex> lock(metrics_mu_);
     --metrics_.connections_active;
   }
+  session->finished.store(true);  // last: the thread is now safe to join
 }
 
 void Server::handle_request(const std::shared_ptr<Session>& session,
@@ -405,7 +413,12 @@ void Server::send_to(const std::shared_ptr<Session>& session,
   } catch (const std::exception&) {
     sent = false;
   }
-  if (!sent) session->open.store(false);
+  if (!sent) {
+    session->open.store(false);
+    // Wake the session thread if it is blocked in recv_frame — a dead peer
+    // would otherwise keep the session (and its fd) alive indefinitely.
+    if (session->fd.valid()) session->fd.shutdown_both();
+  }
 }
 
 void Server::stream_result(const std::shared_ptr<Session>& session,

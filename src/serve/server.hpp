@@ -89,6 +89,11 @@ class Server {
     util::UniqueFd fd;
     std::mutex write_mu;            // serializes frames onto fd
     std::atomic<bool> open{true};   // cleared when the peer goes away
+    // Set as session_loop's very last statement: only then is the thread
+    // past every step that needs server locks, so reaping may join it.
+    // `open` is NOT a join gate — it flips while the thread still has its
+    // exit path (queue cancel, result streaming) ahead of it.
+    std::atomic<bool> finished{false};
     std::thread thread;
     // Per-request delivery accounting; the delivery that takes `remaining`
     // to zero sends the `done` frame.  Guarded by state_mu (never held

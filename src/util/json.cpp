@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
 namespace emwd::util {
@@ -275,6 +276,14 @@ double JsonValue::as_number() const {
 
 long JsonValue::as_int() const {
   const double d = as_number();
+  // Casting a double outside long's range is UB, so range-check before the
+  // cast.  -LONG_MIN is 2^63, a power of two and thus exact as a double;
+  // [-2^63, 2^63) survives the cast, 2^63 itself does not fit.  NaN fails
+  // both comparisons and is rejected too.
+  const double bound = -static_cast<double>(std::numeric_limits<long>::min());
+  if (!(d >= -bound && d < bound)) {
+    throw std::invalid_argument("json: integer out of range: " + std::to_string(d));
+  }
   const long v = static_cast<long>(d);
   if (static_cast<double>(v) != d) {
     throw std::invalid_argument("json: expected integer, got " + std::to_string(d));

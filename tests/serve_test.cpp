@@ -422,6 +422,18 @@ TEST(ServeEndToEnd, ReloadUnderLoadNeverDisturbsInFlightJobs) {
   const std::string path = test_socket_path("reload");
   serve::Server server(small_server(path));
 
+  // Admit the sweep first: jobs copy their Scene during request handling,
+  // before the ack frame goes out, so waiting for the ack pins the sweep to
+  // the builtin tables without racing the reloader over admission.
+  Client client(path);
+  {
+    std::ostringstream os;
+    os << "{\"op\":\"sweep\",\"spec\":" << util::json_quote(kSweep) << '}';
+    client.send(os.str());
+  }
+  const JsonValue ack = client.recv();
+  ASSERT_EQ(ack.get_string("type", ""), "ack");
+
   // Reload hammers the tables — including an override of the very scene the
   // sweep uses — while the sweep runs.  Admitted jobs hold their Scene copy,
   // so the results must still be bit-exact with a quiet run.
@@ -438,9 +450,8 @@ TEST(ServeEndToEnd, ReloadUnderLoadNeverDisturbsInFlightJobs) {
     }
   });
 
-  Client client(path);
   Client::SweepOutcome remote;
-  ASSERT_NO_THROW(remote = client.run_sweep(kSweep));
+  ASSERT_NO_THROW(remote = client.collect());
   stop_reloading.store(true);
   reloader.join();
 
@@ -611,6 +622,37 @@ TEST(ServeEndToEnd, DisconnectedClientsPendingJobsAreDropped) {
   const JsonValue status = JsonValue::parse(gated.server().status_json());
   EXPECT_EQ(status.find("scheduler")->get_int("submitted", -1), 1);
   EXPECT_EQ(status.find("queue")->get_int("cancelled", -1), 2);
+  gated.server().stop();
+}
+
+// Regression: a client hanging up with jobs still queued exits through
+// cancel_client -> find_session, which locks the session map — while the
+// accept thread reaps finished sessions on every new connection.  Joining
+// the exiting thread under the map lock deadlocked the accept loop; churn
+// disconnects against fresh connections to drive the two into each other.
+TEST(ServeEndToEnd, DisconnectChurnWithPendingJobsDoesNotWedgeAccept) {
+  const std::string path = test_socket_path("churn");
+  serve::ServerConfig cfg = small_server(path);
+  cfg.scheduler.concurrency = 1;
+  cfg.max_inflight = 1;
+  GatedServer gated(path, cfg);
+  for (int round = 0; round < 25; ++round) {
+    {
+      Client victim(path);
+      victim.send(
+          "{\"op\":\"sweep\",\"spec\":\"scene=vacuum;grid=10x10x16;lambda=11,12;"
+          "steps=5;threads=1;engine=naive;pml=3\"}");
+      (void)victim.recv();  // ack; hang up with both jobs still pending
+    }
+    // The accept for this connection reaps the exiting session while it may
+    // still be cancelling its queued jobs; a wedged accept loop fails the
+    // ping below instead of hanging the whole suite.
+    Client fresh(path);
+    fresh.send("{\"op\":\"ping\"}");
+    EXPECT_EQ(fresh.recv().get_string("type", ""), "pong");
+  }
+  const Client::SweepOutcome gate = gated.finish_gate();
+  EXPECT_EQ(gate.results.size(), 1u);
   gated.server().stop();
 }
 
