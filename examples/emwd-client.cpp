@@ -129,6 +129,10 @@ int main(int argc, char** argv) {
   cli.add_flag("status", "print the daemon's status JSON");
   cli.add_flag("ping", "liveness check");
   cli.add_flag("reload", "hot-reload scene tables from a JSON file", "");
+  cli.add_flag("preempt",
+               "preempt up to N running preemptible jobs (they park and resume)",
+               "");
+  cli.add_flag("checkpoint", "ask every running checkpointing job to snapshot now");
   cli.add_flag("shutdown", "ask the daemon to stop");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "emwd-client: %s\n", cli.error().c_str());
@@ -167,6 +171,18 @@ int main(int argc, char** argv) {
                   roundtrip(fd.get(), "{\"op\":\"reload\",\"tables\":" + text.str() +
                                           "}")
                       .c_str());
+    }
+    const std::string preempt = cli.get("preempt", "");
+    if (!preempt.empty()) {
+      // Bare --preempt parses as "true" (count 1); --preempt=N asks for N.
+      const long count = preempt == "true" ? 1 : std::stol(preempt);
+      std::printf("%s\n",
+                  roundtrip(fd.get(), "{\"op\":\"preempt\",\"count\":" +
+                                          std::to_string(count) + "}")
+                      .c_str());
+    }
+    if (cli.get_bool("checkpoint", false)) {
+      std::printf("%s\n", roundtrip(fd.get(), "{\"op\":\"checkpoint\"}").c_str());
     }
     int rc = 0;
     if (!sweep.empty()) rc = run_sweep_remote(fd.get(), sweep);

@@ -51,6 +51,10 @@ int main(int argc, char** argv) {
   cli.add_flag("max-idle-engines", "idle engines kept before LRU eviction", "8");
   cli.add_flag("max-idle-fields", "idle FieldSets kept before LRU eviction", "16");
   cli.add_flag("tables", "scene tables JSON file applied at startup", "");
+  cli.add_flag("no-auto-preempt",
+               "do not preempt lower-priority jobs on capacity rejects");
+  cli.add_flag("preempt-check-every",
+               "steps between preempt-flag polls of preemptible jobs", "16");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "emwdd: %s\n", cli.error().c_str());
     return 2;
@@ -74,6 +78,9 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("max-per-client", 128));
   cfg.admission.quantum = static_cast<std::size_t>(cli.get_int("quantum", 4));
   cfg.max_inflight = static_cast<std::size_t>(cli.get_int("max-inflight", 0));
+  cfg.auto_preempt = !cli.get_bool("no-auto-preempt", false);
+  cfg.scheduler.preempt_check_every =
+      static_cast<int>(cli.get_int("preempt-check-every", 16));
 
   const std::string tables_path = cli.get("tables", "");
   if (!tables_path.empty()) {

@@ -41,6 +41,13 @@ int main(int argc, char** argv) {
   cli.add_flag("threads", "engine threads per job (0: size to the job's slot)", "0");
   util::add_engine_flag(cli, "auto");
   cli.add_flag("csv", "write per-job rows + total row to FILE", "");
+  cli.add_flag("csv-observables",
+               "write run-deterministic columns only (no wall times) to FILE; "
+               "byte-identical across resumed/preempted reruns", "");
+  cli.add_flag("checkpoint-every", "snapshot each job every N steps", "0");
+  cli.add_flag("checkpoint-dir", "directory for job<index>.ckpt snapshots", "");
+  cli.add_flag("resume", "resume jobs whose checkpoint file exists");
+  cli.add_flag("preemptible", "mark every job preemptible");
   cli.add_flag("progress", "print each job as it finishes");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n", cli.error().c_str());
@@ -75,6 +82,10 @@ int main(int argc, char** argv) {
   sweep.base.threads = static_cast<int>(cli.get_int("threads", 0));
   sweep.steps = static_cast<int>(cli.get_int("steps", 400));
   sweep.scheduler.concurrency = jobs;
+  sweep.checkpoint_every = static_cast<int>(cli.get_int("checkpoint-every", 0));
+  sweep.checkpoint_dir = cli.get("checkpoint-dir", "");
+  sweep.resume = cli.get_bool("resume", false);
+  sweep.preemptible = cli.get_bool("preemptible", false);
 
   // Sweep wavelengths from ~400 nm to ~750 nm at 25 nm cells -> 16..30 cells.
   const double lam_lo = 16.0, lam_hi = 30.0;
@@ -152,6 +163,26 @@ int main(int argc, char** argv) {
     std::ofstream out(csv_path);
     out << spectrum.to_csv();
     std::printf("wrote %s\n", csv_path.c_str());
+  }
+  // Observables-only CSV: every column is a deterministic function of the
+  // job's physics (no wall times, slots or pool stats), so a sweep that was
+  // checkpointed, killed and resumed writes byte-for-byte the same file as
+  // an uninterrupted run — .github/check_ckpt_smoke.py gates on that.
+  const std::string obs_path = cli.get("csv-observables");
+  if (!obs_path.empty()) {
+    std::ofstream out(obs_path);
+    out << "index,name,status,steps,total_energy,electric_energy,absorption\n";
+    out.precision(17);
+    for (const batch::JobResult& r : result.results) {
+      out << r.index << ',' << r.name << ',' << (r.ok ? "ok" : "failed") << ','
+          << r.steps_done << ',' << r.total_energy << ',' << r.electric_energy
+          << ',';
+      for (std::size_t a = 0; a < r.absorption.size(); ++a) {
+        out << (a ? ";" : "") << r.absorption[a];
+      }
+      out << '\n';
+    }
+    std::printf("wrote %s\n", obs_path.c_str());
   }
   return all_ok ? 0 : 1;
 }

@@ -41,9 +41,9 @@ int checked_int(long v, const char* what) {
 }  // namespace
 
 std::vector<std::string> JobResult::row_header() {
-  return {"index",   "name",    "status",  "steps",  "wall_s",
-          "mlups",   "total_E", "slot",    "threads", "engine",
-          "reused",  "plan_hit", "error"};
+  return {"index",  "name",    "status",   "steps",   "wall_s",
+          "mlups",  "total_E", "slot",     "threads", "engine",
+          "reused", "plan_hit", "snapshots", "preempts", "resumed", "error"};
 }
 
 std::vector<std::string> JobResult::to_row() const {
@@ -59,6 +59,9 @@ std::vector<std::string> JobResult::to_row() const {
           engine_name.empty() ? engine_spec : engine_name,
           engine_reused ? "1" : "0",
           plan_cache_hit ? "1" : "0",
+          std::to_string(snapshots),
+          std::to_string(preemptions),
+          resumed ? "1" : "0",
           error};
 }
 
@@ -89,7 +92,9 @@ std::string JobResult::to_json() const {
      << ",\"engine_spec\":\"" << json_escape(engine_spec) << '"'
      << ",\"engine_name\":\"" << json_escape(engine_name) << '"'
      << ",\"engine_reused\":" << (engine_reused ? "true" : "false")
-     << ",\"plan_cache_hit\":" << (plan_cache_hit ? "true" : "false") << '}';
+     << ",\"plan_cache_hit\":" << (plan_cache_hit ? "true" : "false")
+     << ",\"snapshots\":" << snapshots << ",\"preemptions\":" << preemptions
+     << ",\"resumed\":" << (resumed ? "true" : "false") << '}';
   return os.str();
 }
 
@@ -139,6 +144,9 @@ JobResult JobResult::from_json(const JsonValue& doc) {
   r.engine_name = doc.get_string("engine_name", "");
   r.engine_reused = doc.get_bool("engine_reused", false);
   r.plan_cache_hit = doc.get_bool("plan_cache_hit", false);
+  r.snapshots = checked_int(doc.get_int("snapshots", 0), "snapshots");
+  r.preemptions = checked_int(doc.get_int("preemptions", 0), "preemptions");
+  r.resumed = doc.get_bool("resumed", false);
   return r;
 }
 
@@ -148,6 +156,10 @@ std::string Job::to_json() const {
   os << "{\"name\":" << json_quote(name) << ",\"steps\":" << steps
      << ",\"converge_tol\":" << converge_tol << ",\"max_steps\":" << max_steps
      << ",\"check_every\":" << check_every << ",\"priority\":" << priority
+     << ",\"checkpoint_every\":" << checkpoint_every
+     << ",\"checkpoint_path\":" << json_quote(checkpoint_path)
+     << ",\"resume_from\":" << json_quote(resume_from)
+     << ",\"preemptible\":" << (preemptible ? "true" : "false")
      << ",\"config\":{\"grid\":[" << config.grid.nx << ',' << config.grid.ny << ','
      << config.grid.nz << "],\"wavelength_cells\":" << config.wavelength_cells
      << ",\"cfl\":" << config.cfl << ",\"pml\":{\"thickness\":" << config.pml.thickness
@@ -177,6 +189,14 @@ Job Job::from_json(const JsonValue& doc) {
   job.check_every =
       checked_int(doc.get_int("check_every", job.check_every), "check_every");
   job.priority = checked_int(doc.get_int("priority", job.priority), "priority");
+  job.checkpoint_every =
+      checked_int(doc.get_int("checkpoint_every", 0), "checkpoint_every");
+  if (job.checkpoint_every < 0) {
+    throw std::invalid_argument("Job::from_json: negative checkpoint_every");
+  }
+  job.checkpoint_path = doc.get_string("checkpoint_path", "");
+  job.resume_from = doc.get_string("resume_from", "");
+  job.preemptible = doc.get_bool("preemptible", false);
 
   if (const JsonValue* cfg = doc.find("config")) {
     if (!cfg->is_object()) {

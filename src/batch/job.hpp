@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,36 @@ struct Job {
 
   /// Scheduling priority: larger runs earlier; ties run in submission order.
   int priority = 0;
+
+  // ------------------------------------------- checkpoint / preemption
+  /// Write a snapshot (format v2, src/io/README.md) of the running fields
+  /// to `checkpoint_path` every `checkpoint_every` steps, through the
+  /// scheduler's per-job async SnapshotWriter.  0 disables.  The file is
+  /// atomically replaced each time, so it always holds the latest complete
+  /// snapshot.  Snapshot I/O errors fail the job loudly rather than
+  /// silently losing restart capability.
+  int checkpoint_every = 0;
+  std::string checkpoint_path;
+
+  /// Resume from a snapshot file before stepping: fields + step counter are
+  /// restored after setup, and only `steps - steps_done` further steps run.
+  /// Fixed-step jobs only (converge_tol must be 0).  The stored extents and
+  /// x boundary must match `config`.
+  std::string resume_from;
+
+  /// Opt in to scheduler preemption: Scheduler::preempt() may stop this job
+  /// at the next safe step boundary, park its state as an in-memory
+  /// snapshot, release its engine/fields leases and slot, and re-queue a
+  /// continuation that later resumes bit-exactly.  Fixed-step jobs only;
+  /// convergence jobs never preempt.
+  bool preemptible = false;
+
+  /// Continuation state (internal, not wire-transported): the preemption
+  /// snapshot blob and counters carried across requeues so the final
+  /// JobResult reports the whole history.
+  std::shared_ptr<const std::string> resume_blob;
+  int prior_preemptions = 0;
+  int prior_snapshots = 0;
 
   /// Prepare the simulation: paint materials/geometry, call finalize(),
   /// add sources.  Runs on the executor thread.  When unset the scheduler
@@ -100,6 +131,9 @@ struct JobResult {
   std::string engine_name;
   bool engine_reused = false;   // engine came from the EnginePool
   bool plan_cache_hit = false;  // tuning skipped via the PlanCache
+  int snapshots = 0;            // checkpoint snapshots written by this job
+  int preemptions = 0;          // times the job was preempted and re-queued
+  bool resumed = false;         // state was restored from a snapshot
 
   /// Header/row pair for the canonical result table (absorption is
   /// material-set-dependent and therefore not part of the generic row;

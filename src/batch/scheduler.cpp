@@ -1,10 +1,13 @@
 #include "batch/scheduler.hpp"
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "exec/engine_spec.hpp"
+#include "io/snapshot.hpp"
 #include "tune/autotuner.hpp"
 #include "util/affinity.hpp"
 #include "util/timer.hpp"
@@ -127,6 +130,47 @@ std::vector<JobResult> Scheduler::wait_all() {
   return std::move(results_);
 }
 
+bool Scheduler::preempt(std::size_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = running_jobs_.find(index);
+  if (it == running_jobs_.end() || !it->second->preemptible) return false;
+  it->second->preempt.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+std::size_t Scheduler::preempt_lower_than(int priority, std::size_t max_count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Lowest priority victims first: collect, sort, signal.
+  std::vector<std::pair<int, RunControl*>> victims;
+  for (auto& [seq, control] : running_jobs_) {
+    if (control->preemptible && control->priority < priority &&
+        !control->preempt.load(std::memory_order_relaxed)) {
+      victims.emplace_back(control->priority, control.get());
+    }
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::size_t signalled = 0;
+  for (auto& [prio, control] : victims) {
+    if (signalled == max_count) break;
+    control->preempt.store(true, std::memory_order_relaxed);
+    ++signalled;
+  }
+  return signalled;
+}
+
+std::size_t Scheduler::checkpoint_running() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t signalled = 0;
+  for (auto& [seq, control] : running_jobs_) {
+    if (control->can_checkpoint) {
+      control->checkpoint.store(true, std::memory_order_relaxed);
+      ++signalled;
+    }
+  }
+  return signalled;
+}
+
 BatchStats Scheduler::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   BatchStats out = stats_;
@@ -160,25 +204,79 @@ void Scheduler::executor_loop(int executor_id) {
       entry = std::move(queue_.back());
       queue_.pop_back();
       ++running_;  // claimed under the same lock; finish_result undoes it
+      if (entry.job.resume_blob || !entry.job.resume_from.empty()) ++stats_.resumed;
     }
     auto sink = entry.job.sink;
-    JobResult r;
+    // Register the claim's signalling surface so preempt()/
+    // checkpoint_running() can reach this job while it runs.
+    auto control = std::make_shared<RunControl>();
+    control->priority = entry.priority;
+    control->preemptible = entry.job.preemptible && entry.job.converge_tol == 0.0;
+    control->can_checkpoint =
+        entry.job.checkpoint_every > 0 && !entry.job.checkpoint_path.empty();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      running_jobs_[entry.seq] = control;
+    }
+    RunOutcome out;
     {
       // A job may repin this executor (sharded NUMA binding, user setup
       // code); restore the slot mask after every job — throwing included —
       // so one job's cpuset never leaks into the next job on this thread.
       util::ScopedAffinity affinity_guard;
-      r = run_job(std::move(entry.job), entry.seq, slot_id);
+      out = run_job(std::move(entry.job), entry.seq, slot_id, *control);
     }
-    finish_result(std::move(r), sink);
+    bool requeued = false;
+    bool cancelled_continuation = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      running_jobs_.erase(entry.seq);
+      stats_.snapshots_written += static_cast<std::size_t>(out.snapshots_written);
+      stats_.snapshot_bytes += out.snapshot_bytes;
+      if (out.continuation) {
+        // The preemption path: the job goes back to `queued` as a
+        // resumable continuation under its original seq, so the occupancy
+        // identity holds and the (priority, seq) heap order lets it resume
+        // ahead of later same-priority submissions.  After cancel() the
+        // queue must stay empty — finish it as cancelled instead.
+        ++stats_.preempted;
+        --running_;
+        if (cancelled_) {
+          cancelled_continuation = true;
+        } else {
+          queue_.push_back(
+              Entry{out.continuation->priority, entry.seq, std::move(*out.continuation)});
+          std::push_heap(queue_.begin(), queue_.end(), SchedulerEntryLess{});
+          requeued = true;
+        }
+      }
+    }
+    if (requeued) {
+      cv_work_.notify_one();
+      continue;
+    }
+    if (cancelled_continuation) {
+      JobResult r;
+      r.index = entry.seq;
+      r.name = out.result.name;
+      r.cancelled = true;
+      r.error = "cancelled";
+      finish_result(std::move(r), sink);  // running_ already decremented
+      continue;
+    }
+    finish_result(std::move(out.result), sink);
   }
 }
 
-JobResult Scheduler::run_job(Job&& job, std::size_t seq, int slot_id) {
-  JobResult r;
+Scheduler::RunOutcome Scheduler::run_job(Job&& job, std::size_t seq, int slot_id,
+                                         RunControl& control) {
+  RunOutcome out;
+  JobResult& r = out.result;
   r.index = seq;
   r.name = job.name.empty() ? "job" + std::to_string(seq) : job.name;
   r.slot = slot_id;
+  r.preemptions = job.prior_preemptions;
+  r.snapshots = job.prior_snapshots;
   util::Timer timer;
 
   EnginePool::EngineLease engine_lease;
@@ -223,13 +321,99 @@ JobResult Scheduler::run_job(Job&& job, std::size_t seq, int slot_id) {
     } else {
       sim.finalize();
     }
+
+    // Resume: fields + step counter come from the snapshot; coefficients
+    // and sources were just rebuilt by setup (which must therefore be
+    // deterministic — same geometry and sources as the original attempt).
+    if (job.resume_blob || !job.resume_from.empty()) {
+      if (job.converge_tol > 0.0) {
+        throw std::invalid_argument(
+            "batch: resume_from requires a fixed-step job (converge_tol == 0)");
+      }
+      if (job.resume_blob) {
+        std::istringstream is(*job.resume_blob, std::ios::binary);
+        sim.restore_snapshot(is);
+      } else {
+        sim.restore_snapshot_file(job.resume_from);
+      }
+      r.resumed = true;
+    }
+
+    // Periodic checkpointing + preemption polling at safe step boundaries.
+    const bool want_ckpt = control.can_checkpoint;
+    std::unique_ptr<io::SnapshotWriter> writer;
+    int local_snapshots = 0;
+    bool preempt_hit = false;
+    int hook_every = 0;
+    if (want_ckpt) hook_every = job.checkpoint_every;
+    if (control.preemptible) {
+      const int poll = cfg_.preempt_check_every > 0 ? cfg_.preempt_check_every : 16;
+      hook_every = hook_every > 0 ? std::min(hook_every, poll) : poll;
+    }
+    if (hook_every > 0 && job.converge_tol == 0.0) {
+      if (want_ckpt) writer = std::make_unique<io::SnapshotWriter>(sim.fields().layout());
+      int next_ckpt = want_ckpt ? ((sim.steps_done() / job.checkpoint_every) + 1) *
+                                      job.checkpoint_every
+                                : 0;
+      sim.set_step_hook(hook_every, [&](int steps_done) {
+        bool snap = false;
+        if (want_ckpt) {
+          if (steps_done >= next_ckpt) {
+            snap = true;
+            next_ckpt = ((steps_done / job.checkpoint_every) + 1) * job.checkpoint_every;
+          }
+          if (control.checkpoint.exchange(false, std::memory_order_relaxed)) snap = true;
+        }
+        if (snap) {
+          writer->capture(sim.fields(), sim.snapshot_info(), job.checkpoint_path);
+          ++local_snapshots;
+        }
+        if (control.preempt.load(std::memory_order_relaxed)) {
+          preempt_hit = true;
+          return false;
+        }
+        return true;
+      });
+    }
+
     if (job.converge_tol > 0.0) {
       r.converged_change = sim.run_until_converged(
           job.converge_tol, job.max_steps > 0 ? job.max_steps : job.steps,
           job.check_every);
     } else {
-      sim.run(job.steps);
+      const int remaining = std::max(0, job.steps - sim.steps_done());
+      sim.run(remaining);
     }
+    sim.set_step_hook(0, nullptr);
+    r.snapshots += local_snapshots;
+    if (writer) {
+      // Settle the async writes so the reported stats are final and any
+      // write error fails the job here, not silently.
+      writer->wait_idle();
+      const io::SnapshotWriter::Stats ws = writer->stats();
+      out.snapshots_written += ws.written;
+      out.snapshot_bytes += ws.bytes_written;
+    }
+
+    if (preempt_hit) {
+      // Park the state in RAM and hand back a continuation.  Serializing
+      // happens at a step boundary (the engine is between runs), so the
+      // leases can be returned to the pool for the preemptor to reuse.
+      out.continuation = Job();
+      Job& cont = *out.continuation;
+      cont = std::move(job);
+      cont.config.engine_spec = r.engine_spec;  // pin: skip re-tuning on resume
+      cont.resume_blob = std::make_shared<const std::string>(
+          io::snapshot_to_string(sim.fields(), sim.snapshot_info()));
+      cont.resume_from.clear();  // the blob supersedes any file
+      cont.prior_preemptions = r.preemptions + 1;
+      cont.prior_snapshots = r.snapshots;
+      pool_.release_engine(std::move(engine_lease));
+      pool_.release_fields(std::move(fields_lease));
+      r.wall_seconds = timer.seconds();
+      return out;
+    }
+
     r.steps_done = sim.steps_done();
     r.total_energy = sim.total_energy();
     r.electric_energy = sim.electric_energy();
@@ -248,7 +432,7 @@ JobResult Scheduler::run_job(Job&& job, std::size_t seq, int slot_id) {
     pool_.release_fields(std::move(fields_lease));
   }
   r.wall_seconds = timer.seconds();
-  return r;
+  return out;
 }
 
 void Scheduler::finish_result(JobResult&& result,

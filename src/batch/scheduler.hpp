@@ -57,6 +57,10 @@ struct SchedulerConfig {
   /// engines / FieldSets, LRU-evicting the rest.  <= 0 = unbounded.
   int max_idle_engines = 0;
   int max_idle_fields = 0;
+  /// How often (in steps) a running preemptible job pauses at a safe step
+  /// boundary to poll its preempt flag — the preemption latency bound.
+  /// Checkpointing jobs poll at min(preempt_check_every, checkpoint_every).
+  int preempt_check_every = 16;
   /// Host topology override for tests; unset = util::detect_host().
   std::optional<util::HostInfo> host;
 };
@@ -75,6 +79,14 @@ struct BatchStats {
   std::size_t running = 0;    // claimed, still executing
   /// Pending-queue depth per priority level (only levels with waiters).
   std::map<int, std::size_t> queue_depth;
+  /// Preemption / checkpoint counters.  A preempted job moves back to
+  /// `queued` (as a resumable continuation), so the occupancy identity
+  /// above is unaffected; `preempted` counts preemption events, `resumed`
+  /// counts continuations that started running again.
+  std::size_t preempted = 0;
+  std::size_t resumed = 0;
+  std::size_t snapshots_written = 0;   // checkpoint files completed on disk
+  std::int64_t snapshot_bytes = 0;     // serialized bytes across those files
   EnginePool::Stats pool;
   PlanCache::Stats plans;
   int slots = 0;
@@ -107,6 +119,27 @@ class Scheduler {
   /// normally.  Idempotent.
   void cancel();
 
+  /// Ask the running job with submission index `index` to preempt: it stops
+  /// at its next safe step boundary, serializes its FieldSet to an
+  /// in-memory snapshot, releases its engine/fields leases and executor
+  /// slot, and re-enters the queue as a continuation that resumes
+  /// bit-exactly (same or different slot).  Returns true when the signal
+  /// was delivered — the job is currently running and opted in with
+  /// Job::preemptible (convergence jobs never qualify).  Returns false for
+  /// queued, finished, unknown or non-preemptible jobs.
+  bool preempt(std::size_t index);
+
+  /// Signal preemption to up to `max_count` running preemptible jobs whose
+  /// priority is strictly below `priority` (lowest priority first).
+  /// Returns the number signalled.  The serve daemon's auto-preemption path:
+  /// a rejected-for-capacity high-priority submission frees slots this way.
+  std::size_t preempt_lower_than(int priority, std::size_t max_count);
+
+  /// Ask every running job that checkpoints (checkpoint_every > 0 with a
+  /// path) to write one snapshot at its next safe boundary, regardless of
+  /// cadence.  Returns the number of jobs signalled.
+  std::size_t checkpoint_running();
+
   /// Close the queue, run everything to completion, join the executors and
   /// return all results ordered by submission index.  Call exactly once.
   std::vector<JobResult> wait_all();
@@ -121,8 +154,29 @@ class Scheduler {
     Job job;
   };
 
+  /// Signalling surface of one claimed (running) job, registered under mu_
+  /// for the lifetime of its run_job call.  Executors read the atomics at
+  /// safe step boundaries; preempt()/checkpoint_running() set them.
+  struct RunControl {
+    std::atomic<bool> preempt{false};
+    std::atomic<bool> checkpoint{false};
+    int priority = 0;
+    bool preemptible = false;     // fixed-step and Job::preemptible
+    bool can_checkpoint = false;  // checkpoint_every > 0 with a path
+  };
+
+  /// What one executor attempt produced: either a finished result, or a
+  /// continuation to re-queue (the preemption path — `result` is then
+  /// discarded except for its accounting fields).
+  struct RunOutcome {
+    JobResult result;
+    std::optional<Job> continuation;
+    std::int64_t snapshots_written = 0;
+    std::int64_t snapshot_bytes = 0;
+  };
+
   void executor_loop(int executor_id);
-  JobResult run_job(Job&& job, std::size_t seq, int slot_id);
+  RunOutcome run_job(Job&& job, std::size_t seq, int slot_id, RunControl& control);
   void finish_result(JobResult&& result, const std::function<void(const JobResult&)>& sink);
 
   SchedulerConfig cfg_;
@@ -134,6 +188,7 @@ class Scheduler {
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
   std::vector<Entry> queue_;  // max-heap by (priority, -seq)
+  std::map<std::size_t, std::shared_ptr<RunControl>> running_jobs_;  // by seq
   std::vector<JobResult> results_;
   std::size_t done_ = 0;
   std::size_t running_ = 0;  // claimed by an executor, not yet finished

@@ -1,5 +1,6 @@
 #include "batch/sweep.hpp"
 
+#include <fstream>
 #include <sstream>
 
 #include "util/csv.hpp"
@@ -45,6 +46,15 @@ std::vector<Job> expand_sweep_jobs(const SweepConfig& cfg) {
         job.max_steps = cfg.max_steps;
         job.check_every = cfg.check_every;
         job.setup = cfg.setup;
+        job.preemptible = cfg.preemptible;
+        if (cfg.checkpoint_every > 0 && !cfg.checkpoint_dir.empty()) {
+          job.checkpoint_every = cfg.checkpoint_every;
+          job.checkpoint_path =
+              cfg.checkpoint_dir + "/job" + std::to_string(jobs.size()) + ".ckpt";
+          if (cfg.resume && std::ifstream(job.checkpoint_path, std::ios::binary)) {
+            job.resume_from = job.checkpoint_path;
+          }
+        }
         jobs.push_back(std::move(job));
       }
     }

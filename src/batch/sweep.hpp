@@ -39,6 +39,20 @@ struct SweepConfig {
   /// Geometry/sources per job (see Job::setup); unset = finalize() only.
   std::function<void(thiim::Simulation&, const Job&)> setup;
 
+  // ------------------------------------------- checkpoint / preemption
+  /// With checkpoint_every > 0 and a non-empty checkpoint_dir, every job
+  /// checkpoints to `<checkpoint_dir>/job<index>.ckpt` (index = expansion
+  /// order, so the mapping is stable across runs) every checkpoint_every
+  /// steps through the scheduler's async snapshot writer.
+  int checkpoint_every = 0;
+  std::string checkpoint_dir;
+  /// Resume jobs whose checkpoint file already exists (fixed-step sweeps
+  /// only): each such job restores the snapshot and runs only the remaining
+  /// steps — the completed sweep is bit-exact with an uninterrupted one.
+  bool resume = false;
+  /// Mark every job preemptible (see Job::preemptible).
+  bool preemptible = false;
+
   /// Scheduler knobs (concurrency, slots, pooling, pinning).
   SchedulerConfig scheduler;
 

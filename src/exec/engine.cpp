@@ -36,6 +36,26 @@ EngineStats& EngineStats::merge(const EngineStats& other) {
   return *this;
 }
 
+int Engine::run_hooked(grid::FieldSet& fs, int steps) {
+  if (!step_hook_ || step_hook_every_ <= 0 || steps <= step_hook_every_) {
+    run(fs, steps);
+    return steps;
+  }
+  EngineStats total;
+  int done = 0;
+  while (done < steps) {
+    const int chunk = std::min(step_hook_every_, steps - done);
+    run(fs, chunk);
+    total.merge(stats_);
+    done += chunk;
+    // Interior boundaries only: a hook at done == steps would duplicate the
+    // caller's own post-run bookkeeping.
+    if (done < steps && !step_hook_(done)) break;
+  }
+  stats_ = total;
+  return done;
+}
+
 std::string MwdParams::describe() const {
   std::ostringstream os;
   os << "mwd{dw=" << dw << ",bz=" << bz << ",tg=" << tx << "x" << tz << "x" << tc

@@ -100,6 +100,27 @@ class Engine {
   /// run_prologue().
   virtual bool supports_run_prologue() const { return false; }
 
+  /// Safe-boundary step hook, fired between full time steps; `steps_done`
+  /// is the number of steps this run has completed so far.  Return false to
+  /// stop the run early (the preemption path).  Pass every <= 0 or a null
+  /// fn to uninstall.  Honored by run_hooked() only — plain run() ignores
+  /// it, so existing callers are unaffected.
+  using StepHookFn = std::function<bool(int steps_done)>;
+  void set_step_hook(int every, StepHookFn fn) {
+    step_hook_every_ = fn ? every : 0;
+    step_hook_ = step_hook_every_ > 0 ? std::move(fn) : nullptr;
+  }
+
+  /// Advance up to `steps` steps, pausing every `step_hook_every_` steps at
+  /// a safe boundary to fire the installed hook.  Implemented as segmented
+  /// run() calls — valid for every engine because run(a); run(b) is
+  /// bit-exact with run(a+b) (engines carry no hidden cross-run state that
+  /// affects results; the equivalence suite pins this).  Stats from the
+  /// segments are merged so stats() describes the whole hooked run.
+  /// Returns the number of steps actually advanced (< steps only when the
+  /// hook requested an early stop).  Without a hook this is exactly run().
+  int run_hooked(grid::FieldSet& fs, int steps);
+
   const EngineStats& stats() const { return stats_; }
 
  protected:
@@ -111,6 +132,8 @@ class Engine {
 
   EngineStats stats_;
   std::function<void()> prologue_;
+  StepHookFn step_hook_;
+  int step_hook_every_ = 0;
 };
 
 /// Tile scheduling policy.  FifoQueue is the paper's dynamic scheduler

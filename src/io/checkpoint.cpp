@@ -1,5 +1,6 @@
 #include "io/checkpoint.hpp"
 
+#include <cerrno>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -7,6 +8,8 @@
 #include <ostream>
 #include <stdexcept>
 #include <vector>
+
+#include "io/snapshot.hpp"
 
 namespace emwd::io {
 namespace {
@@ -31,24 +34,30 @@ void save_fields(std::ostream& os, const grid::FieldSet& fs) {
   h.nz = L.nz();
   os.write(reinterpret_cast<const char*>(&h), sizeof h);
 
-  std::vector<double> row(static_cast<std::size_t>(2 * L.nx()));
+  if (!os) throw std::runtime_error("checkpoint: header write failed");
+
+  const std::streamsize row_bytes =
+      static_cast<std::streamsize>(2 * L.nx() * sizeof(double));
   for (const auto& c : kernels::kComps) {
     const grid::Field& f = fs.field(c.self);
     for (int k = 0; k < L.nz(); ++k) {
       for (int j = 0; j < L.ny(); ++j) {
         const double* src = f.data() + 2 * L.at(0, j, k);
-        os.write(reinterpret_cast<const char*>(src),
-                 static_cast<std::streamsize>(row.size() * sizeof(double)));
+        os.write(reinterpret_cast<const char*>(src), row_bytes);
+        if (!os) throw std::runtime_error("checkpoint: short write");
       }
     }
   }
+  os.flush();
   if (!os) throw std::runtime_error("checkpoint: write failed");
 }
 
 void load_fields(std::istream& is, grid::FieldSet& fs) {
   Header h;
   is.read(reinterpret_cast<char*>(&h), sizeof h);
-  if (!is || h.magic != kMagic) throw std::runtime_error("checkpoint: bad magic");
+  if (is.gcount() != static_cast<std::streamsize>(sizeof h) || h.magic != kMagic) {
+    throw std::runtime_error("checkpoint: bad magic");
+  }
   if (h.version != kVersion) throw std::runtime_error("checkpoint: unsupported version");
   const grid::Layout& L = fs.layout();
   if (h.nx != L.nx() || h.ny != L.ny() || h.nz != L.nz()) {
@@ -57,28 +66,35 @@ void load_fields(std::istream& is, grid::FieldSet& fs) {
   if (h.num_fields != kernels::kNumComps) {
     throw std::runtime_error("checkpoint: field count mismatch");
   }
+  const std::streamsize row_bytes =
+      static_cast<std::streamsize>(2 * L.nx() * sizeof(double));
   for (const auto& c : kernels::kComps) {
     grid::Field& f = fs.field(c.self);
     for (int k = 0; k < L.nz(); ++k) {
       for (int j = 0; j < L.ny(); ++j) {
         double* dst = f.data() + 2 * L.at(0, j, k);
-        is.read(reinterpret_cast<char*>(dst),
-                static_cast<std::streamsize>(2 * L.nx() * sizeof(double)));
+        is.read(reinterpret_cast<char*>(dst), row_bytes);
+        if (is.gcount() != row_bytes) {
+          throw std::runtime_error("checkpoint: truncated stream");
+        }
       }
     }
   }
-  if (!is) throw std::runtime_error("checkpoint: truncated stream");
 }
 
 void save_fields_file(const std::string& path, const grid::FieldSet& fs) {
-  std::ofstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("checkpoint: cannot open " + path);
-  save_fields(f, fs);
+  // Atomic: a crash mid-save never leaves a torn file at `path` (satisfied
+  // by the temp + rename helper, which also errno-checks every failure).
+  write_file_atomic(path, [&fs](std::ostream& os) { save_fields(os, fs); });
 }
 
 void load_fields_file(const std::string& path, grid::FieldSet& fs) {
   std::ifstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("checkpoint: cannot open " + path);
+  if (!f) {
+    const int err = errno;
+    throw std::runtime_error("checkpoint: cannot open " + path + ": " +
+                             std::strerror(err));
+  }
   load_fields(f, fs);
 }
 

@@ -1,0 +1,496 @@
+#include "io/snapshot.hpp"
+
+#include <array>
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/json.hpp"
+#include "util/timer.hpp"
+
+namespace emwd::io {
+namespace {
+
+// The payload is raw IEEE-754 doubles in native byte order; the format spec
+// (src/io/README.md) pins them little-endian, so refuse to build elsewhere.
+static_assert(std::endian::native == std::endian::little,
+              "snapshot format requires a little-endian host");
+
+constexpr char kMagic[8] = {'E', 'M', 'W', 'D', 'S', 'N', 'A', 'P'};
+constexpr char kFooterMagic[8] = {'E', 'M', 'W', 'D', 'S', 'E', 'N', 'D'};
+constexpr std::uint32_t kVersion = 2;
+// Header JSON is tens of bytes; anything bigger than this is a corrupt or
+// hostile length field, not a real snapshot.
+constexpr std::uint32_t kMaxHeaderJson = 1u << 16;
+// Target chunk payload size; at least one z-plane per chunk regardless.
+constexpr std::size_t kTargetChunkBytes = std::size_t{1} << 20;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("snapshot: " + what);
+}
+
+void put_u32(std::ostream& os, std::uint32_t v) {
+  const unsigned char b[4] = {
+      static_cast<unsigned char>(v & 0xff), static_cast<unsigned char>((v >> 8) & 0xff),
+      static_cast<unsigned char>((v >> 16) & 0xff),
+      static_cast<unsigned char>((v >> 24) & 0xff)};
+  os.write(reinterpret_cast<const char*>(b), 4);
+}
+
+void put_u64(std::ostream& os, std::uint64_t v) {
+  put_u32(os, static_cast<std::uint32_t>(v & 0xffffffffu));
+  put_u32(os, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(std::istream& is, const char* what) {
+  unsigned char b[4];
+  is.read(reinterpret_cast<char*>(b), 4);
+  if (is.gcount() != 4) fail(std::string("truncated reading ") + what);
+  return static_cast<std::uint32_t>(b[0]) | (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) | (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint64_t get_u64(std::istream& is, const char* what) {
+  const std::uint64_t lo = get_u32(is, what);
+  const std::uint64_t hi = get_u32(is, what);
+  return lo | (hi << 32);
+}
+
+const char* xb_name(grid::XBoundary xb) {
+  return xb == grid::XBoundary::Periodic ? "periodic" : "dirichlet";
+}
+
+grid::XBoundary xb_from_name(const std::string& name) {
+  if (name == "periodic") return grid::XBoundary::Periodic;
+  if (name == "dirichlet") return grid::XBoundary::Dirichlet;
+  fail("unknown x_boundary \"" + name + '"');
+}
+
+std::string header_json(const SnapshotInfo& info) {
+  std::string s = "{\"nx\":" + std::to_string(info.extents.nx) +
+                  ",\"ny\":" + std::to_string(info.extents.ny) +
+                  ",\"nz\":" + std::to_string(info.extents.nz) +
+                  ",\"fields\":" + std::to_string(kernels::kNumComps) +
+                  ",\"steps_done\":" + std::to_string(info.steps_done) +
+                  ",\"x_boundary\":" + util::json_quote(xb_name(info.x_boundary)) +
+                  ",\"meta\":" + util::json_quote(info.meta) + '}';
+  return s;
+}
+
+SnapshotInfo parse_header_json(const std::string& text) {
+  util::JsonValue doc;
+  try {
+    doc = util::JsonValue::parse(text);
+  } catch (const std::exception& e) {
+    fail(std::string("malformed header JSON: ") + e.what());
+  }
+  SnapshotInfo info;
+  info.extents.nx = static_cast<int>(doc.get_int("nx", -1));
+  info.extents.ny = static_cast<int>(doc.get_int("ny", -1));
+  info.extents.nz = static_cast<int>(doc.get_int("nz", -1));
+  if (info.extents.nx <= 0 || info.extents.ny <= 0 || info.extents.nz <= 0) {
+    fail("header missing/invalid extents");
+  }
+  if (doc.get_int("fields", -1) != kernels::kNumComps) fail("field count mismatch");
+  info.steps_done = static_cast<int>(doc.get_int("steps_done", 0));
+  if (info.steps_done < 0) fail("negative steps_done");
+  info.x_boundary = xb_from_name(doc.get_string("x_boundary", "dirichlet"));
+  info.meta = doc.get_string("meta", "");
+  return info;
+}
+
+struct Geometry {
+  int nx = 0, ny = 0, nz = 0;
+  std::size_t row_doubles() const { return static_cast<std::size_t>(2) * nx; }
+  std::size_t row_bytes() const { return row_doubles() * sizeof(double); }
+  std::size_t plane_bytes() const { return static_cast<std::size_t>(ny) * row_bytes(); }
+  std::size_t field_doubles() const {
+    return row_doubles() * static_cast<std::size_t>(ny) * static_cast<std::size_t>(nz);
+  }
+  int planes_per_chunk() const {
+    const std::size_t per = kTargetChunkBytes / plane_bytes();
+    return per < 1 ? 1 : static_cast<int>(per > static_cast<std::size_t>(nz)
+                                              ? static_cast<std::size_t>(nz)
+                                              : per);
+  }
+};
+
+// Serialize header + chunks + footer, pulling interior rows through `row`
+// (field index in kComps order, j, k) — shared by the FieldSet path and the
+// SnapshotWriter's staging-buffer path so there is exactly one writer.
+void serialize_snapshot(std::ostream& os, const SnapshotInfo& info, const Geometry& g,
+                        const std::function<const double*(int, int, int)>& row) {
+  os.write(kMagic, sizeof kMagic);
+  put_u32(os, kVersion);
+  const std::string hdr = header_json(info);
+  put_u32(os, static_cast<std::uint32_t>(hdr.size()));
+  os.write(hdr.data(), static_cast<std::streamsize>(hdr.size()));
+  const std::uint32_t hdr_crc = crc32(hdr.data(), hdr.size());
+  put_u32(os, hdr_crc);
+
+  // Assemble each chunk's payload in a scratch buffer, then CRC and write
+  // it in one pass each — one large write per ~1 MiB chunk instead of a
+  // syscall-bound stream of per-row writes, and one contiguous CRC sweep
+  // (the slicing-by-8 fast path needs long runs to pay off).
+  const int per_chunk = g.planes_per_chunk();
+  std::vector<char> payload(static_cast<std::size_t>(per_chunk) * g.plane_bytes());
+  std::uint64_t chunks = 0;
+  for (int f = 0; f < kernels::kNumComps; ++f) {
+    for (int k0 = 0; k0 < g.nz; k0 += per_chunk) {
+      const int planes = per_chunk < g.nz - k0 ? per_chunk : g.nz - k0;
+      put_u32(os, static_cast<std::uint32_t>(f));
+      put_u32(os, static_cast<std::uint32_t>(k0));
+      put_u32(os, static_cast<std::uint32_t>(planes));
+      put_u64(os, static_cast<std::uint64_t>(planes) * g.plane_bytes());
+      char* dst = payload.data();
+      for (int k = k0; k < k0 + planes; ++k) {
+        for (int j = 0; j < g.ny; ++j) {
+          std::memcpy(dst, row(f, j, k), g.row_bytes());
+          dst += g.row_bytes();
+        }
+      }
+      const std::size_t bytes = static_cast<std::size_t>(planes) * g.plane_bytes();
+      os.write(payload.data(), static_cast<std::streamsize>(bytes));
+      put_u32(os, crc32(payload.data(), bytes));
+      ++chunks;
+    }
+  }
+  os.write(kFooterMagic, sizeof kFooterMagic);
+  put_u64(os, chunks);
+  put_u32(os, hdr_crc);
+  if (!os) fail("stream write failed");
+}
+
+// Read magic/version/header JSON/header CRC; returns info + the CRC.
+SnapshotInfo read_header(std::istream& is, std::uint32_t* hdr_crc_out) {
+  char magic[8];
+  is.read(magic, sizeof magic);
+  if (is.gcount() != sizeof magic || std::memcmp(magic, kMagic, sizeof magic) != 0) {
+    fail("bad magic");
+  }
+  const std::uint32_t version = get_u32(is, "version");
+  if (version != kVersion) {
+    fail("unsupported version " + std::to_string(version) + " (expected " +
+         std::to_string(kVersion) + ")");
+  }
+  const std::uint32_t hdr_len = get_u32(is, "header length");
+  if (hdr_len == 0 || hdr_len > kMaxHeaderJson) fail("implausible header length");
+  std::string hdr(hdr_len, '\0');
+  is.read(hdr.data(), static_cast<std::streamsize>(hdr_len));
+  if (is.gcount() != static_cast<std::streamsize>(hdr_len)) fail("truncated header");
+  const std::uint32_t stored = get_u32(is, "header CRC");
+  if (crc32(hdr.data(), hdr.size()) != stored) fail("header CRC mismatch");
+  if (hdr_crc_out) *hdr_crc_out = stored;
+  return parse_header_json(hdr);
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  // Slicing-by-8: eight derived tables let the loop fold 8 bytes per
+  // iteration (~5x the classic byte-at-a-time table walk).  The snapshot
+  // writer CRCs the full field state every checkpoint, so this is the
+  // background thread's hottest loop by far.
+  static const std::array<std::array<std::uint32_t, 256>, 8> tables = [] {
+    std::array<std::array<std::uint32_t, 256>, 8> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int b = 0; b < 8; ++b) c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (int s = 1; s < 8; ++s) {
+        c = t[0][c & 0xffu] ^ (c >> 8);
+        t[s][i] = c;
+      }
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xffffffffu;
+  while (n >= 8) {
+    std::uint32_t lo, hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= c;
+    c = tables[7][lo & 0xffu] ^ tables[6][(lo >> 8) & 0xffu] ^
+        tables[5][(lo >> 16) & 0xffu] ^ tables[4][lo >> 24] ^
+        tables[3][hi & 0xffu] ^ tables[2][(hi >> 8) & 0xffu] ^
+        tables[1][(hi >> 16) & 0xffu] ^ tables[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n--) c = tables[0][(c ^ *p++) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+void write_snapshot(std::ostream& os, const grid::FieldSet& fs, const SnapshotInfo& info) {
+  const grid::Layout& L = fs.layout();
+  const Geometry g{L.nx(), L.ny(), L.nz()};
+  if (!(info.extents == L.interior())) fail("info extents do not match FieldSet");
+  serialize_snapshot(os, info, g, [&fs, &L](int f, int j, int k) {
+    return fs.field(kernels::kComps[f].self).data() + 2 * L.at(0, j, k);
+  });
+}
+
+SnapshotInfo read_snapshot(std::istream& is, grid::FieldSet& fs) {
+  std::uint32_t hdr_crc = 0;
+  const SnapshotInfo info = read_header(is, &hdr_crc);
+  const grid::Layout& L = fs.layout();
+  if (!(info.extents == L.interior())) fail("extents mismatch");
+  const Geometry g{L.nx(), L.ny(), L.nz()};
+
+  std::uint64_t chunks = 0;
+  for (int f = 0; f < kernels::kNumComps; ++f) {
+    grid::Field& field = fs.field(kernels::kComps[f].self);
+    int k = 0;
+    while (k < g.nz) {
+      const std::uint32_t cf = get_u32(is, "chunk field");
+      const std::uint32_t ck0 = get_u32(is, "chunk k0");
+      const std::uint32_t cplanes = get_u32(is, "chunk planes");
+      const std::uint64_t cbytes = get_u64(is, "chunk bytes");
+      if (cf != static_cast<std::uint32_t>(f)) fail("chunk field out of order");
+      if (ck0 != static_cast<std::uint32_t>(k)) fail("chunk k0 out of order");
+      if (cplanes == 0 || cplanes > static_cast<std::uint32_t>(g.nz - k)) {
+        fail("implausible chunk plane count");
+      }
+      if (cbytes != static_cast<std::uint64_t>(cplanes) * g.plane_bytes()) {
+        fail("chunk byte count mismatch");
+      }
+      std::uint32_t crc = 0;
+      for (std::uint32_t kk = 0; kk < cplanes; ++kk) {
+        for (int j = 0; j < g.ny; ++j) {
+          double* dst = field.data() + 2 * L.at(0, j, k + static_cast<int>(kk));
+          is.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(g.row_bytes()));
+          if (is.gcount() != static_cast<std::streamsize>(g.row_bytes())) {
+            fail("truncated chunk payload");
+          }
+          crc = crc32(dst, g.row_bytes(), crc);
+        }
+      }
+      if (get_u32(is, "chunk CRC") != crc) fail("chunk CRC mismatch");
+      k += static_cast<int>(cplanes);
+      ++chunks;
+    }
+  }
+
+  char fmagic[8];
+  is.read(fmagic, sizeof fmagic);
+  if (is.gcount() != sizeof fmagic || std::memcmp(fmagic, kFooterMagic, sizeof fmagic) != 0) {
+    fail("bad footer magic");
+  }
+  if (get_u64(is, "footer chunk count") != chunks) fail("footer chunk count mismatch");
+  if (get_u32(is, "footer header CRC") != hdr_crc) fail("footer header CRC mismatch");
+  return info;
+}
+
+SnapshotInfo read_snapshot_info(std::istream& is) { return read_header(is, nullptr); }
+
+void write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer) {
+  const std::string tmp = path + ".tmp~";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      const int err = errno;
+      fail("cannot open " + tmp + ": " + std::strerror(err));
+    }
+    try {
+      writer(os);
+    } catch (...) {
+      os.close();
+      std::remove(tmp.c_str());
+      throw;
+    }
+    os.flush();
+    if (!os) {
+      const int err = errno;
+      os.close();
+      std::remove(tmp.c_str());
+      fail("write to " + tmp + " failed: " + std::strerror(err));
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    fail("rename " + tmp + " -> " + path + " failed: " + std::strerror(err));
+  }
+}
+
+void write_snapshot_file(const std::string& path, const grid::FieldSet& fs,
+                         const SnapshotInfo& info) {
+  write_file_atomic(path, [&](std::ostream& os) { write_snapshot(os, fs, info); });
+}
+
+SnapshotInfo read_snapshot_file(const std::string& path, grid::FieldSet& fs) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    const int err = errno;
+    fail("cannot open " + path + ": " + std::strerror(err));
+  }
+  return read_snapshot(is, fs);
+}
+
+SnapshotInfo read_snapshot_info_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    const int err = errno;
+    fail("cannot open " + path + ": " + std::strerror(err));
+  }
+  return read_snapshot_info(is);
+}
+
+std::string snapshot_to_string(const grid::FieldSet& fs, const SnapshotInfo& info) {
+  std::ostringstream os(std::ios::binary);
+  write_snapshot(os, fs, info);
+  return std::move(os).str();
+}
+
+SnapshotInfo snapshot_from_string(const std::string& blob, grid::FieldSet& fs) {
+  std::istringstream is(blob, std::ios::binary);
+  return read_snapshot(is, fs);
+}
+
+SnapshotWriter::SnapshotWriter(const grid::Layout& layout, int buffers)
+    : extents_(layout.interior()) {
+  if (buffers < 1) throw std::invalid_argument("SnapshotWriter: buffers must be >= 1");
+  const Geometry g{extents_.nx, extents_.ny, extents_.nz};
+  buffers_.resize(static_cast<std::size_t>(buffers));
+  for (std::size_t i = 0; i < buffers_.size(); ++i) {
+    buffers_[i].rows.resize(g.field_doubles() * kernels::kNumComps);
+    free_.push_back(i);
+  }
+  thread_ = std::thread([this] { writer_loop(); });
+}
+
+SnapshotWriter::~SnapshotWriter() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_free_.notify_all();
+  cv_done_.notify_all();
+  thread_.join();
+}
+
+void SnapshotWriter::capture(const grid::FieldSet& fs, const SnapshotInfo& info,
+                             std::string path) {
+  const grid::Layout& L = fs.layout();
+  if (!(L.interior() == extents_)) {
+    throw std::invalid_argument("SnapshotWriter: FieldSet layout mismatch");
+  }
+  util::Timer total;
+  std::size_t idx = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    util::Timer blocked;
+    cv_free_.wait(lock, [this] { return !free_.empty() || error_ || stop_; });
+    stats_.blocked_seconds += blocked.seconds();
+    if (error_) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+    if (stop_) throw std::runtime_error("SnapshotWriter: capture after shutdown");
+    idx = free_.back();
+    free_.pop_back();
+  }
+
+  // Stage outside the lock — the buffer is neither free nor ready, so no
+  // other thread touches it.
+  Buffer& buf = buffers_[idx];
+  const Geometry g{extents_.nx, extents_.ny, extents_.nz};
+  double* dst = buf.rows.data();
+  for (int f = 0; f < kernels::kNumComps; ++f) {
+    const grid::Field& field = fs.field(kernels::kComps[f].self);
+    for (int k = 0; k < g.nz; ++k) {
+      for (int j = 0; j < g.ny; ++j) {
+        std::memcpy(dst, field.data() + 2 * L.at(0, j, k), g.row_bytes());
+        dst += g.row_doubles();
+      }
+    }
+  }
+  buf.info = info;
+  buf.path = std::move(path);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ready_.push_back(idx);
+    ++stats_.captured;
+    stats_.capture_seconds += total.seconds();
+  }
+  cv_free_.notify_all();  // writer waits on cv_free_ too
+}
+
+void SnapshotWriter::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return (ready_.empty() && !writing_) || stop_; });
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+SnapshotWriter::Stats SnapshotWriter::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void SnapshotWriter::writer_loop() {
+  const Geometry g{extents_.nx, extents_.ny, extents_.nz};
+  for (;;) {
+    std::size_t idx = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_free_.wait(lock, [this] { return !ready_.empty() || stop_; });
+      if (ready_.empty()) return;  // stop_ with a drained queue
+      idx = ready_.front();
+      ready_.pop_front();
+      writing_ = true;
+    }
+    Buffer& buf = buffers_[idx];
+    util::Timer t;
+    std::int64_t bytes = 0;
+    std::exception_ptr err;
+    try {
+      write_file_atomic(buf.path, [&](std::ostream& os) {
+        const double* rows = buf.rows.data();
+        serialize_snapshot(os, buf.info, g, [&](int f, int j, int k) {
+          const std::size_t field_off = static_cast<std::size_t>(f) * g.field_doubles();
+          const std::size_t plane_off =
+              static_cast<std::size_t>(k) * g.ny * g.row_doubles();
+          return rows + field_off + plane_off +
+                 static_cast<std::size_t>(j) * g.row_doubles();
+        });
+        bytes = static_cast<std::int64_t>(os.tellp());
+      });
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      writing_ = false;
+      free_.push_back(idx);
+      if (err) {
+        if (!error_) error_ = err;
+      } else {
+        ++stats_.written;
+        stats_.bytes_written += bytes;
+        stats_.write_seconds += t.seconds();
+      }
+    }
+    cv_free_.notify_all();
+    cv_done_.notify_all();
+  }
+}
+
+}  // namespace emwd::io

@@ -16,6 +16,8 @@ std::string metrics_to_json(const Metrics& server, const FairShareQueue::Stats& 
      << ",\"protocol_errors\":" << server.protocol_errors
      << ",\"results_streamed\":" << server.results_streamed
      << ",\"reloads\":" << server.reloads << ",\"inflight\":" << server.inflight
+     << ",\"preempt_requests\":" << server.preempt_requests
+     << ",\"auto_preemptions\":" << server.auto_preemptions
      << "},\"queue\":{"
      << "\"admitted\":" << queue.admitted
      << ",\"rejected_queue_full\":" << queue.rejected_queue_full
@@ -28,6 +30,10 @@ std::string metrics_to_json(const Metrics& server, const FairShareQueue::Stats& 
      << ",\"failed\":" << scheduler.failed
      << ",\"cancelled\":" << scheduler.cancelled
      << ",\"queued\":" << scheduler.queued << ",\"running\":" << scheduler.running
+     << ",\"preempted\":" << scheduler.preempted
+     << ",\"resumed\":" << scheduler.resumed
+     << ",\"snapshots_written\":" << scheduler.snapshots_written
+     << ",\"snapshot_bytes\":" << scheduler.snapshot_bytes
      << ",\"queue_depth\":{";
   bool first = true;
   for (const auto& [priority, depth] : scheduler.queue_depth) {

@@ -28,6 +28,8 @@ struct Metrics {
   std::uint64_t results_streamed = 0;
   std::uint64_t reloads = 0;
   std::size_t inflight = 0;  // dispatched to the scheduler, not yet finished
+  std::uint64_t preempt_requests = 0;   // explicit preempt ops served
+  std::uint64_t auto_preemptions = 0;   // jobs preempted for rejected capacity
 };
 
 /// Render the Status payload: {"type":"status","server":{...},

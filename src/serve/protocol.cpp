@@ -22,6 +22,8 @@ Op op_by_name(const std::string& name) {
   if (name == "status") return Op::Status;
   if (name == "reload") return Op::Reload;
   if (name == "shutdown") return Op::Shutdown;
+  if (name == "preempt") return Op::Preempt;
+  if (name == "checkpoint") return Op::Checkpoint;
   throw std::invalid_argument("serve: unknown op \"" + name + '"');
 }
 
@@ -169,6 +171,12 @@ SweepSpec parse_sweep_spec(const std::string& text) {
       }
     } else if (key == "priority") {
       spec.priority = spec_int(key, value);
+    } else if (key == "preemptible") {
+      const int v = spec_int(key, value);
+      if (v != 0 && v != 1) {
+        throw std::invalid_argument("sweep spec: preemptible must be 0|1");
+      }
+      spec.preemptible = v == 1;
     } else {
       throw std::invalid_argument("sweep spec: unknown key \"" + key + '"');
     }
@@ -189,6 +197,7 @@ batch::SweepConfig to_sweep_config(const SweepSpec& spec, const Scene& scene) {
   cfg.converge_tol = spec.converge_tol;
   cfg.max_steps = spec.max_steps;
   cfg.check_every = spec.check_every;
+  cfg.preemptible = spec.preemptible;
   cfg.setup = scene.setup();
   return cfg;
 }

@@ -18,7 +18,8 @@
 // commas (commas inside parentheses belong to engine specs).  Keys:
 // scene, grid (NXxNYxNZ list), lambda (list), engine (list), steps, tol,
 // max_steps, check_every, threads, cfl, pml (thickness), xb
-// (dirichlet|periodic), priority.
+// (dirichlet|periodic), priority, preemptible (0|1 — opt the jobs into
+// scheduler preemption; fixed-step sweeps only).
 #pragma once
 
 #include <cstdint>
@@ -36,7 +37,22 @@ namespace emwd::serve {
 /// before allocating).
 constexpr std::uint32_t kMaxFrame = 1u << 20;
 
-enum class Op { Ping, Submit, Sweep, Cancel, Status, Reload, Shutdown };
+enum class Op {
+  Ping,
+  Submit,
+  Sweep,
+  Cancel,
+  Status,
+  Reload,
+  Shutdown,
+  /// {"op":"preempt","count":N,"below_priority":P} — signal up to N (default
+  /// 1) running preemptible jobs with priority < P (default: all) to park as
+  /// resumable continuations; answers ack with the number signalled.
+  Preempt,
+  /// {"op":"checkpoint"} — ask every running checkpointing job to write one
+  /// snapshot at its next safe boundary; answers ack with the count.
+  Checkpoint,
+};
 
 struct Request {
   Op op = Op::Ping;
@@ -62,6 +78,7 @@ struct SweepSpec {
   int max_steps = 0;
   int check_every = 10;
   int priority = 0;
+  bool preemptible = false;
 };
 
 /// Parse the mini-grammar above; throws std::invalid_argument naming the

@@ -1,6 +1,7 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -283,6 +284,27 @@ void Server::handle_request(const std::shared_ptr<Session>& session,
       handle_jobs(session, req, std::move(jobs));
       return;
     }
+    case Op::Preempt: {
+      const long count = req.doc.get_int("count", 1);
+      if (count < 1) throw std::invalid_argument("preempt: count must be >= 1");
+      long below = req.doc.get_int("below_priority", 0);
+      if (!req.doc.find("below_priority")) {
+        below = std::numeric_limits<int>::max();  // default: any priority
+      }
+      below = std::clamp<long>(below, std::numeric_limits<int>::min(),
+                               std::numeric_limits<int>::max());
+      const std::size_t signalled = scheduler_.preempt_lower_than(
+          static_cast<int>(below), static_cast<std::size_t>(count));
+      {
+        std::lock_guard<std::mutex> lock(metrics_mu_);
+        ++metrics_.preempt_requests;
+      }
+      send_to(session, make_ack(req.id, signalled));
+      return;
+    }
+    case Op::Checkpoint:
+      send_to(session, make_ack(req.id, scheduler_.checkpoint_running()));
+      return;
     case Op::Sweep: {
       const SweepSpec spec = parse_sweep_spec(req.doc.get_string("spec", ""));
       auto tables = store_.snapshot();
@@ -315,6 +337,9 @@ void Server::handle_jobs(const std::shared_ptr<Session>& session, const Request&
     return;
   }
 
+  int max_priority = std::numeric_limits<int>::min();
+  for (const batch::Job& job : jobs) max_priority = std::max(max_priority, job.priority);
+
   std::map<FairShareQueue::Admit, std::size_t> rejected;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     PendingJob item;
@@ -331,7 +356,22 @@ void Server::handle_jobs(const std::shared_ptr<Session>& session, const Request&
     rejected_total += count;
     send_to(session, make_rejected(rid, count, admit_reason(admit)));
   }
-  if (rejected_total > 0) account_request(session, rid, request, rejected_total, 0);
+  if (rejected_total > 0) {
+    account_request(session, rid, request, rejected_total, 0);
+    if (cfg_.auto_preempt) {
+      // Rejected-for-capacity: make room by parking running preemptible
+      // jobs of strictly lower priority (one per rejected job).  They lose
+      // no work — each re-queues as a resumable continuation — and the
+      // freed executor slots drain the backlog for the rejected client's
+      // retry.
+      const std::size_t preempted =
+          scheduler_.preempt_lower_than(max_priority, rejected_total);
+      if (preempted > 0) {
+        std::lock_guard<std::mutex> lock(metrics_mu_);
+        metrics_.auto_preemptions += preempted;
+      }
+    }
+  }
 }
 
 void Server::handle_cancel(const std::shared_ptr<Session>& session,

@@ -52,6 +52,13 @@ struct ServerConfig {
   /// Optional {"scenes":[...]} document applied before serving starts
   /// (emwdd --tables); equivalent to an immediate Reload.
   std::string initial_tables_json;
+  /// When a job-bearing request is rejected for capacity, signal preemption
+  /// to running preemptible jobs of strictly lower priority (one per
+  /// rejected job) so the backlog drains faster for the high-priority
+  /// client.  Preempted jobs park as resumable continuations and lose no
+  /// work beyond their last step boundary.  emwdd --no-auto-preempt clears
+  /// this.
+  bool auto_preempt = true;
 };
 
 class Server {

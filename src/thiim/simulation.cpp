@@ -1,6 +1,7 @@
 #include "thiim/simulation.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <stdexcept>
 
 #include "exec/engine_registry.hpp"
@@ -127,10 +128,37 @@ void Simulation::add_point_dipole(em::SourceField which, int i, int j, int k,
   em::add_point_dipole(*fields_, materials_, pml_, params_, which, i, j, k, amplitude);
 }
 
-void Simulation::run(int steps) {
+int Simulation::run(int steps) {
   if (!finalized_) throw std::logic_error("Simulation: finalize() before run()");
-  engine_->run(*fields_, steps);
-  steps_done_ += steps;
+  if (!step_hook_ || step_hook_every_ <= 0) {
+    engine_->run(*fields_, steps);
+    steps_done_ += steps;
+    return steps;
+  }
+  // Thread the hook through the engine's segmented runner, translating the
+  // engine's per-run step count into the absolute steps_done() the hook
+  // sees.  steps_done_ is updated before the hook fires so it may snapshot.
+  const int base = steps_done_;
+  engine_->set_step_hook(step_hook_every_, [this, base](int done) {
+    steps_done_ = base + done;
+    return step_hook_(steps_done_);
+  });
+  int advanced = 0;
+  try {
+    advanced = engine_->run_hooked(*fields_, steps);
+  } catch (...) {
+    engine_->set_step_hook(0, nullptr);
+    steps_done_ = base;
+    throw;
+  }
+  engine_->set_step_hook(0, nullptr);
+  steps_done_ = base + advanced;
+  return advanced;
+}
+
+void Simulation::set_step_hook(int every, std::function<bool(int)> fn) {
+  step_hook_every_ = fn ? every : 0;
+  step_hook_ = step_hook_every_ > 0 ? std::move(fn) : nullptr;
 }
 
 double Simulation::run_until_converged(double tol, int max_steps, int check_every) {
@@ -141,12 +169,52 @@ double Simulation::run_until_converged(double tol, int max_steps, int check_ever
   while (done < max_steps) {
     snapshot.copy_fields_from(*fields_);
     const int chunk = std::min(check_every, max_steps - done);
-    run(chunk);
-    done += chunk;
+    const int advanced = run(chunk);
+    done += advanced;
     change = em::relative_change(*fields_, snapshot);
-    if (change < tol) break;
+    if (change < tol || advanced < chunk) break;  // converged or hook-stopped
   }
   return change;
+}
+
+io::SnapshotInfo Simulation::snapshot_info() const {
+  io::SnapshotInfo info;
+  info.extents = cfg_.grid;
+  info.steps_done = steps_done_;
+  info.x_boundary = cfg_.x_boundary;
+  info.meta = cfg_.engine_spec;
+  return info;
+}
+
+void Simulation::save_snapshot(std::ostream& os) const {
+  io::write_snapshot(os, *fields_, snapshot_info());
+}
+
+void Simulation::save_snapshot_file(const std::string& path) const {
+  io::write_snapshot_file(path, *fields_, snapshot_info());
+}
+
+io::SnapshotInfo Simulation::restore_snapshot(std::istream& is) {
+  if (!finalized_) {
+    throw std::logic_error("Simulation: finalize() before restore_snapshot()");
+  }
+  const io::SnapshotInfo info = io::read_snapshot(is, *fields_);
+  if (info.x_boundary != cfg_.x_boundary) {
+    throw std::runtime_error("snapshot: x_boundary mismatch with configuration");
+  }
+  steps_done_ = info.steps_done;
+  return info;
+}
+
+io::SnapshotInfo Simulation::restore_snapshot_file(const std::string& path) {
+  if (!finalized_) {
+    throw std::logic_error("Simulation: finalize() before restore_snapshot()");
+  }
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("snapshot: cannot open " + path);
+  }
+  return restore_snapshot(is);
 }
 
 }  // namespace emwd::thiim

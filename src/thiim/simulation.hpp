@@ -28,6 +28,7 @@
 #include "exec/engine.hpp"
 #include "exec/engine_spec.hpp"
 #include "grid/fieldset.hpp"
+#include "io/snapshot.hpp"
 
 namespace emwd::thiim {
 
@@ -127,8 +128,33 @@ class Simulation {
   void add_point_dipole(em::SourceField which, int i, int j, int k,
                         std::complex<double> amplitude);
 
-  /// Advance `steps` THIIM iterations.
-  void run(int steps);
+  /// Advance up to `steps` THIIM iterations; returns the number actually
+  /// advanced.  That is `steps` unless an installed step hook stopped the
+  /// run early (the scheduler's preemption path).
+  int run(int steps);
+
+  /// Install a periodic safe-boundary hook: during run(), fn(total steps
+  /// done since finalize()) fires every `every` steps at a step boundary —
+  /// steps_done() is already updated when it runs, so fn may snapshot the
+  /// fields.  Return false from fn to stop the run early.  Pass every <= 0
+  /// or a null fn to uninstall.
+  void set_step_hook(int every, std::function<bool(int)> fn);
+
+  /// Snapshot metadata for the current state (extents, steps_done,
+  /// x boundary; meta carries the engine spec string).
+  io::SnapshotInfo snapshot_info() const;
+
+  /// Serialize the field state (snapshot format v2, see src/io/README.md).
+  void save_snapshot(std::ostream& os) const;
+  void save_snapshot_file(const std::string& path) const;
+
+  /// Restore fields + step counter from a snapshot.  Requires finalize()
+  /// first (coefficients are rebuilt from geometry, only fields travel);
+  /// throws std::runtime_error when the stored extents or x boundary do not
+  /// match this simulation's configuration.  After restore, continuing with
+  /// run() is bit-exact with a run that was never interrupted.
+  io::SnapshotInfo restore_snapshot(std::istream& is);
+  io::SnapshotInfo restore_snapshot_file(const std::string& path);
 
   /// Iterate until the relative field change per `check_every` steps drops
   /// below `tol` (or `max_steps`).  Returns the last relative change.
@@ -167,6 +193,8 @@ class Simulation {
   exec::Engine* engine_ = nullptr;
   bool finalized_ = false;
   int steps_done_ = 0;
+  std::function<bool(int)> step_hook_;
+  int step_hook_every_ = 0;
 };
 
 }  // namespace emwd::thiim

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <future>
 #include <mutex>
 #include <set>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "batch/engine_pool.hpp"
+#include "io/snapshot.hpp"
 #include "batch/job.hpp"
 #include "batch/resource.hpp"
 #include "batch/scheduler.hpp"
@@ -654,6 +656,217 @@ TEST(Scheduler, StatsSnapshotHoldsTheAccountingIdentity) {
   EXPECT_EQ(st.completed, 4u);
   EXPECT_EQ(st.completed + st.failed + st.cancelled + st.queued + st.running,
             st.submitted);
+}
+
+// ------------------------------------------------- preemption / checkpointing
+
+TEST(SchedulerPreempt, PreemptedJobResumesBitExactlyWithCounters) {
+  const thiim::SimulationConfig cfg = scene_config(14.0, "naive");
+  const int steps = 24;
+  const Observables reference = run_standalone(cfg, steps);
+
+  std::promise<void> running;
+  std::atomic<bool> armed{true};
+  batch::SchedulerConfig sc;
+  sc.concurrency = 1;
+  sc.pin_slots = false;
+  sc.preempt_check_every = 2;
+  batch::Scheduler scheduler(sc);
+
+  batch::Job job;
+  job.config = cfg;
+  job.steps = steps;
+  job.preemptible = true;
+  job.setup = [&](thiim::Simulation& sim, const batch::Job& j) {
+    // setup runs on the first claim AND again on the resumed continuation's
+    // claim; only the first entry may satisfy the promise.
+    if (armed.exchange(false)) running.set_value();
+    paint_scene(sim, j);
+  };
+  const std::size_t index = scheduler.submit(std::move(job));
+
+  // The job is registered preemptible at claim, before setup runs, so once
+  // setup has been entered preempt() reliably lands the flag; the run loop
+  // polls it every preempt_check_every steps.
+  running.get_future().wait();
+  EXPECT_TRUE(scheduler.preempt(index));
+
+  const std::vector<batch::JobResult> results = scheduler.wait_all();
+  ASSERT_EQ(results.size(), 1u);
+  const batch::JobResult& r = results[0];
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.steps_done, steps);
+  EXPECT_EQ(r.preemptions, 1);
+  EXPECT_TRUE(r.resumed);
+  // Bit-exact with the uninterrupted reference.
+  EXPECT_EQ(r.total_energy, reference.total_energy);
+  EXPECT_EQ(r.electric_energy, reference.electric_energy);
+  ASSERT_EQ(r.absorption.size(), reference.absorption.size());
+  for (std::size_t m = 0; m < reference.absorption.size(); ++m) {
+    EXPECT_EQ(r.absorption[m], reference.absorption[m]) << "material " << m;
+  }
+
+  const batch::BatchStats st = scheduler.stats();
+  EXPECT_EQ(st.preempted, 1u);
+  EXPECT_EQ(st.resumed, 1u);
+  EXPECT_EQ(st.completed, 1u);
+  EXPECT_EQ(st.completed + st.failed + st.cancelled + st.queued + st.running,
+            st.submitted);
+}
+
+TEST(SchedulerPreempt, NonPreemptibleJobsRefuseTheFlag) {
+  std::promise<void> entered;
+  std::promise<void> release;
+  auto release_future = release.get_future().share();
+
+  batch::SchedulerConfig sc;
+  sc.concurrency = 1;
+  sc.pin_slots = false;
+  batch::Scheduler scheduler(sc);
+
+  batch::Job job;
+  job.config = scene_config(14.0, "naive");
+  job.steps = 2;
+  job.preemptible = false;
+  job.setup = [&](thiim::Simulation& sim, const batch::Job& j) {
+    entered.set_value();
+    release_future.wait();
+    paint_scene(sim, j);
+  };
+  const std::size_t index = scheduler.submit(std::move(job));
+  entered.get_future().wait();
+  EXPECT_FALSE(scheduler.preempt(index));          // running but not preemptible
+  EXPECT_FALSE(scheduler.preempt(index + 100));    // unknown index
+  EXPECT_EQ(scheduler.preempt_lower_than(100, 8), 0u);
+  release.set_value();
+  const auto results = scheduler.wait_all();
+  ASSERT_TRUE(results[0].ok) << results[0].error;
+  EXPECT_EQ(results[0].preemptions, 0);
+  EXPECT_EQ(scheduler.stats().preempted, 0u);
+}
+
+TEST(SchedulerCheckpoint, PeriodicSnapshotsLandAndFileResumeIsBitExact) {
+  const thiim::SimulationConfig cfg = scene_config(16.0, "naive");
+  const int steps = 40;
+  const Observables reference = run_standalone(cfg, steps);
+  const std::string path = testing::TempDir() + "/emwd_batch_job.ckpt";
+  std::remove(path.c_str());
+
+  {  // checkpointing run: snapshots at interior boundaries 10, 20, 30.
+    batch::Scheduler scheduler(batch::SchedulerConfig{.concurrency = 1,
+                                                      .pin_slots = false});
+    batch::Job job;
+    job.config = cfg;
+    job.steps = steps;
+    job.checkpoint_every = 10;
+    job.checkpoint_path = path;
+    job.setup = paint_scene;
+    scheduler.submit(std::move(job));
+    const auto results = scheduler.wait_all();
+    ASSERT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_EQ(results[0].snapshots, 3);
+    EXPECT_FALSE(results[0].resumed);
+    const batch::BatchStats st = scheduler.stats();
+    EXPECT_EQ(st.snapshots_written, 3u);
+    EXPECT_GT(st.snapshot_bytes, 0);
+  }
+
+  // The file holds the latest snapshot: step 30 of 40.
+  EXPECT_EQ(io::read_snapshot_info_file(path).steps_done, 30);
+
+  {  // resume run: restores step 30, runs the remaining 10 — bit-exact.
+    batch::Scheduler scheduler(batch::SchedulerConfig{.concurrency = 1,
+                                                      .pin_slots = false});
+    batch::Job job;
+    job.config = cfg;
+    job.steps = steps;
+    job.resume_from = path;
+    job.setup = paint_scene;
+    scheduler.submit(std::move(job));
+    const auto results = scheduler.wait_all();
+    ASSERT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_TRUE(results[0].resumed);
+    EXPECT_EQ(results[0].steps_done, steps);
+    EXPECT_EQ(results[0].total_energy, reference.total_energy);
+    EXPECT_EQ(results[0].electric_energy, reference.electric_energy);
+    EXPECT_EQ(scheduler.stats().resumed, 1u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SchedulerCheckpoint, ConvergenceJobsCannotResume) {
+  batch::Scheduler scheduler(batch::SchedulerConfig{.concurrency = 1,
+                                                    .pin_slots = false});
+  batch::Job job;
+  job.config = scene_config(14.0, "naive");
+  job.converge_tol = 1e-3;
+  job.max_steps = 10;
+  job.resume_from = "/no/such/snapshot.ckpt";
+  job.setup = paint_scene;
+  scheduler.submit(std::move(job));
+  const auto results = scheduler.wait_all();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_NE(results[0].error.find("converge"), std::string::npos)
+      << results[0].error;
+}
+
+TEST(JobJson, CheckpointFieldsRoundTrip) {
+  batch::Job job;
+  job.name = "ckpt";
+  job.steps = 40;
+  job.checkpoint_every = 10;
+  job.checkpoint_path = "/tmp/a.ckpt";
+  job.resume_from = "/tmp/b.ckpt";
+  job.preemptible = true;
+  const batch::Job back = batch::Job::from_json(job.to_json());
+  EXPECT_EQ(back.checkpoint_every, 10);
+  EXPECT_EQ(back.checkpoint_path, "/tmp/a.ckpt");
+  EXPECT_EQ(back.resume_from, "/tmp/b.ckpt");
+  EXPECT_TRUE(back.preemptible);
+  EXPECT_THROW(batch::Job::from_json(std::string("{\"checkpoint_every\":-1}")),
+               std::invalid_argument);
+
+  batch::JobResult r;
+  r.snapshots = 3;
+  r.preemptions = 2;
+  r.resumed = true;
+  const batch::JobResult rback = batch::JobResult::from_json(r.to_json());
+  EXPECT_EQ(rback.snapshots, 3);
+  EXPECT_EQ(rback.preemptions, 2);
+  EXPECT_TRUE(rback.resumed);
+}
+
+TEST(SweepCheckpoint, ResumeSkipsCompletedWorkAndStaysBitExact) {
+  const std::string dir = testing::TempDir();
+  batch::SweepConfig sweep;
+  sweep.base = scene_config(12.0, "naive");
+  sweep.wavelengths = {12.0, 18.0};
+  sweep.steps = 20;
+  sweep.setup = paint_scene;
+  sweep.scheduler.concurrency = 1;
+  sweep.scheduler.pin_slots = false;
+  sweep.checkpoint_every = 8;
+  sweep.checkpoint_dir = dir;
+  for (int i = 0; i < 2; ++i) {
+    std::remove((dir + "/job" + std::to_string(i) + ".ckpt").c_str());
+  }
+
+  const batch::SweepResult first = batch::run_sweep(sweep);
+  ASSERT_TRUE(first.results[0].ok && first.results[1].ok);
+  EXPECT_EQ(first.results[0].snapshots, 2);  // steps 8 and 16 of 20
+
+  // Second pass with resume: restores step 16 and redoes only 4 steps; the
+  // observables must be bit-identical to the uninterrupted pass.
+  sweep.resume = true;
+  const batch::SweepResult second = batch::run_sweep(sweep);
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(second.results[i].ok) << second.results[i].error;
+    EXPECT_TRUE(second.results[i].resumed);
+    EXPECT_EQ(second.results[i].total_energy, first.results[i].total_energy);
+    EXPECT_EQ(second.results[i].steps_done, 20);
+    std::remove((dir + "/job" + std::to_string(i) + ".ckpt").c_str());
+  }
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include "exec/engine.hpp"
 #include "exec/engine_spec.hpp"
 #include "grid/fieldset.hpp"
+#include "io/snapshot.hpp"
 #include "kernels/reference.hpp"
 #include "tiling/diamond.hpp"
 #include "util/rng.hpp"
@@ -423,6 +424,59 @@ TEST(Fuzz, JobFromJsonTruncatedPrefixesThrowNeverCrash) {
                    std::invalid_argument)
           << text.substr(0, len);
     }
+  }
+}
+
+TEST(Fuzz, SnapshotMutationsThrowNeverCrashOrMisread) {
+  // A snapshot with any single byte flipped, or truncated anywhere, must
+  // either throw std::runtime_error or read back the identical state — it
+  // may never crash, read garbage into the fields, or return silently
+  // wrong metadata.  (Every byte of a v2 snapshot is covered by the magic,
+  // a validated header field, a CRC, or the footer — so in practice every
+  // flip throws; the `read identical` arm guards against a future format
+  // adding genuinely ignorable bytes.)
+  grid::Layout L({4, 3, 5});
+  grid::FieldSet fs(L);
+  util::Xoshiro256 rng(15015);
+  for (const auto& c : kernels::kComps) {
+    for (int k = 0; k < 5; ++k) {
+      for (int j = 0; j < 3; ++j) {
+        for (int i = 0; i < 4; ++i) {
+          fs.field(c.self).set(i, j, k, {rng.uniform(-1, 1), rng.uniform(-1, 1)});
+        }
+      }
+    }
+  }
+  io::SnapshotInfo info;
+  info.extents = {4, 3, 5};
+  info.steps_done = 17;
+  info.meta = "fuzz";
+  const std::string blob = io::snapshot_to_string(fs, info);
+
+  grid::FieldSet scratch(L);
+  int flip_survivors = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string m = blob;
+    m[rng.below(m.size())] ^= static_cast<char>(1 + rng.below(255));
+    try {
+      (void)io::snapshot_from_string(m, scratch);
+      ++flip_survivors;
+      EXPECT_EQ(grid::FieldSet::max_field_diff(fs, scratch), 0.0);
+    } catch (const std::runtime_error&) {
+      // expected: some CRC / structural check caught the flip
+    }
+  }
+  EXPECT_EQ(flip_survivors, 0) << "v2 has no uncovered bytes";
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string cut = blob.substr(0, rng.below(blob.size()));
+    EXPECT_THROW((void)io::snapshot_from_string(cut, scratch), std::runtime_error);
+  }
+  // Random garbage of snapshot-ish sizes.
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string soup(rng.below(blob.size() * 2), '\0');
+    for (char& ch : soup) ch = static_cast<char>(rng.below(256));
+    EXPECT_THROW((void)io::snapshot_from_string(soup, scratch), std::runtime_error);
   }
 }
 

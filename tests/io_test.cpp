@@ -1,12 +1,17 @@
-// Export module tests: slice CSV and VTK structure.
+// Export module tests: slice CSV and VTK structure; snapshot format and
+// the async SnapshotWriter (src/io/README.md is the normative spec).
 #include <gtest/gtest.h>
 
-#include <sstream>
+#include <cstdio>
 #include <fstream>
+#include <map>
+#include <sstream>
 
 #include "em/material.hpp"
-#include "io/export.hpp"
 #include "io/checkpoint.hpp"
+#include "io/export.hpp"
+#include "io/snapshot.hpp"
+#include "thiim/simulation.hpp"
 
 namespace {
 
@@ -136,6 +141,281 @@ TEST(IoExport, FileWritersCreateFiles) {
   EXPECT_THROW(
       io::write_E_magnitude_vtk_file("/nonexistent-dir/x.vtk", fs),
       std::runtime_error);
+}
+
+// ------------------------------------------------------------------
+// Snapshot format v2 (see src/io/README.md for the byte-level spec).
+
+grid::FieldSet make_snapshot_fields(double salt = 0.0) {
+  grid::Layout L({5, 4, 6});
+  grid::FieldSet fs(L);
+  for (const auto& c : kernels::kComps) {
+    for (int k = 0; k < 6; ++k) {
+      for (int j = 0; j < 4; ++j) {
+        for (int i = 0; i < 5; ++i) {
+          fs.field(c.self).set(
+              i, j, k,
+              {salt + i + 10.0 * j + 100.0 * k + 1000.0 * kernels::idx(c.self),
+               -0.25 * i + salt});
+        }
+      }
+    }
+  }
+  return fs;
+}
+
+io::SnapshotInfo make_info() {
+  io::SnapshotInfo info;
+  info.extents = {5, 4, 6};
+  info.steps_done = 42;
+  info.x_boundary = grid::XBoundary::Periodic;
+  info.meta = "mwd(dw=4) \"quoted\" \\slash";  // JSON escaping must round-trip
+  return info;
+}
+
+TEST(Snapshot, RoundTripsBitExactWithInfo) {
+  const auto a = make_snapshot_fields();
+  const std::string blob = io::snapshot_to_string(a, make_info());
+  grid::FieldSet b(grid::Layout({5, 4, 6}));
+  const io::SnapshotInfo got = io::snapshot_from_string(blob, b);
+  EXPECT_EQ(grid::FieldSet::max_field_diff(a, b), 0.0);
+  EXPECT_EQ(got.steps_done, 42);
+  EXPECT_EQ(got.x_boundary, grid::XBoundary::Periodic);
+  EXPECT_EQ(got.meta, "mwd(dw=4) \"quoted\" \\slash");
+  EXPECT_EQ(got.extents.nx, 5);
+  EXPECT_EQ(got.extents.ny, 4);
+  EXPECT_EQ(got.extents.nz, 6);
+  // Halo cells of the restored set stay zero.
+  EXPECT_EQ(b.field(kernels::Comp::Exy).at(-1, 0, 0), std::complex<double>(0, 0));
+}
+
+TEST(Snapshot, HeaderOnlyReadIsCheap) {
+  std::stringstream buffer(io::snapshot_to_string(make_snapshot_fields(), make_info()));
+  const io::SnapshotInfo info = io::read_snapshot_info(buffer);
+  EXPECT_EQ(info.steps_done, 42);
+  EXPECT_EQ(info.extents.nz, 6);
+}
+
+TEST(Snapshot, RejectsCorruptionTruncationAndBadVersion) {
+  const auto a = make_snapshot_fields();
+  const std::string blob = io::snapshot_to_string(a, make_info());
+  grid::FieldSet b(grid::Layout({5, 4, 6}));
+
+  {  // bad magic
+    std::string m = blob;
+    m[0] ^= 0x40;
+    EXPECT_THROW(io::snapshot_from_string(m, b), std::runtime_error);
+  }
+  {  // unsupported version (u32 LE at offset 8)
+    std::string m = blob;
+    m[8] = 99;
+    EXPECT_THROW(io::snapshot_from_string(m, b), std::runtime_error);
+  }
+  {  // header JSON corruption breaks the header CRC
+    std::string m = blob;
+    m[20] ^= 0x01;
+    EXPECT_THROW(io::snapshot_from_string(m, b), std::runtime_error);
+  }
+  {  // payload corruption breaks a chunk CRC
+    std::string m = blob;
+    m[m.size() / 2] ^= 0x01;
+    EXPECT_THROW(io::snapshot_from_string(m, b), std::runtime_error);
+  }
+  {  // torn file: any truncation point must throw, never crash
+    for (std::size_t cut : {blob.size() - 1, blob.size() - 9, blob.size() / 2,
+                            std::size_t{40}, std::size_t{7}}) {
+      EXPECT_THROW(io::snapshot_from_string(blob.substr(0, cut), b),
+                   std::runtime_error);
+    }
+  }
+  {  // corrupted footer
+    std::string m = blob;
+    m[m.size() - 1] ^= 0x01;
+    EXPECT_THROW(io::snapshot_from_string(m, b), std::runtime_error);
+  }
+  // The pristine blob still reads after all that.
+  EXPECT_EQ(io::snapshot_from_string(blob, b).steps_done, 42);
+  EXPECT_EQ(grid::FieldSet::max_field_diff(a, b), 0.0);
+}
+
+TEST(Snapshot, RejectsMismatchedExtents) {
+  const std::string blob = io::snapshot_to_string(make_snapshot_fields(), make_info());
+  grid::FieldSet wrong(grid::Layout({5, 4, 7}));
+  EXPECT_THROW(io::snapshot_from_string(blob, wrong), std::runtime_error);
+}
+
+TEST(Snapshot, FileFormsAreAtomicAndErrnoChecked) {
+  const auto a = make_snapshot_fields();
+  const std::string path = testing::TempDir() + "/emwd_snap.ckpt";
+  io::write_snapshot_file(path, a, make_info());
+  // No temp file left behind.
+  EXPECT_FALSE(std::ifstream(path + ".tmp~").good());
+  grid::FieldSet b(grid::Layout({5, 4, 6}));
+  EXPECT_EQ(io::read_snapshot_file(path, b).steps_done, 42);
+  EXPECT_EQ(grid::FieldSet::max_field_diff(a, b), 0.0);
+  EXPECT_EQ(io::read_snapshot_info_file(path).steps_done, 42);
+
+  EXPECT_THROW(io::write_snapshot_file("/nonexistent-dir/x.ckpt", a, make_info()),
+               std::runtime_error);
+  EXPECT_THROW(io::read_snapshot_file("/no/such/snap.ckpt", b), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotWriter, CapturesStateAtCaptureTime) {
+  grid::Layout L({5, 4, 6});
+  auto fs = make_snapshot_fields(1.0);
+  const auto pristine = fs;  // copy: what the file must contain
+  const std::string path = testing::TempDir() + "/emwd_async.ckpt";
+  {
+    io::SnapshotWriter writer(L);
+    writer.capture(fs, make_info(), path);
+    // Mutate after capture: the staged copy, not this, must hit the disk.
+    fs.field(kernels::Comp::Exy).set(0, 0, 0, {1e9, -1e9});
+    writer.wait_idle();
+    const auto st = writer.stats();
+    EXPECT_EQ(st.captured, 1);
+    EXPECT_EQ(st.written, 1);
+    EXPECT_GT(st.bytes_written, 0);
+  }
+  grid::FieldSet back(L);
+  io::read_snapshot_file(path, back);
+  EXPECT_EQ(grid::FieldSet::max_field_diff(pristine, back), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotWriter, RepeatedCapturesLatestWins) {
+  grid::Layout L({5, 4, 6});
+  const std::string path = testing::TempDir() + "/emwd_latest.ckpt";
+  io::SnapshotWriter writer(L);
+  for (int i = 0; i < 4; ++i) {
+    auto fs = make_snapshot_fields(i);
+    io::SnapshotInfo info = make_info();
+    info.steps_done = i;
+    writer.capture(fs, info, path);
+  }
+  writer.wait_idle();
+  EXPECT_EQ(writer.stats().captured, 4);
+  EXPECT_EQ(writer.stats().written, 4);
+  grid::FieldSet back(L);
+  EXPECT_EQ(io::read_snapshot_file(path, back).steps_done, 3);
+  EXPECT_EQ(grid::FieldSet::max_field_diff(make_snapshot_fields(3), back), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotWriter, WriteErrorsAreStickyAndRethrown) {
+  grid::Layout L({5, 4, 6});
+  io::SnapshotWriter writer(L);
+  auto fs = make_snapshot_fields();
+  writer.capture(fs, make_info(), "/nonexistent-dir/snap.ckpt");
+  EXPECT_THROW(writer.wait_idle(), std::runtime_error);
+  // The error was consumed by the rethrow; the writer is usable again.
+  const std::string path = testing::TempDir() + "/emwd_recover.ckpt";
+  writer.capture(fs, make_info(), path);
+  writer.wait_idle();
+  grid::FieldSet back(L);
+  io::read_snapshot_file(path, back);
+  EXPECT_EQ(grid::FieldSet::max_field_diff(fs, back), 0.0);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------------
+// Resume semantics through the Simulation facade: a snapshot taken at a
+// step boundary and restored into a freshly built simulation continues
+// bit-exactly, for every engine family (this is the property that makes
+// preemption safe — see src/batch/README.md).
+
+thiim::SimulationConfig resume_cfg(const std::string& spec) {
+  thiim::SimulationConfig cfg;
+  cfg.grid = {10, 10, 18};
+  cfg.wavelength_cells = 9.0;
+  cfg.pml.thickness = 4;
+  cfg.engine_spec = spec;
+  cfg.threads = 2;
+  return cfg;
+}
+
+void setup_resume_sim(thiim::Simulation& sim) {
+  const auto ag = sim.materials().add(em::silver());
+  em::GeometryBuilder(sim.materials()).layer(ag, 0, 3);
+  sim.finalize();
+  sim.add_plane_wave(em::SourceField::Ex, 13, {1.0, 0.0});
+}
+
+TEST(SnapshotResume, SegmentedRunMatchesUninterruptedAcrossEngines) {
+  for (const std::string spec :
+       {"naive", "spatial(by=4)", "mwd(dw=4,bz=2,tc=1)",
+        "sharded(shards=2,interval=2,inner=naive)"}) {
+    SCOPED_TRACE(spec);
+    thiim::Simulation uninterrupted(resume_cfg(spec));
+    setup_resume_sim(uninterrupted);
+    uninterrupted.run(20);
+
+    thiim::Simulation first(resume_cfg(spec));
+    setup_resume_sim(first);
+    first.run(11);  // deliberately not a divisor of 20
+    std::stringstream blob;
+    first.save_snapshot(blob);
+
+    thiim::Simulation second(resume_cfg(spec));
+    setup_resume_sim(second);
+    const io::SnapshotInfo info = second.restore_snapshot(blob);
+    EXPECT_EQ(info.steps_done, 11);
+    EXPECT_EQ(second.steps_done(), 11);
+    second.run(20 - second.steps_done());
+    EXPECT_EQ(second.steps_done(), 20);
+    EXPECT_EQ(grid::FieldSet::max_field_diff(uninterrupted.fields(), second.fields()),
+              0.0)
+        << "resume not bit-exact for engine " << spec;
+    EXPECT_DOUBLE_EQ(uninterrupted.total_energy(), second.total_energy());
+  }
+}
+
+TEST(SnapshotResume, StepHookSnapshotsResumeBitExactly) {
+  thiim::Simulation uninterrupted(resume_cfg("naive"));
+  setup_resume_sim(uninterrupted);
+  uninterrupted.run(12);
+
+  thiim::Simulation hooked(resume_cfg("naive"));
+  setup_resume_sim(hooked);
+  std::map<int, std::string> blobs;
+  hooked.set_step_hook(4, [&](int done) {
+    blobs[done] = io::snapshot_to_string(hooked.fields(), hooked.snapshot_info());
+    return true;
+  });
+  hooked.run(12);
+  // Hooks fire at interior step boundaries only: 4 and 8, not 12.
+  ASSERT_EQ(blobs.size(), 2u);
+  ASSERT_TRUE(blobs.count(4) && blobs.count(8));
+
+  thiim::Simulation resumed(resume_cfg("naive"));
+  setup_resume_sim(resumed);
+  std::istringstream blob(blobs.at(8));
+  resumed.restore_snapshot(blob);
+  EXPECT_EQ(resumed.steps_done(), 8);
+  resumed.run(4);
+  EXPECT_EQ(grid::FieldSet::max_field_diff(uninterrupted.fields(), resumed.fields()),
+            0.0);
+}
+
+TEST(SnapshotResume, RejectsBoundaryMismatchAndUnfinalized) {
+  thiim::Simulation src(resume_cfg("naive"));
+  setup_resume_sim(src);
+  src.run(3);
+  std::stringstream blob;
+  src.save_snapshot(blob);
+
+  // x-boundary mismatch: the coefficients differ, resuming would be wrong.
+  auto cfg = resume_cfg("naive");
+  cfg.x_boundary = grid::XBoundary::Periodic;
+  thiim::Simulation periodic(cfg);
+  periodic.finalize();
+  EXPECT_THROW(periodic.restore_snapshot(blob), std::runtime_error);
+
+  // Restore before finalize() is a lifecycle error.
+  thiim::Simulation raw(resume_cfg("naive"));
+  std::stringstream blob2;
+  src.save_snapshot(blob2);
+  EXPECT_THROW(raw.restore_snapshot(blob2), std::logic_error);
 }
 
 }  // namespace

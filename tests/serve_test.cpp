@@ -656,4 +656,113 @@ TEST(ServeEndToEnd, DisconnectChurnWithPendingJobsDoesNotWedgeAccept) {
   gated.server().stop();
 }
 
+// -------------------------------------------------- preemption over the wire
+
+TEST(ServeProtocol, SweepSpecCarriesPreemptible) {
+  const serve::SweepSpec spec = serve::parse_sweep_spec(
+      "scene=vacuum;grid=10x10x16;lambda=13;steps=4;preemptible=1");
+  EXPECT_TRUE(spec.preemptible);
+  const serve::Tables tables = serve::builtin_tables();
+  const batch::SweepConfig cfg =
+      serve::to_sweep_config(spec, *tables.find("vacuum"));
+  EXPECT_TRUE(cfg.preemptible);
+  EXPECT_THROW(serve::parse_sweep_spec("scene=vacuum;preemptible=2"),
+               std::invalid_argument);
+}
+
+TEST(ServeEndToEnd, PreemptAndCheckpointOpsAckAndStatusCarriesCounters) {
+  const std::string path = test_socket_path("preempt");
+  serve::Server server(small_server(path));
+  Client client(path);
+
+  // Idle daemon: both ops ack with a zero count — nothing runs yet.
+  client.send("{\"op\":\"preempt\",\"count\":3}");
+  JsonValue ack = client.recv();
+  EXPECT_EQ(ack.get_string("type", ""), "ack");
+  EXPECT_EQ(ack.get_int("jobs", -1), 0);
+
+  client.send("{\"op\":\"checkpoint\"}");
+  ack = client.recv();
+  EXPECT_EQ(ack.get_string("type", ""), "ack");
+  EXPECT_EQ(ack.get_int("jobs", -1), 0);
+
+  // Bad count is a protocol error, and the connection survives it.
+  client.send("{\"op\":\"preempt\",\"count\":0}");
+  EXPECT_EQ(client.recv().get_string("type", ""), "error");
+
+  client.send("{\"op\":\"status\"}");
+  const JsonValue status = client.recv();
+  const JsonValue* srv = status.find("server");
+  ASSERT_NE(srv, nullptr);
+  EXPECT_EQ(srv->get_int("preempt_requests", -1), 1);
+  EXPECT_EQ(srv->get_int("auto_preemptions", -1), 0);
+  const JsonValue* sched = status.find("scheduler");
+  ASSERT_NE(sched, nullptr);
+  EXPECT_EQ(sched->get_int("preempted", -1), 0);
+  EXPECT_EQ(sched->get_int("resumed", -1), 0);
+  EXPECT_EQ(sched->get_int("snapshots_written", -1), 0);
+  EXPECT_EQ(sched->get_int("snapshot_bytes", -1), 0);
+  server.stop();
+}
+
+TEST(ServeEndToEnd, PreemptibleSweepCompletesBitExactAfterPreemptOps) {
+  // A preemptible sweep bombarded with preempt ops must still deliver every
+  // result, bit-exact with the in-process baseline — preemption parks and
+  // resumes, it never corrupts or drops work.
+  constexpr const char* kPreemptibleSweep =
+      "scene=layered;grid=10x10x16;lambda=16,22;steps=30;threads=2;"
+      "engine=naive;pml=3;preemptible=1";
+  const std::string path = test_socket_path("preemptrun");
+  serve::ServerConfig cfg = small_server(path);
+  cfg.scheduler.concurrency = 1;  // serialize so preempts can land mid-run
+  cfg.scheduler.preempt_check_every = 2;
+  serve::Server server(cfg);
+
+  Client sweeper(path);
+  std::ostringstream os;
+  os << "{\"op\":\"sweep\",\"spec\":" << util::json_quote(kPreemptibleSweep) << '}';
+  sweeper.send(os.str());
+
+  // Pepper the daemon with preempt requests from a second connection while
+  // the sweep runs; each one acks with however many jobs it flagged.
+  Client poker(path);
+  std::size_t preempted = 0;
+  for (int i = 0; i < 6; ++i) {
+    poker.send("{\"op\":\"preempt\"}");
+    preempted += static_cast<std::size_t>(poker.recv().get_int("jobs", 0));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  const Client::SweepOutcome remote = sweeper.collect();
+  ASSERT_EQ(remote.results.size(), 2u);
+
+  batch::SweepConfig local_cfg = serve::to_sweep_config(
+      serve::parse_sweep_spec(kPreemptibleSweep), *serve::builtin_tables().find("layered"));
+  local_cfg.preemptible = false;  // uninterrupted baseline
+  local_cfg.scheduler.concurrency = 1;
+  local_cfg.scheduler.pin_slots = false;
+  const batch::SweepResult local = batch::run_sweep(local_cfg);
+
+  std::size_t result_preempts = 0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const batch::JobResult& r = remote.results.at(i);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.steps_done, local.results[i].steps_done);
+    EXPECT_EQ(r.total_energy, local.results[i].total_energy) << "job " << i;
+    EXPECT_EQ(r.electric_energy, local.results[i].electric_energy);
+    result_preempts += static_cast<std::size_t>(r.preemptions);
+  }
+  // An ack counts flags landed; a flag that lands after a job's final poll
+  // boundary is harmlessly lost when the job just finishes — so the acks
+  // bound the preemptions that actually happened (timing decides how many).
+  EXPECT_LE(result_preempts, preempted);
+
+  poker.send("{\"op\":\"status\"}");
+  const JsonValue status = poker.recv();
+  EXPECT_EQ(static_cast<std::size_t>(
+                status.find("scheduler")->get_int("preempted", -1)),
+            result_preempts);
+  server.stop();
+}
+
 }  // namespace
