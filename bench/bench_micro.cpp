@@ -15,6 +15,7 @@
 #include "common.hpp"
 #include "em/coefficients.hpp"
 #include "exec/engine.hpp"
+#include "fault/inject.hpp"
 #include "grid/fieldset.hpp"
 #include "kernels/reference.hpp"
 #include "kernels/update.hpp"
@@ -111,6 +112,31 @@ void BM_SpinBarrierSolo(benchmark::State& state) {
   for (auto _ : state) b.arrive_and_wait();
 }
 BENCHMARK(BM_SpinBarrierSolo);
+
+// The disarmed fault-point check: one relaxed load and an untaken branch.
+// This is what every injection point on a hot path (engine.step, socket
+// loops) costs when no chaos run is active — it must stay at ~ns scale or
+// the points cannot live in production code.
+void BM_FaultCheckDisabled(benchmark::State& state) {
+  fault::disarm();
+  for (auto _ : state) {
+    if (fault::enabled()) fault::should_fire("bench.point");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_FaultCheckDisabled);
+
+// The armed-but-miss path for contrast: registry mutex + trigger roll.
+void BM_FaultCheckArmedMiss(benchmark::State& state) {
+  fault::configure("other.point=once");  // arms the registry, not this point
+  for (auto _ : state) {
+    if (fault::enabled()) {
+      benchmark::DoNotOptimize(fault::should_fire("bench.point"));
+    }
+  }
+  fault::disarm();
+}
+BENCHMARK(BM_FaultCheckArmedMiss);
 
 void BM_DiamondSlices(benchmark::State& state) {
   tiling::DiamondTiling dt(static_cast<int>(state.range(0)), 128, 32);

@@ -11,11 +11,25 @@
 //       --sweep='scene=layered;grid=16x16x32;lambda=18,24,30;steps=60;threads=2'
 //   emwd-client --sweep='...' --inprocess   # same CSV, no daemon
 //   emwd-client --status | python3 -m json.tool
+//
+// Failure semantics: the daemon tags every error and reject frame with a
+// class ("transient" means the identical request may succeed later,
+// "permanent" means it never will).  --retries=N resubmits the sweep up to
+// N times on transient trouble, sleeping for the daemon's retry_after hint
+// (or a 0.2 s default) between attempts.  Exit codes are distinct so
+// wrappers can branch without parsing stderr:
+//   0  every job ok
+//   1  permanent failure (bad request, failed job with class "permanent")
+//   2  usage error (bad flags, unreadable files, malformed spec)
+//   3  transient failure that survived all --retries attempts
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "batch/sweep.hpp"
@@ -70,24 +84,38 @@ std::string roundtrip(int fd, const std::string& payload) {
   return *reply;
 }
 
-int run_sweep_remote(int fd, const std::string& spec_text) {
-  serve::parse_sweep_spec(spec_text);  // fail fast, before touching the daemon
+/// One sweep attempt streamed off the wire, plus everything the retry loop
+/// needs to classify it.
+struct SweepOutcome {
+  std::vector<batch::JobResult> rows;  // in expansion order
+  std::size_t expected = 0;
+  std::size_t rejected = 0;      // all rejections are class "transient"
+  bool permanent = false;        // error frame or result with class "permanent"
+  bool transient = false;        // reject, transient/deadline result, lost jobs
+  double retry_after = 0.0;      // largest daemon hint seen, seconds
+};
+
+SweepOutcome sweep_attempt(int fd, const std::string& spec_text) {
   std::ostringstream os;
   os << "{\"op\":\"sweep\",\"id\":\"cli\",\"spec\":" << util::json_quote(spec_text)
      << '}';
   if (!util::send_frame(fd, os.str())) {
     throw std::runtime_error("daemon closed the connection");
   }
+  SweepOutcome out;
   std::map<std::size_t, batch::JobResult> rows;
-  std::size_t expected = 0;
   for (;;) {
     std::optional<std::string> payload = util::recv_frame(fd, serve::kMaxFrame);
     if (!payload) throw std::runtime_error("daemon closed mid-sweep");
     const util::JsonValue frame = util::JsonValue::parse(*payload);
     const std::string type = frame.get_string("type", "");
     if (type == "ack") {
-      expected = static_cast<std::size_t>(frame.get_int("jobs", 0));
+      out.expected = static_cast<std::size_t>(frame.get_int("jobs", 0));
     } else if (type == "rejected") {
+      out.rejected += static_cast<std::size_t>(frame.get_int("count", 0));
+      out.transient = true;
+      out.retry_after =
+          std::max(out.retry_after, frame.get_double("retry_after", 0.0));
       std::fprintf(stderr, "emwd-client: %ld job(s) rejected (%s)\n",
                    frame.get_int("count", 0),
                    frame.get_string("reason", "?").c_str());
@@ -99,23 +127,46 @@ int run_sweep_remote(int fd, const std::string& spec_text) {
     } else if (type == "done") {
       break;
     } else if (type == "error") {
-      std::fprintf(stderr, "emwd-client: daemon error: %s\n",
+      // Request-level failure; the daemon sends no done frame after it.
+      const std::string cls = frame.get_string("class", "permanent");
+      std::fprintf(stderr, "emwd-client: daemon error (%s): %s\n", cls.c_str(),
                    frame.get_string("message", "?").c_str());
-      return 1;
+      (cls == "transient" ? out.transient : out.permanent) = true;
+      return out;
     }
   }
-  std::vector<batch::JobResult> ordered;
-  ordered.reserve(rows.size());
-  for (auto& [index, r] : rows) ordered.push_back(std::move(r));
-  print_csv(ordered);
-  if (rows.size() < expected) {
+  for (auto& [index, r] : rows) {
+    if (!r.ok && !r.cancelled) {
+      (r.error_class == "permanent" ? out.permanent : out.transient) = true;
+    }
+    out.rows.push_back(std::move(r));
+  }
+  if (rows.size() + out.rejected < out.expected) {
+    // Jobs that vanished without a result frame (shutdown race): resubmit.
     std::fprintf(stderr, "emwd-client: %zu of %zu jobs produced no result\n",
-                 expected - rows.size(), expected);
+                 out.expected - rows.size() - out.rejected, out.expected);
+    out.transient = true;
   }
-  for (const batch::JobResult& r : ordered) {
-    if (!r.ok) return 1;
+  return out;
+}
+
+int run_sweep_remote(int fd, const std::string& spec_text, int retries) {
+  serve::parse_sweep_spec(spec_text);  // fail fast, before touching the daemon
+  for (int attempt = 1;; ++attempt) {
+    const SweepOutcome out = sweep_attempt(fd, spec_text);
+    const bool retry = out.transient && !out.permanent && attempt < retries;
+    if (!retry) {
+      print_csv(out.rows);
+      if (out.permanent) return 1;
+      return out.transient ? 3 : 0;
+    }
+    // Honor the daemon's backpressure hint; a small floor keeps a hint-less
+    // transient failure from hot-looping.
+    const double delay = std::max(out.retry_after, 0.2);
+    std::fprintf(stderr, "emwd-client: transient failure, retrying in %.2fs "
+                 "(attempt %d/%d)\n", delay, attempt + 1, retries);
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
   }
-  return 0;
 }
 
 }  // namespace
@@ -133,6 +184,10 @@ int main(int argc, char** argv) {
                "preempt up to N running preemptible jobs (they park and resume)",
                "");
   cli.add_flag("checkpoint", "ask every running checkpointing job to snapshot now");
+  cli.add_flag("retries",
+               "attempts for --sweep on transient failures (honors the daemon's "
+               "retry_after hint)",
+               "1");
   cli.add_flag("shutdown", "ask the daemon to stop");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "emwd-client: %s\n", cli.error().c_str());
@@ -185,7 +240,14 @@ int main(int argc, char** argv) {
       std::printf("%s\n", roundtrip(fd.get(), "{\"op\":\"checkpoint\"}").c_str());
     }
     int rc = 0;
-    if (!sweep.empty()) rc = run_sweep_remote(fd.get(), sweep);
+    if (!sweep.empty()) {
+      const long retries = std::stol(cli.get("retries", "1"));
+      if (retries < 1) {
+        std::fprintf(stderr, "emwd-client: --retries must be >= 1\n");
+        return 2;
+      }
+      rc = run_sweep_remote(fd.get(), sweep, static_cast<int>(retries));
+    }
     if (cli.get_bool("status", false)) {
       std::printf("%s\n", roundtrip(fd.get(), "{\"op\":\"status\"}").c_str());
     }
@@ -193,8 +255,13 @@ int main(int argc, char** argv) {
       roundtrip(fd.get(), "{\"op\":\"shutdown\"}");
     }
     return rc;
-  } catch (const std::exception& e) {
+  } catch (const std::invalid_argument& e) {
+    // Malformed spec / flag values: the caller's mistake, never retryable.
     std::fprintf(stderr, "emwd-client: %s\n", e.what());
-    return 1;
+    return 2;
+  } catch (const std::exception& e) {
+    // Connection trouble (daemon absent, closed mid-stream): transient.
+    std::fprintf(stderr, "emwd-client: %s\n", e.what());
+    return 3;
   }
 }

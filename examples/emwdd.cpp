@@ -19,6 +19,7 @@
 #include <sstream>
 #include <thread>
 
+#include "io/snapshot.hpp"
 #include "serve/server.hpp"
 #include "util/cli.hpp"
 
@@ -51,6 +52,11 @@ int main(int argc, char** argv) {
   cli.add_flag("max-idle-engines", "idle engines kept before LRU eviction", "8");
   cli.add_flag("max-idle-fields", "idle FieldSets kept before LRU eviction", "16");
   cli.add_flag("tables", "scene tables JSON file applied at startup", "");
+  cli.add_flag("checkpoint-dir",
+               "directory swept at startup: orphaned *.tmp~ removed, rotation "
+               "slots beyond --checkpoint-keep pruned",
+               "");
+  cli.add_flag("checkpoint-keep", "snapshots kept per checkpoint chain", "1");
   cli.add_flag("no-auto-preempt",
                "do not preempt lower-priority jobs on capacity rejects");
   cli.add_flag("preempt-check-every",
@@ -81,6 +87,23 @@ int main(int argc, char** argv) {
   cfg.auto_preempt = !cli.get_bool("no-auto-preempt", false);
   cfg.scheduler.preempt_check_every =
       static_cast<int>(cli.get_int("preempt-check-every", 16));
+
+  const std::string checkpoint_dir = cli.get("checkpoint-dir", "");
+  if (!checkpoint_dir.empty()) {
+    // A daemon restarted after a crash inherits whatever the old process
+    // left behind: half-written *.tmp~ files and over-long rotation chains.
+    // Sweep them before serving so recovery never resumes from debris.
+    const int keep = static_cast<int>(cli.get_int("checkpoint-keep", 1));
+    if (keep < 1) {
+      std::fprintf(stderr, "emwdd: --checkpoint-keep must be >= 1\n");
+      return 2;
+    }
+    const io::CleanupStats swept = io::cleanup_checkpoint_dir(checkpoint_dir, keep);
+    if (swept.tmp_removed > 0 || swept.pruned > 0) {
+      std::printf("emwdd: checkpoint dir swept (%d tmp, %d pruned)\n",
+                  swept.tmp_removed, swept.pruned);
+    }
+  }
 
   const std::string tables_path = cli.get("tables", "");
   if (!tables_path.empty()) {

@@ -23,6 +23,7 @@
 
 #include "batch/sweep.hpp"
 #include "em/geometry.hpp"
+#include "fault/inject.hpp"
 #include "thiim/simulation.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -47,6 +48,9 @@ int main(int argc, char** argv) {
   cli.add_flag("checkpoint-every", "snapshot each job every N steps", "0");
   cli.add_flag("checkpoint-dir", "directory for job<index>.ckpt snapshots", "");
   cli.add_flag("resume", "resume jobs whose checkpoint file exists");
+  cli.add_flag("retries", "attempts per job before its failure is final", "1");
+  cli.add_flag("deadline", "wall-clock budget per job in seconds (0: none)", "0");
+  cli.add_flag("keep", "rotated snapshots kept per job checkpoint chain", "1");
   cli.add_flag("preemptible", "mark every job preemptible");
   cli.add_flag("progress", "print each job as it finishes");
   if (!cli.parse(argc, argv)) {
@@ -86,6 +90,9 @@ int main(int argc, char** argv) {
   sweep.checkpoint_dir = cli.get("checkpoint-dir", "");
   sweep.resume = cli.get_bool("resume", false);
   sweep.preemptible = cli.get_bool("preemptible", false);
+  sweep.retry.max_attempts = std::max(1, static_cast<int>(cli.get_int("retries", 1)));
+  sweep.deadline_seconds = std::max(0.0, cli.get_double("deadline", 0.0));
+  sweep.checkpoint_keep = std::max(1, static_cast<int>(cli.get_int("keep", 1)));
 
   // Sweep wavelengths from ~400 nm to ~750 nm at 25 nm cells -> 16..30 cells.
   const double lam_lo = 16.0, lam_hi = 30.0;
@@ -157,6 +164,13 @@ int main(int argc, char** argv) {
       static_cast<long long>(result.stats.plans.misses));
   std::printf("(the paper's production runs do 80-160 of these per design; "
               "batching cuts fleet turnaround on top of MWD's 3-4x per run)\n");
+  if (result.stats.retries > 0 || result.stats.quarantined > 0) {
+    std::printf("fault recovery: %zu retried attempt(s), %zu snapshot(s) "
+                "quarantined\n", result.stats.retries, result.stats.quarantined);
+  }
+  // Chaos-smoke visibility: with EMWD_FAULTS armed, print what actually
+  // fired so the CI gate can assert the run was genuinely faulted.
+  if (fault::enabled()) std::fputs(fault::report().c_str(), stderr);
 
   const std::string csv_path = cli.get("csv");
   if (!csv_path.empty()) {

@@ -40,10 +40,19 @@ int checked_int(long v, const char* what) {
 
 }  // namespace
 
+const char* classify_error(const std::exception& e) {
+  if (dynamic_cast<const DeadlineExceeded*>(&e)) return "deadline";
+  // invalid_argument, domain_error etc. all derive from logic_error: the
+  // job description itself is wrong, so retrying is pointless.
+  if (dynamic_cast<const std::logic_error*>(&e)) return "permanent";
+  return "transient";
+}
+
 std::vector<std::string> JobResult::row_header() {
   return {"index",  "name",    "status",   "steps",   "wall_s",
           "mlups",  "total_E", "slot",     "threads", "engine",
-          "reused", "plan_hit", "snapshots", "preempts", "resumed", "error"};
+          "reused", "plan_hit", "snapshots", "preempts", "resumed",
+          "attempts", "error"};
 }
 
 std::vector<std::string> JobResult::to_row() const {
@@ -62,6 +71,7 @@ std::vector<std::string> JobResult::to_row() const {
           std::to_string(snapshots),
           std::to_string(preemptions),
           resumed ? "1" : "0",
+          std::to_string(attempts),
           error};
 }
 
@@ -77,6 +87,7 @@ std::string JobResult::to_json() const {
   os << "{\"index\":" << index << ",\"name\":\"" << json_escape(name) << '"'
      << ",\"status\":\"" << status_of(*this) << '"';
   if (!error.empty()) os << ",\"error\":\"" << json_escape(error) << '"';
+  if (!error_class.empty()) os << ",\"class\":\"" << json_escape(error_class) << '"';
   os << ",\"steps_done\":" << steps_done << ",\"wall_seconds\":" << wall_seconds
      << ",\"total_energy\":" << total_energy
      << ",\"electric_energy\":" << electric_energy
@@ -94,7 +105,8 @@ std::string JobResult::to_json() const {
      << ",\"engine_reused\":" << (engine_reused ? "true" : "false")
      << ",\"plan_cache_hit\":" << (plan_cache_hit ? "true" : "false")
      << ",\"snapshots\":" << snapshots << ",\"preemptions\":" << preemptions
-     << ",\"resumed\":" << (resumed ? "true" : "false") << '}';
+     << ",\"resumed\":" << (resumed ? "true" : "false")
+     << ",\"attempts\":" << attempts << ",\"quarantined\":" << quarantined << '}';
   return os.str();
 }
 
@@ -121,6 +133,7 @@ JobResult JobResult::from_json(const JsonValue& doc) {
                                 '"');
   }
   r.error = doc.get_string("error", "");
+  r.error_class = doc.get_string("class", "");
   r.steps_done = checked_int(doc.get_int("steps_done", 0), "steps_done");
   r.wall_seconds = doc.get_double("wall_seconds", 0.0);
   r.total_energy = doc.get_double("total_energy", 0.0);
@@ -147,6 +160,8 @@ JobResult JobResult::from_json(const JsonValue& doc) {
   r.snapshots = checked_int(doc.get_int("snapshots", 0), "snapshots");
   r.preemptions = checked_int(doc.get_int("preemptions", 0), "preemptions");
   r.resumed = doc.get_bool("resumed", false);
+  r.attempts = checked_int(doc.get_int("attempts", 1), "attempts");
+  r.quarantined = checked_int(doc.get_int("quarantined", 0), "quarantined");
   return r;
 }
 
@@ -158,8 +173,15 @@ std::string Job::to_json() const {
      << ",\"check_every\":" << check_every << ",\"priority\":" << priority
      << ",\"checkpoint_every\":" << checkpoint_every
      << ",\"checkpoint_path\":" << json_quote(checkpoint_path)
+     << ",\"checkpoint_keep\":" << checkpoint_keep
      << ",\"resume_from\":" << json_quote(resume_from)
      << ",\"preemptible\":" << (preemptible ? "true" : "false")
+     << ",\"deadline_seconds\":" << deadline_seconds
+     << ",\"retry\":{\"max_attempts\":" << retry.max_attempts
+     << ",\"backoff_seconds\":" << retry.backoff_seconds
+     << ",\"backoff_multiplier\":" << retry.backoff_multiplier
+     << ",\"max_backoff_seconds\":" << retry.max_backoff_seconds
+     << ",\"jitter\":" << retry.jitter << '}'
      << ",\"config\":{\"grid\":[" << config.grid.nx << ',' << config.grid.ny << ','
      << config.grid.nz << "],\"wavelength_cells\":" << config.wavelength_cells
      << ",\"cfl\":" << config.cfl << ",\"pml\":{\"thickness\":" << config.pml.thickness
@@ -195,8 +217,39 @@ Job Job::from_json(const JsonValue& doc) {
     throw std::invalid_argument("Job::from_json: negative checkpoint_every");
   }
   job.checkpoint_path = doc.get_string("checkpoint_path", "");
+  job.checkpoint_keep =
+      checked_int(doc.get_int("checkpoint_keep", job.checkpoint_keep), "checkpoint_keep");
+  if (job.checkpoint_keep < 1) {
+    throw std::invalid_argument("Job::from_json: checkpoint_keep must be >= 1");
+  }
   job.resume_from = doc.get_string("resume_from", "");
   job.preemptible = doc.get_bool("preemptible", false);
+  job.deadline_seconds = doc.get_double("deadline_seconds", 0.0);
+  if (job.deadline_seconds < 0.0) {
+    throw std::invalid_argument("Job::from_json: negative deadline_seconds");
+  }
+  if (const JsonValue* retry = doc.find("retry")) {
+    if (!retry->is_object()) {
+      throw std::invalid_argument("Job::from_json: \"retry\" must be an object");
+    }
+    job.retry.max_attempts = checked_int(
+        retry->get_int("max_attempts", job.retry.max_attempts), "retry.max_attempts");
+    if (job.retry.max_attempts < 1) {
+      throw std::invalid_argument("Job::from_json: retry.max_attempts must be >= 1");
+    }
+    job.retry.backoff_seconds =
+        retry->get_double("backoff_seconds", job.retry.backoff_seconds);
+    job.retry.backoff_multiplier =
+        retry->get_double("backoff_multiplier", job.retry.backoff_multiplier);
+    job.retry.max_backoff_seconds =
+        retry->get_double("max_backoff_seconds", job.retry.max_backoff_seconds);
+    job.retry.jitter = retry->get_double("jitter", job.retry.jitter);
+    if (job.retry.backoff_seconds < 0.0 || job.retry.backoff_multiplier < 1.0 ||
+        job.retry.max_backoff_seconds < 0.0 || job.retry.jitter < 0.0 ||
+        job.retry.jitter > 1.0) {
+      throw std::invalid_argument("Job::from_json: retry policy out of range");
+    }
+  }
 
   if (const JsonValue* cfg = doc.find("config")) {
     if (!cfg->is_object()) {

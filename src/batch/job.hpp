@@ -25,6 +25,39 @@ namespace emwd::batch {
 
 struct JobResult;
 
+/// Thrown (and classified as error_class "deadline") when a job exceeds its
+/// wall-clock budget.  Checked at the same safe step boundaries that poll
+/// preemption, so enforcement latency is bounded by preempt_check_every.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  DeadlineExceeded(const std::string& job, double budget_seconds)
+      : std::runtime_error("job \"" + job + "\" exceeded its deadline of " +
+                           std::to_string(budget_seconds) + "s") {}
+};
+
+/// Map an exception to its failure class (JobResult::error_class / the serve
+/// wire "class" member):
+///   "deadline"  — DeadlineExceeded; the budget is spent, never retried
+///   "permanent" — std::logic_error family (invalid_argument, domain_error,
+///                 ...): the job itself is wrong, a retry cannot help
+///   "transient" — everything else (I/O, system, injected faults, bad_alloc
+///                 arriving as runtime errors): eligible for retry
+const char* classify_error(const std::exception& e);
+
+/// Per-job retry policy: how many total attempts a transiently-failing job
+/// gets and how the executor backs off between them.  Attempt N+1 sleeps
+/// backoff_seconds * multiplier^(N-1), capped at max_backoff_seconds, with a
+/// deterministic seeded jitter of up to +/- jitter * delay (the stream
+/// depends only on the submission index — two identical batches back off
+/// identically).  "permanent" and "deadline" failures never retry.
+struct RetryPolicy {
+  int max_attempts = 1;            // total attempts including the first
+  double backoff_seconds = 0.05;   // base delay before attempt 2
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 5.0;
+  double jitter = 0.1;             // fraction of the delay, in [0, 1]
+};
+
 /// One simulation job.  The config selects grid/engine/boundary exactly as
 /// for a standalone thiim::Simulation; `setup` paints geometry and sources.
 struct Job {
@@ -57,6 +90,18 @@ struct Job {
   /// silently losing restart capability.
   int checkpoint_every = 0;
   std::string checkpoint_path;
+
+  /// Rotation depth for checkpoint_path: keep the last `keep` snapshots as
+  /// path, path.1, ..., path.<keep-1> (io::rotate_snapshots).  Recovery
+  /// walks the chain newest-first, quarantining corrupt files to *.bad.
+  int checkpoint_keep = 1;
+
+  /// Failure policy: transient failures retry per `retry` (resuming from
+  /// the newest valid checkpoint when the job writes them); a nonzero
+  /// `deadline_seconds` bounds the job's total wall clock across attempts,
+  /// enforced at safe step boundaries.
+  RetryPolicy retry;
+  double deadline_seconds = 0.0;
 
   /// Resume from a snapshot file before stepping: fields + step counter are
   /// restored after setup, and only `steps - steps_done` further steps run.
@@ -114,6 +159,10 @@ struct JobResult {
   bool ok = false;         // ran to completion
   bool cancelled = false;  // drained by Scheduler::cancel() before starting
   std::string error;       // exception text when !ok && !cancelled
+  /// Failure classification when !ok: "transient", "permanent", "deadline"
+  /// or "cancelled" (see classify_error); empty on success.  Clients use it
+  /// to decide whether resubmitting can possibly help.
+  std::string error_class;
 
   // ------------------------------------------------------- observables
   double total_energy = 0.0;
@@ -134,6 +183,8 @@ struct JobResult {
   int snapshots = 0;            // checkpoint snapshots written by this job
   int preemptions = 0;          // times the job was preempted and re-queued
   bool resumed = false;         // state was restored from a snapshot
+  int attempts = 1;             // executor attempts (1 = no retries needed)
+  int quarantined = 0;          // corrupt snapshots moved to *.bad during recovery
 
   /// Header/row pair for the canonical result table (absorption is
   /// material-set-dependent and therefore not part of the generic row;

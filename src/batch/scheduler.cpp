@@ -1,15 +1,19 @@
 #include "batch/scheduler.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "exec/engine_spec.hpp"
+#include "fault/inject.hpp"
 #include "io/snapshot.hpp"
 #include "tune/autotuner.hpp"
 #include "util/affinity.hpp"
+#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace emwd::batch {
@@ -79,6 +83,7 @@ std::size_t Scheduler::submit(Job job) {
     r.name = job.name.empty() ? "job" + std::to_string(seq) : job.name;
     r.cancelled = true;
     r.error = "cancelled";
+    r.error_class = "cancelled";
     finish_result(std::move(r), job.sink);
   } else {
     cv_work_.notify_one();
@@ -110,6 +115,7 @@ void Scheduler::cancel() {
     r.name = e.job.name.empty() ? "job" + std::to_string(e.seq) : e.job.name;
     r.cancelled = true;
     r.error = "cancelled";
+    r.error_class = "cancelled";
     finish_result(std::move(r), e.job.sink);
   }
 }
@@ -261,6 +267,7 @@ void Scheduler::executor_loop(int executor_id) {
       r.name = out.result.name;
       r.cancelled = true;
       r.error = "cancelled";
+    r.error_class = "cancelled";
       finish_result(std::move(r), sink);  // running_ already decremented
       continue;
     }
@@ -270,6 +277,75 @@ void Scheduler::executor_loop(int executor_id) {
 
 Scheduler::RunOutcome Scheduler::run_job(Job&& job, std::size_t seq, int slot_id,
                                          RunControl& control) {
+  const int max_attempts = std::max(1, job.retry.max_attempts);
+  util::Timer clock;  // spans every attempt: deadline budget + total wall clock
+  // Jitter stream depends only on the submission index, so two identical
+  // batches back off identically regardless of thread timing.
+  util::Xoshiro256 jitter_rng(0x9e3779b97f4a7c15ull ^
+                              (static_cast<std::uint64_t>(seq) * 0xff51afd7ed558ccdull));
+  std::int64_t snaps = 0;
+  std::int64_t snap_bytes = 0;
+  int quarantined = 0;
+  for (int attempt = 1;; ++attempt) {
+    RunOutcome out = run_attempt(job, seq, slot_id, control, clock);
+    snaps += out.snapshots_written;
+    snap_bytes += out.snapshot_bytes;
+    quarantined += out.result.quarantined;
+    out.snapshots_written = snaps;
+    out.snapshot_bytes = snap_bytes;
+    out.result.quarantined = quarantined;
+    out.result.attempts = attempt;
+    if (out.continuation) return out;  // preempted: the continuation carries on
+    const bool retryable = !out.result.ok && out.result.error_class == "transient" &&
+                           attempt < max_attempts;
+    if (!retryable) {
+      out.result.wall_seconds = clock.seconds();
+      return out;
+    }
+    bool give_up = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      give_up = cancelled_;  // a cancelled batch stops burning retries
+      if (!give_up) ++stats_.retries;
+    }
+    if (give_up) {
+      out.result.wall_seconds = clock.seconds();
+      return out;
+    }
+    // Checkpoint-aware recovery: resume the retry from the newest valid
+    // snapshot this job has written (quarantining corrupt rotations) so it
+    // repeats as few steps as possible; with no valid snapshot it starts
+    // from scratch.  A parked in-RAM blob (preemption) stays authoritative.
+    job.prior_snapshots = out.result.snapshots;
+    if (!job.resume_blob && control.can_checkpoint) {
+      std::vector<std::string> bad;
+      job.resume_from = io::find_latest_valid_snapshot(job.checkpoint_path,
+                                                       job.checkpoint_keep, &bad);
+      quarantined += static_cast<int>(bad.size());
+      if (!bad.empty()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.quarantined += bad.size();
+      }
+    }
+    // Exponential backoff with deterministic jitter, clamped to whatever
+    // deadline budget remains (the next attempt's entry check then reports
+    // "deadline" rather than sleeping past it).
+    double delay = job.retry.backoff_seconds;
+    for (int i = 1; i < attempt; ++i) delay *= job.retry.backoff_multiplier;
+    delay = std::min(delay, job.retry.max_backoff_seconds);
+    if (job.retry.jitter > 0.0) {
+      delay *= 1.0 + job.retry.jitter * (2.0 * jitter_rng.uniform() - 1.0);
+    }
+    if (job.deadline_seconds > 0.0) {
+      delay = std::min(delay, std::max(0.0, job.deadline_seconds - clock.seconds()));
+    }
+    if (delay > 0.0) std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+  }
+}
+
+Scheduler::RunOutcome Scheduler::run_attempt(Job& job, std::size_t seq, int slot_id,
+                                             RunControl& control,
+                                             const util::Timer& clock) {
   RunOutcome out;
   JobResult& r = out.result;
   r.index = seq;
@@ -279,9 +355,19 @@ Scheduler::RunOutcome Scheduler::run_job(Job&& job, std::size_t seq, int slot_id
   r.snapshots = job.prior_snapshots;
   util::Timer timer;
 
+  // Deadline: the budget covers the whole run_job call (all attempts).
+  // Checked here at attempt entry and below at every safe step boundary, so
+  // enforcement latency is bounded by preempt_check_every steps.
+  auto check_deadline = [&] {
+    if (job.deadline_seconds > 0.0 && clock.seconds() >= job.deadline_seconds) {
+      throw DeadlineExceeded(r.name, job.deadline_seconds);
+    }
+  };
+
   EnginePool::EngineLease engine_lease;
   EnginePool::FieldsLease fields_lease;
   try {
+    check_deadline();
     thiim::SimulationConfig cfg = job.config;
     if (cfg.threads <= 0) {
       cfg.threads = cfg_.threads_per_job > 0
@@ -308,6 +394,7 @@ Scheduler::RunOutcome Scheduler::run_job(Job&& job, std::size_t seq, int slot_id
     cfg.engine_spec = r.engine_spec;
 
     thiim::BorrowedState borrowed;
+    fault::maybe_fail("sched.acquire");
     if (cfg_.pool_engines) {
       engine_lease = pool_.acquire_engine(spec, ctx);
       fields_lease = pool_.acquire_fields(cfg.grid);
@@ -333,10 +420,25 @@ Scheduler::RunOutcome Scheduler::run_job(Job&& job, std::size_t seq, int slot_id
       if (job.resume_blob) {
         std::istringstream is(*job.resume_blob, std::ios::binary);
         sim.restore_snapshot(is);
+        r.resumed = true;
       } else {
-        sim.restore_snapshot_file(job.resume_from);
+        // Vet the rotation chain before restoring: corrupt files are
+        // quarantined to *.bad and the next-older rotation wins; when
+        // nothing valid is left the job starts from scratch rather than
+        // failing on a checkpoint it merely used to have.
+        std::vector<std::string> bad;
+        const std::string valid = io::find_latest_valid_snapshot(
+            job.resume_from, job.checkpoint_keep, &bad);
+        r.quarantined += static_cast<int>(bad.size());
+        if (!bad.empty()) {
+          std::lock_guard<std::mutex> lock(mu_);
+          stats_.quarantined += bad.size();
+        }
+        if (!valid.empty()) {
+          sim.restore_snapshot_file(valid);
+          r.resumed = true;
+        }
       }
-      r.resumed = true;
     }
 
     // Periodic checkpointing + preemption polling at safe step boundaries.
@@ -350,12 +452,18 @@ Scheduler::RunOutcome Scheduler::run_job(Job&& job, std::size_t seq, int slot_id
       const int poll = cfg_.preempt_check_every > 0 ? cfg_.preempt_check_every : 16;
       hook_every = hook_every > 0 ? std::min(hook_every, poll) : poll;
     }
+    const bool want_deadline = job.deadline_seconds > 0.0;
+    if (want_deadline) {
+      const int poll = cfg_.preempt_check_every > 0 ? cfg_.preempt_check_every : 16;
+      hook_every = hook_every > 0 ? std::min(hook_every, poll) : poll;
+    }
     if (hook_every > 0 && job.converge_tol == 0.0) {
       if (want_ckpt) writer = std::make_unique<io::SnapshotWriter>(sim.fields().layout());
       int next_ckpt = want_ckpt ? ((sim.steps_done() / job.checkpoint_every) + 1) *
                                       job.checkpoint_every
                                 : 0;
       sim.set_step_hook(hook_every, [&](int steps_done) {
+        check_deadline();
         bool snap = false;
         if (want_ckpt) {
           if (steps_done >= next_ckpt) {
@@ -365,13 +473,21 @@ Scheduler::RunOutcome Scheduler::run_job(Job&& job, std::size_t seq, int slot_id
           if (control.checkpoint.exchange(false, std::memory_order_relaxed)) snap = true;
         }
         if (snap) {
-          writer->capture(sim.fields(), sim.snapshot_info(), job.checkpoint_path);
+          writer->capture(sim.fields(), sim.snapshot_info(), job.checkpoint_path,
+                          job.checkpoint_keep);
           ++local_snapshots;
         }
         if (control.preempt.load(std::memory_order_relaxed)) {
           preempt_hit = true;
           return false;
         }
+        return true;
+      });
+    } else if (hook_every > 0 && want_deadline) {
+      // Convergence jobs never checkpoint or preempt, but a deadline still
+      // applies — poll it at the same boundary cadence.
+      sim.set_step_hook(hook_every, [&](int) {
+        check_deadline();
         return true;
       });
     }
@@ -426,6 +542,7 @@ Scheduler::RunOutcome Scheduler::run_job(Job&& job, std::size_t seq, int slot_id
   } catch (const std::exception& e) {
     r.ok = false;
     r.error = e.what();
+    r.error_class = classify_error(e);
     // The engine's internal state is unspecified after a throw: drop the
     // lease (destroying the engine) instead of recycling it.  The FieldSet
     // is safe to recycle — borrows always clear_all() first.

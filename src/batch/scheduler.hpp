@@ -34,6 +34,7 @@
 #include "batch/engine_pool.hpp"
 #include "batch/job.hpp"
 #include "batch/resource.hpp"
+#include "util/timer.hpp"
 
 namespace emwd::batch {
 
@@ -87,6 +88,11 @@ struct BatchStats {
   std::size_t resumed = 0;
   std::size_t snapshots_written = 0;   // checkpoint files completed on disk
   std::int64_t snapshot_bytes = 0;     // serialized bytes across those files
+  /// Failure-policy counters: executor attempts beyond each job's first
+  /// (Job::retry), and corrupt snapshot files quarantined to *.bad during
+  /// checkpoint recovery.
+  std::size_t retries = 0;
+  std::size_t quarantined = 0;
   EnginePool::Stats pool;
   PlanCache::Stats plans;
   int slots = 0;
@@ -176,7 +182,16 @@ class Scheduler {
   };
 
   void executor_loop(int executor_id);
+  /// Drive one job to a final outcome: run attempts (run_attempt) until one
+  /// succeeds, parks as a continuation, fails permanently, exceeds the
+  /// deadline, or exhausts Job::retry — backing off (deterministic seeded
+  /// jitter) and recovering from the newest valid checkpoint between
+  /// transient failures.
   RunOutcome run_job(Job&& job, std::size_t seq, int slot_id, RunControl& control);
+  /// One executor attempt.  `clock` spans the whole run_job call — it is the
+  /// job's deadline budget and total wall-clock record.
+  RunOutcome run_attempt(Job& job, std::size_t seq, int slot_id, RunControl& control,
+                         const util::Timer& clock);
   void finish_result(JobResult&& result, const std::function<void(const JobResult&)>& sink);
 
   SchedulerConfig cfg_;

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "io/snapshot.hpp"
 #include "util/csv.hpp"
 #include "util/timer.hpp"
 
@@ -47,11 +48,16 @@ std::vector<Job> expand_sweep_jobs(const SweepConfig& cfg) {
         job.check_every = cfg.check_every;
         job.setup = cfg.setup;
         job.preemptible = cfg.preemptible;
+        job.retry = cfg.retry;
+        job.deadline_seconds = cfg.deadline_seconds;
         if (cfg.checkpoint_every > 0 && !cfg.checkpoint_dir.empty()) {
           job.checkpoint_every = cfg.checkpoint_every;
+          job.checkpoint_keep = cfg.checkpoint_keep < 1 ? 1 : cfg.checkpoint_keep;
           job.checkpoint_path =
               cfg.checkpoint_dir + "/job" + std::to_string(jobs.size()) + ".ckpt";
           if (cfg.resume && std::ifstream(job.checkpoint_path, std::ios::binary)) {
+            // The scheduler vets the chain at restore time (quarantine +
+            // next-older fallback), so pointing at the head is enough.
             job.resume_from = job.checkpoint_path;
           }
         }
@@ -64,6 +70,12 @@ std::vector<Job> expand_sweep_jobs(const SweepConfig& cfg) {
 
 SweepResult run_sweep(const SweepConfig& cfg) {
   util::Timer timer;
+  if (!cfg.checkpoint_dir.empty()) {
+    // Startup hygiene: stale *.tmp~ from a crashed writer and rotation
+    // slots beyond the configured keep depth.
+    io::cleanup_checkpoint_dir(cfg.checkpoint_dir,
+                               cfg.checkpoint_keep < 1 ? 1 : cfg.checkpoint_keep);
+  }
   Scheduler scheduler(cfg.scheduler);
   if (cfg.progress) {
     // A false return cancels the remainder; cancel() never blocks on jobs,

@@ -46,12 +46,24 @@ struct SweepConfig {
   /// steps through the scheduler's async snapshot writer.
   int checkpoint_every = 0;
   std::string checkpoint_dir;
+  /// Rotation depth per checkpoint path (Job::checkpoint_keep): keep the
+  /// last `checkpoint_keep` snapshots of every job as path, path.1, ...
+  int checkpoint_keep = 1;
   /// Resume jobs whose checkpoint file already exists (fixed-step sweeps
-  /// only): each such job restores the snapshot and runs only the remaining
-  /// steps — the completed sweep is bit-exact with an uninterrupted one.
+  /// only): each such job restores the newest valid snapshot of its chain
+  /// (corrupt rotations are quarantined to *.bad) and runs only the
+  /// remaining steps — the completed sweep is bit-exact with an
+  /// uninterrupted one.
   bool resume = false;
   /// Mark every job preemptible (see Job::preemptible).
   bool preemptible = false;
+
+  // --------------------------------------------------- failure policies
+  /// Retry policy applied to every job (Job::retry); the default single
+  /// attempt keeps failures loud.
+  RetryPolicy retry;
+  /// Per-job wall-clock budget in seconds (Job::deadline_seconds); 0 = none.
+  double deadline_seconds = 0.0;
 
   /// Scheduler knobs (concurrency, slots, pooling, pinning).
   SchedulerConfig scheduler;

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "fault/inject.hpp"
+
 namespace emwd::dist {
 
 namespace {
@@ -22,6 +24,7 @@ class LocalTransport final : public Transport {
   }
 
   void stage(const grid::FieldSet& src, HaloBuffer& buf) override {
+    fault::maybe_fail("transport.stage");
     const std::size_t plane = static_cast<std::size_t>(src.layout().stride_z()) * 2;
     double* out = buf.data.data();
     for (int c = 0; c < kernels::kNumComps; ++c) {
@@ -33,6 +36,7 @@ class LocalTransport final : public Transport {
 
   void unstage(grid::FieldSet& dst, const HaloBuffer& buf, int dst_k0,
                int planes) override {
+    fault::maybe_fail("transport.unstage");
     const std::size_t plane = static_cast<std::size_t>(dst.layout().stride_z()) * 2;
     const double* in = buf.data.data();
     for (int c = 0; c < kernels::kNumComps; ++c) {

@@ -1,0 +1,203 @@
+#include "fault/inject.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace emwd::fault {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+namespace {
+
+/// FNV-1a: point names perturb the configured seed so two armed points do
+/// not share a probability stream (deterministic across platforms).
+std::uint64_t hash_name(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+enum class Trigger { Probability, EveryNth, Once };
+
+struct Point {
+  Trigger trigger = Trigger::Once;
+  double probability = 0.0;   // Trigger::Probability
+  std::uint64_t n = 1;        // EveryNth period / Once hit index
+  std::uint64_t max_fires = 0;  // 0 = unbounded
+  util::Xoshiro256 rng{0};
+  PointStats counters;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Point> points;        // armed points
+  std::map<std::string, PointStats> unarmed;  // hit but not configured
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+[[noreturn]] void bad_spec(const std::string& clause, const std::string& why) {
+  throw std::invalid_argument("fault spec: " + why + " in \"" + clause + '"');
+}
+
+std::uint64_t parse_u64(const std::string& clause, const std::string& text) {
+  if (text.empty()) bad_spec(clause, "empty number");
+  std::uint64_t v = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') bad_spec(clause, "bad number \"" + text + '"');
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+/// Parse one `point=trigger[*max]` clause into (name, Point).
+std::pair<std::string, Point> parse_clause(const std::string& clause,
+                                           std::uint64_t seed) {
+  const std::size_t eq = clause.find('=');
+  if (eq == std::string::npos || eq == 0) bad_spec(clause, "expected point=trigger");
+  const std::string name = clause.substr(0, eq);
+  std::string trig = clause.substr(eq + 1);
+
+  Point p;
+  const std::size_t star = trig.find('*');
+  if (star != std::string::npos) {
+    p.max_fires = parse_u64(clause, trig.substr(star + 1));
+    if (p.max_fires == 0) bad_spec(clause, "*max must be >= 1");
+    trig = trig.substr(0, star);
+  }
+
+  const std::size_t colon = trig.find(':');
+  const std::string kind = trig.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? std::string() : trig.substr(colon + 1);
+  if (kind == "p") {
+    p.trigger = Trigger::Probability;
+    char* end = nullptr;
+    p.probability = std::strtod(arg.c_str(), &end);
+    if (arg.empty() || end != arg.c_str() + arg.size() || p.probability < 0.0 ||
+        p.probability > 1.0) {
+      bad_spec(clause, "p needs a probability in [0,1]");
+    }
+  } else if (kind == "every") {
+    p.trigger = Trigger::EveryNth;
+    p.n = parse_u64(clause, arg);
+    if (p.n == 0) bad_spec(clause, "every:N needs N >= 1");
+  } else if (kind == "once") {
+    p.trigger = Trigger::Once;
+    p.n = arg.empty() ? 1 : parse_u64(clause, arg);
+    if (p.n == 0) bad_spec(clause, "once:N needs N >= 1");
+    p.max_fires = 1;
+  } else {
+    bad_spec(clause, "unknown trigger \"" + kind + '"');
+  }
+  p.rng = util::Xoshiro256(seed ^ hash_name(name));
+  return {name, std::move(p)};
+}
+
+}  // namespace
+
+bool should_fire(const char* point) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(point);
+  if (it == r.points.end()) {
+    ++r.unarmed[point].hits;  // visible in stats(): the point exists, disarmed
+    return false;
+  }
+  Point& p = it->second;
+  const std::uint64_t hit = ++p.counters.hits;
+  if (p.max_fires > 0 && p.counters.fires >= p.max_fires) return false;
+  bool fire = false;
+  switch (p.trigger) {
+    case Trigger::Probability:
+      fire = p.rng.uniform() < p.probability;
+      break;
+    case Trigger::EveryNth:
+      fire = hit % p.n == 0;
+      break;
+    case Trigger::Once:
+      fire = hit == p.n;
+      break;
+  }
+  if (fire) ++p.counters.fires;
+  return fire;
+}
+
+void configure(const std::string& spec, std::uint64_t seed) {
+  // Parse into a scratch map first so a malformed clause leaves the live
+  // configuration untouched.
+  std::map<std::string, Point> parsed;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string clause = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (clause.empty()) continue;
+    parsed.insert(parse_clause(clause, seed));
+  }
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.points = std::move(parsed);
+  r.unarmed.clear();
+  detail::g_armed.store(!r.points.empty(), std::memory_order_relaxed);
+}
+
+void disarm() { configure(""); }
+
+void configure_from_env() {
+  const char* spec = std::getenv("EMWD_FAULTS");
+  if (!spec || !*spec) return;
+  std::uint64_t seed = 0;
+  if (const char* s = std::getenv("EMWD_FAULT_SEED")) {
+    seed = std::strtoull(s, nullptr, 10);
+  }
+  try {
+    configure(spec, seed);
+  } catch (const std::exception& e) {
+    // A chaos run with a typo'd spec must fail loudly, not run fault-free.
+    std::fprintf(stderr, "fault: bad EMWD_FAULTS: %s\n", e.what());
+    std::abort();
+  }
+}
+
+namespace {
+/// Arm from the environment before main() so every binary honors
+/// EMWD_FAULTS without per-binary plumbing.
+const bool g_env_configured = [] {
+  configure_from_env();
+  return true;
+}();
+}  // namespace
+
+std::map<std::string, PointStats> stats() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::map<std::string, PointStats> out = r.unarmed;
+  for (const auto& [name, p] : r.points) out[name] = p.counters;
+  return out;
+}
+
+std::string report() {
+  std::string out;
+  for (const auto& [name, s] : stats()) {
+    out += "FAULT " + name + " hits=" + std::to_string(s.hits) +
+           " fires=" + std::to_string(s.fires) + '\n';
+  }
+  return out;
+}
+
+}  // namespace emwd::fault

@@ -5,6 +5,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -12,6 +13,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "fault/inject.hpp"
 #include "util/json.hpp"
 #include "util/timer.hpp"
 
@@ -233,6 +235,7 @@ std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
 }
 
 void write_snapshot(std::ostream& os, const grid::FieldSet& fs, const SnapshotInfo& info) {
+  fault::maybe_fail("snapshot.write");
   const grid::Layout& L = fs.layout();
   const Geometry g{L.nx(), L.ny(), L.nz()};
   if (!(info.extents == L.interior())) fail("info extents do not match FieldSet");
@@ -244,6 +247,7 @@ void write_snapshot(std::ostream& os, const grid::FieldSet& fs, const SnapshotIn
 SnapshotInfo read_snapshot(std::istream& is, grid::FieldSet& fs) {
   std::uint32_t hdr_crc = 0;
   const SnapshotInfo info = read_header(is, &hdr_crc);
+  fault::maybe_fail("snapshot.read");
   const grid::Layout& L = fs.layout();
   if (!(info.extents == L.interior())) fail("extents mismatch");
   const Geometry g{L.nx(), L.ny(), L.nz()};
@@ -325,6 +329,128 @@ void write_file_atomic(const std::string& path,
   }
 }
 
+namespace {
+
+std::string rotation_path(const std::string& path, int slot) {
+  return slot == 0 ? path : path + '.' + std::to_string(slot);
+}
+
+}  // namespace
+
+void rotate_snapshots(const std::string& path, int keep) {
+  // Oldest-first so each rename lands in a vacated slot; what falls off the
+  // end (slot keep-1) is simply overwritten by the rename onto it.
+  for (int slot = keep - 2; slot >= 0; --slot) {
+    const std::string from = rotation_path(path, slot);
+    std::error_code ec;
+    if (!std::filesystem::exists(from, ec)) continue;
+    std::rename(from.c_str(), rotation_path(path, slot + 1).c_str());
+  }
+}
+
+bool validate_snapshot_file(const std::string& path) {
+  // Same walk as read_snapshot, but geometry comes from the header and the
+  // payload lands in a scratch plane — validation needs no FieldSet, so the
+  // recovery path can vet a candidate before allocating anything.
+  try {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) return false;
+    std::uint32_t hdr_crc = 0;
+    const SnapshotInfo info = read_header(is, &hdr_crc);
+    const Geometry g{info.extents.nx, info.extents.ny, info.extents.nz};
+    std::vector<char> plane(g.plane_bytes());
+    std::uint64_t chunks = 0;
+    for (int f = 0; f < kernels::kNumComps; ++f) {
+      int k = 0;
+      while (k < g.nz) {
+        const std::uint32_t cf = get_u32(is, "chunk field");
+        const std::uint32_t ck0 = get_u32(is, "chunk k0");
+        const std::uint32_t cplanes = get_u32(is, "chunk planes");
+        const std::uint64_t cbytes = get_u64(is, "chunk bytes");
+        if (cf != static_cast<std::uint32_t>(f)) fail("chunk field out of order");
+        if (ck0 != static_cast<std::uint32_t>(k)) fail("chunk k0 out of order");
+        if (cplanes == 0 || cplanes > static_cast<std::uint32_t>(g.nz - k)) {
+          fail("implausible chunk plane count");
+        }
+        if (cbytes != static_cast<std::uint64_t>(cplanes) * g.plane_bytes()) {
+          fail("chunk byte count mismatch");
+        }
+        std::uint32_t crc = 0;
+        for (std::uint32_t kk = 0; kk < cplanes; ++kk) {
+          is.read(plane.data(), static_cast<std::streamsize>(g.plane_bytes()));
+          if (is.gcount() != static_cast<std::streamsize>(g.plane_bytes())) {
+            fail("truncated chunk payload");
+          }
+          crc = crc32(plane.data(), g.plane_bytes(), crc);
+        }
+        if (get_u32(is, "chunk CRC") != crc) fail("chunk CRC mismatch");
+        k += static_cast<int>(cplanes);
+        ++chunks;
+      }
+    }
+    char fmagic[8];
+    is.read(fmagic, sizeof fmagic);
+    if (is.gcount() != sizeof fmagic ||
+        std::memcmp(fmagic, kFooterMagic, sizeof fmagic) != 0) {
+      fail("bad footer magic");
+    }
+    if (get_u64(is, "footer chunk count") != chunks) fail("footer chunk count mismatch");
+    if (get_u32(is, "footer header CRC") != hdr_crc) fail("footer header CRC mismatch");
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::string quarantine_snapshot(const std::string& path) {
+  const std::string bad = path + ".bad";
+  std::remove(bad.c_str());
+  std::rename(path.c_str(), bad.c_str());
+  return bad;
+}
+
+std::string find_latest_valid_snapshot(const std::string& path, int keep,
+                                       std::vector<std::string>* quarantined) {
+  if (keep < 1) keep = 1;
+  for (int slot = 0; slot < keep; ++slot) {
+    const std::string cand = rotation_path(path, slot);
+    std::error_code ec;
+    if (!std::filesystem::exists(cand, ec)) continue;
+    if (validate_snapshot_file(cand)) return cand;
+    const std::string bad = quarantine_snapshot(cand);
+    if (quarantined) quarantined->push_back(bad);
+  }
+  return {};
+}
+
+CleanupStats cleanup_checkpoint_dir(const std::string& dir, int keep) {
+  CleanupStats out;
+  if (keep < 1) keep = 1;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    std::error_code fec;
+    if (!entry.is_regular_file(fec)) continue;
+    const std::string name = entry.path().filename().string();
+    const std::string full = entry.path().string();
+    if (name.size() > 5 && name.compare(name.size() - 5, 5, ".tmp~") == 0) {
+      if (std::remove(full.c_str()) == 0) ++out.tmp_removed;
+      continue;
+    }
+    // Rotation slots carry a purely numeric suffix (".N"); prune N >= keep.
+    const std::size_t dot = name.rfind('.');
+    if (dot == std::string::npos || dot + 1 >= name.size()) continue;
+    int slot = 0;
+    bool numeric = true;
+    for (std::size_t i = dot + 1; i < name.size() && numeric; ++i) {
+      numeric = name[i] >= '0' && name[i] <= '9';
+      if (numeric && slot < 1000000) slot = slot * 10 + (name[i] - '0');
+    }
+    if (!numeric || slot < keep) continue;
+    if (std::remove(full.c_str()) == 0) ++out.pruned;
+  }
+  return out;
+}
+
 void write_snapshot_file(const std::string& path, const grid::FieldSet& fs,
                          const SnapshotInfo& info) {
   write_file_atomic(path, [&](std::ostream& os) { write_snapshot(os, fs, info); });
@@ -382,7 +508,7 @@ SnapshotWriter::~SnapshotWriter() {
 }
 
 void SnapshotWriter::capture(const grid::FieldSet& fs, const SnapshotInfo& info,
-                             std::string path) {
+                             std::string path, int keep) {
   const grid::Layout& L = fs.layout();
   if (!(L.interior() == extents_)) {
     throw std::invalid_argument("SnapshotWriter: FieldSet layout mismatch");
@@ -420,6 +546,7 @@ void SnapshotWriter::capture(const grid::FieldSet& fs, const SnapshotInfo& info,
   }
   buf.info = info;
   buf.path = std::move(path);
+  buf.keep = keep < 1 ? 1 : keep;
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -462,6 +589,8 @@ void SnapshotWriter::writer_loop() {
     std::int64_t bytes = 0;
     std::exception_ptr err;
     try {
+      fault::maybe_fail("snapshot.writer");
+      if (buf.keep > 1) rotate_snapshots(buf.path, buf.keep);
       write_file_atomic(buf.path, [&](std::ostream& os) {
         const double* rows = buf.rows.data();
         serialize_snapshot(os, buf.info, g, [&](int f, int j, int k) {

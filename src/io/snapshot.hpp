@@ -83,6 +83,49 @@ SnapshotInfo snapshot_from_string(const std::string& blob, grid::FieldSet& fs);
 void write_file_atomic(const std::string& path,
                        const std::function<void(std::ostream&)>& writer);
 
+// -------------------------------------------- retention / recovery helpers
+//
+// Keep-last-K checkpoints are a rotation chain: `path` is always the newest
+// snapshot, `path.1` the one before it, up to `path.<keep-1>`.  Writers
+// rotate before each new write; readers walk the chain newest-first and
+// quarantine what fails validation.  (See src/io/README.md, "Failure
+// semantics".)
+
+/// Shift the rotation chain down one slot: path.<keep-2> -> path.<keep-1>,
+/// ..., path -> path.1 (dropping what falls off the end).  keep <= 1 is a
+/// no-op — the atomic overwrite of `path` already keeps exactly one.
+/// Missing links are skipped; rename errors are ignored (retention is
+/// best-effort, the upcoming write of `path` is what must not fail).
+void rotate_snapshots(const std::string& path, int keep);
+
+/// Walk `path`'s full chunk chain and verify every CRC without needing a
+/// FieldSet; false on any corruption, truncation or open failure.
+bool validate_snapshot_file(const std::string& path);
+
+/// Rename `path` to `path + ".bad"` (replacing any previous quarantine of
+/// that slot) so a corrupted snapshot is kept for forensics but never
+/// resumed from again.  Returns the quarantine path; best-effort.
+std::string quarantine_snapshot(const std::string& path);
+
+/// Newest fully-valid snapshot of the rotation chain (path, path.1, ...,
+/// path.<keep-1>): each candidate is CRC-validated; corrupted candidates
+/// are quarantined to *.bad (appended to `quarantined` when given).
+/// Returns the winning path, or "" when nothing valid is left — the
+/// caller then starts from scratch.
+std::string find_latest_valid_snapshot(const std::string& path, int keep,
+                                       std::vector<std::string>* quarantined = nullptr);
+
+struct CleanupStats {
+  int tmp_removed = 0;    // stale *.tmp~ from a crashed atomic write
+  int pruned = 0;         // rotation slots at index >= keep
+};
+
+/// Startup hygiene for a checkpoint directory: remove stale `*.tmp~` files
+/// (a crash between open and rename leaves them) and prune rotation slots
+/// `*.N` with N >= keep (a lowered keep would otherwise strand old data
+/// forever).  Missing directory is a no-op.
+CleanupStats cleanup_checkpoint_dir(const std::string& dir, int keep);
+
 /// Double-buffered streaming snapshot writer.
 ///
 /// capture() copies the field rows into a free staging buffer and returns;
@@ -115,8 +158,11 @@ class SnapshotWriter {
 
   /// Stage a snapshot of `fs` for asynchronous write to `path`.  Blocks for
   /// the row memcpy, plus a buffer wait if every buffer is still in flight.
-  /// Rethrows the first background write error, if any.
-  void capture(const grid::FieldSet& fs, const SnapshotInfo& info, std::string path);
+  /// Rethrows the first background write error, if any.  `keep` > 1 rotates
+  /// the existing chain (rotate_snapshots) before the new file lands, so the
+  /// last `keep` checkpoints survive on disk.
+  void capture(const grid::FieldSet& fs, const SnapshotInfo& info, std::string path,
+               int keep = 1);
 
   /// Block until every captured snapshot is on disk; rethrows the first
   /// background write error (once — the error slot is cleared).
@@ -129,6 +175,7 @@ class SnapshotWriter {
     std::vector<double> rows;  // field-major interior rows (staging layout)
     SnapshotInfo info;
     std::string path;
+    int keep = 1;              // rotation depth for this write
   };
 
   void writer_loop();

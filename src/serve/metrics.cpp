@@ -18,7 +18,19 @@ std::string metrics_to_json(const Metrics& server, const FairShareQueue::Stats& 
      << ",\"reloads\":" << server.reloads << ",\"inflight\":" << server.inflight
      << ",\"preempt_requests\":" << server.preempt_requests
      << ",\"auto_preemptions\":" << server.auto_preemptions
-     << "},\"queue\":{"
+     << ",\"job_failures\":{\"transient\":" << server.job_failures_transient
+     << ",\"permanent\":" << server.job_failures_permanent
+     << ",\"deadline\":" << server.job_failures_deadline << '}'
+     << ",\"clients\":[";
+  for (std::size_t i = 0; i < server.clients.size(); ++i) {
+    const ClientStats& c = server.clients[i];
+    if (i) os << ',';
+    os << "{\"id\":" << c.id << ",\"results\":" << c.results
+       << ",\"failed_transient\":" << c.failed_transient
+       << ",\"failed_permanent\":" << c.failed_permanent
+       << ",\"failed_deadline\":" << c.failed_deadline << '}';
+  }
+  os << "]},\"queue\":{"
      << "\"admitted\":" << queue.admitted
      << ",\"rejected_queue_full\":" << queue.rejected_queue_full
      << ",\"rejected_client_full\":" << queue.rejected_client_full
@@ -34,6 +46,8 @@ std::string metrics_to_json(const Metrics& server, const FairShareQueue::Stats& 
      << ",\"resumed\":" << scheduler.resumed
      << ",\"snapshots_written\":" << scheduler.snapshots_written
      << ",\"snapshot_bytes\":" << scheduler.snapshot_bytes
+     << ",\"retries\":" << scheduler.retries
+     << ",\"quarantined\":" << scheduler.quarantined
      << ",\"queue_depth\":{";
   bool first = true;
   for (const auto& [priority, depth] : scheduler.queue_depth) {

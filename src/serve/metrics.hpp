@@ -13,11 +13,23 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "batch/scheduler.hpp"
 #include "serve/fair_share.hpp"
 
 namespace emwd::serve {
+
+/// Per-connected-client failure breakdown, surfaced in the Status payload's
+/// "clients" array (live sessions only — a disconnected client's counters
+/// leave with its session; the aggregate Metrics totals persist).
+struct ClientStats {
+  int id = 0;
+  std::uint64_t results = 0;           // result frames streamed to this client
+  std::uint64_t failed_transient = 0;  // per JobResult::error_class
+  std::uint64_t failed_permanent = 0;
+  std::uint64_t failed_deadline = 0;
+};
 
 /// Server-level counters; the Server mutates them under its metrics mutex.
 struct Metrics {
@@ -30,6 +42,14 @@ struct Metrics {
   std::size_t inflight = 0;  // dispatched to the scheduler, not yet finished
   std::uint64_t preempt_requests = 0;   // explicit preempt ops served
   std::uint64_t auto_preemptions = 0;   // jobs preempted for rejected capacity
+  /// Daemon-lifetime failed-job counters by error class (degradation
+  /// visibility: a run of transient failures is load/fault trouble, a run
+  /// of permanent ones is a misbehaving client).
+  std::uint64_t job_failures_transient = 0;
+  std::uint64_t job_failures_permanent = 0;
+  std::uint64_t job_failures_deadline = 0;
+  /// Per-live-client breakdown, filled by Server::status_json.
+  std::vector<ClientStats> clients;
 };
 
 /// Render the Status payload: {"type":"status","server":{...},

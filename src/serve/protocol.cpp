@@ -177,6 +177,21 @@ SweepSpec parse_sweep_spec(const std::string& text) {
         throw std::invalid_argument("sweep spec: preemptible must be 0|1");
       }
       spec.preemptible = v == 1;
+    } else if (key == "retries") {
+      spec.retries = spec_int(key, value);
+      if (spec.retries < 1) {
+        throw std::invalid_argument("sweep spec: retries must be >= 1");
+      }
+    } else if (key == "backoff") {
+      spec.backoff = spec_double(key, value);
+      if (spec.backoff < 0.0) {
+        throw std::invalid_argument("sweep spec: backoff must be >= 0");
+      }
+    } else if (key == "deadline") {
+      spec.deadline = spec_double(key, value);
+      if (spec.deadline < 0.0) {
+        throw std::invalid_argument("sweep spec: deadline must be >= 0");
+      }
     } else {
       throw std::invalid_argument("sweep spec: unknown key \"" + key + '"');
     }
@@ -198,6 +213,9 @@ batch::SweepConfig to_sweep_config(const SweepSpec& spec, const Scene& scene) {
   cfg.max_steps = spec.max_steps;
   cfg.check_every = spec.check_every;
   cfg.preemptible = spec.preemptible;
+  cfg.retry.max_attempts = spec.retries;
+  cfg.retry.backoff_seconds = spec.backoff;
+  cfg.deadline_seconds = spec.deadline;
   cfg.setup = scene.setup();
   return cfg;
 }
@@ -209,10 +227,14 @@ std::string make_ack(const std::string& id, std::size_t jobs) {
 }
 
 std::string make_rejected(const std::string& id, std::size_t count,
-                          const std::string& reason) {
+                          const std::string& reason,
+                          double retry_after_seconds) {
   std::ostringstream os;
+  os.precision(17);
   os << "{\"type\":\"rejected\",\"id\":" << json_quote(id) << ",\"count\":" << count
-     << ",\"reason\":" << json_quote(reason) << '}';
+     << ",\"reason\":" << json_quote(reason) << ",\"class\":\"transient\"";
+  if (retry_after_seconds >= 0.0) os << ",\"retry_after\":" << retry_after_seconds;
+  os << '}';
   return os.str();
 }
 
@@ -231,10 +253,12 @@ std::string make_done(const std::string& id, std::size_t streamed) {
   return os.str();
 }
 
-std::string make_error(const std::string& id, const std::string& message) {
+std::string make_error(const std::string& id, const std::string& message,
+                       const std::string& error_class) {
   std::ostringstream os;
   os << "{\"type\":\"error\",\"id\":" << json_quote(id)
-     << ",\"message\":" << json_quote(message) << '}';
+     << ",\"message\":" << json_quote(message)
+     << ",\"class\":" << json_quote(error_class) << '}';
   return os.str();
 }
 

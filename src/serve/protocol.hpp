@@ -19,7 +19,16 @@
 // scene, grid (NXxNYxNZ list), lambda (list), engine (list), steps, tol,
 // max_steps, check_every, threads, cfl, pml (thickness), xb
 // (dirichlet|periodic), priority, preemptible (0|1 — opt the jobs into
-// scheduler preemption; fixed-step sweeps only).
+// scheduler preemption; fixed-step sweeps only), retries (total attempts
+// per job, >= 1), backoff (base retry backoff seconds), deadline (per-job
+// wall-clock budget seconds, 0 = none).
+//
+// Failure semantics on the wire: every `error` frame carries a "class"
+// member — "permanent" (the request itself is wrong; resending the same
+// bytes cannot succeed) or "transient" (daemon-side trouble; retrying the
+// identical request may succeed).  `rejected` frames are always transient
+// and carry a "retry_after" seconds hint when the daemon expects the
+// condition to clear (capacity rejects); a shutting-down daemon omits it.
 #pragma once
 
 #include <cstdint>
@@ -79,6 +88,11 @@ struct SweepSpec {
   int check_every = 10;
   int priority = 0;
   bool preemptible = false;
+  /// Failure policy: total attempts per job (Job::retry.max_attempts),
+  /// base backoff seconds, and the per-job wall-clock deadline.
+  int retries = 1;
+  double backoff = 0.05;
+  double deadline = 0.0;
 };
 
 /// Parse the mini-grammar above; throws std::invalid_argument naming the
@@ -99,12 +113,20 @@ batch::SweepConfig to_sweep_config(const SweepSpec& spec, const Scene& scene);
 // Builders keep the wire format in one translation unit; all return a
 // complete single-object payload.
 std::string make_ack(const std::string& id, std::size_t jobs);
+/// Rejected frames are always class "transient"; `retry_after_seconds` >= 0
+/// adds a "retry_after" hint (capacity rejects), negative omits it (a
+/// shutting-down daemon has nothing to promise).
 std::string make_rejected(const std::string& id, std::size_t count,
-                          const std::string& reason);
+                          const std::string& reason,
+                          double retry_after_seconds = -1.0);
 std::string make_result(const std::string& id, std::size_t index,
                         const batch::JobResult& r);
 std::string make_done(const std::string& id, std::size_t streamed);
-std::string make_error(const std::string& id, const std::string& message);
+/// `error_class` is "permanent" (malformed request — resending cannot help)
+/// or "transient" (daemon-side condition — the identical request may
+/// succeed later).  See batch::classify_error for the mapping.
+std::string make_error(const std::string& id, const std::string& message,
+                       const std::string& error_class = "permanent");
 std::string make_pong();
 
 }  // namespace emwd::serve

@@ -120,6 +120,20 @@ std::string Server::status_json() const {
     std::lock_guard<std::mutex> lock(inflight_mu_);
     m.inflight = inflight_;
   }
+  {
+    // Per-client failure breakdown, live sessions only.
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const auto& [id, session] : sessions_) {
+      if (session->finished.load()) continue;
+      ClientStats c;
+      c.id = id;
+      c.results = session->results_streamed.load();
+      c.failed_transient = session->failed_transient.load();
+      c.failed_permanent = session->failed_permanent.load();
+      c.failed_deadline = session->failed_deadline.load();
+      m.clients.push_back(c);
+    }
+  }
   return metrics_to_json(m, queue_.stats(), scheduler_.stats(), store_.version());
 }
 
@@ -213,7 +227,10 @@ void Server::session_loop(const std::shared_ptr<Session>& session) {
     try {
       handle_request(session, req);
     } catch (const std::exception& e) {
-      send_to(session, make_error(req.id, e.what()));
+      // classify_error maps logic/argument errors (the request is wrong) to
+      // "permanent" and daemon-side trouble to "transient", telling the
+      // client whether resending the identical request can ever help.
+      send_to(session, make_error(req.id, e.what(), batch::classify_error(e)));
     }
   }
   session->open.store(false);
@@ -354,7 +371,16 @@ void Server::handle_jobs(const std::shared_ptr<Session>& session, const Request&
   std::size_t rejected_total = 0;
   for (const auto& [admit, count] : rejected) {
     rejected_total += count;
-    send_to(session, make_rejected(rid, count, admit_reason(admit)));
+    // Capacity rejects are transient: tell the client how long to hold off
+    // before resubmitting, scaled by the current backlog.  A closed queue
+    // (shutdown) gets no hint — retrying against a dying daemon is futile.
+    double retry_after = -1.0;
+    if (admit == FairShareQueue::Admit::QueueFull ||
+        admit == FairShareQueue::Admit::ClientFull) {
+      retry_after = std::min(5.0, 0.05 + 0.01 * static_cast<double>(
+                                               queue_.stats().pending));
+    }
+    send_to(session, make_rejected(rid, count, admit_reason(admit), retry_after));
   }
   if (rejected_total > 0) {
     account_request(session, rid, request, rejected_total, 0);
@@ -467,6 +493,25 @@ void Server::stream_result(const std::shared_ptr<Session>& session,
   {
     std::lock_guard<std::mutex> lock(metrics_mu_);
     ++metrics_.results_streamed;
+    if (!r.ok && !r.cancelled) {
+      if (r.error_class == "deadline") {
+        ++metrics_.job_failures_deadline;
+      } else if (r.error_class == "permanent") {
+        ++metrics_.job_failures_permanent;
+      } else {
+        ++metrics_.job_failures_transient;
+      }
+    }
+  }
+  session->results_streamed.fetch_add(1);
+  if (!r.ok && !r.cancelled) {
+    if (r.error_class == "deadline") {
+      session->failed_deadline.fetch_add(1);
+    } else if (r.error_class == "permanent") {
+      session->failed_permanent.fetch_add(1);
+    } else {
+      session->failed_transient.fetch_add(1);
+    }
   }
   send_to(session, make_result(request_id, index, r));
   account_request(session, request_id, request, 1, 1);

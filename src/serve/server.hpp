@@ -102,6 +102,12 @@ class Server {
     // exit path (queue cancel, result streaming) ahead of it.
     std::atomic<bool> finished{false};
     std::thread thread;
+    // Failure counters surfaced per-client in the Status payload; updated
+    // from executor threads (stream_result), read by status_json.
+    std::atomic<std::uint64_t> results_streamed{0};
+    std::atomic<std::uint64_t> failed_transient{0};
+    std::atomic<std::uint64_t> failed_permanent{0};
+    std::atomic<std::uint64_t> failed_deadline{0};
     // Per-request delivery accounting; the delivery that takes `remaining`
     // to zero sends the `done` frame.  Guarded by state_mu (never held
     // while sending — send_to takes write_mu).

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "exec/engine_registry.hpp"
+#include "fault/inject.hpp"
 #include "models/machine.hpp"
 #include "util/machine_detect.hpp"
 
@@ -130,6 +131,7 @@ void Simulation::add_point_dipole(em::SourceField which, int i, int j, int k,
 
 int Simulation::run(int steps) {
   if (!finalized_) throw std::logic_error("Simulation: finalize() before run()");
+  fault::maybe_fail("engine.step");
   if (!step_hook_ || step_hook_every_ <= 0) {
     engine_->run(*fields_, steps);
     steps_done_ += steps;
@@ -141,6 +143,10 @@ int Simulation::run(int steps) {
   const int base = steps_done_;
   engine_->set_step_hook(step_hook_every_, [this, base](int done) {
     steps_done_ = base + done;
+    // The hook boundary is the one place a hooked run can stop cleanly, so
+    // it is also where an injected step failure surfaces (the catch below
+    // rolls steps_done_ back, exactly like a real engine fault).
+    fault::maybe_fail("engine.step");
     return step_hook_(steps_done_);
   });
   int advanced = 0;

@@ -13,6 +13,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "fault/inject.hpp"
+
 namespace emwd::util {
 
 namespace {
@@ -21,12 +23,25 @@ namespace {
   throw std::system_error(errno, std::generic_category(), what);
 }
 
+/// Fault hook: when `point` fires, skip the syscall and synthesize an EINTR
+/// failure instead, so tests drive the *real* retry branches below without a
+/// signal handler.  Returns true when the syscall should be suppressed.
+bool inject_eintr(const char* point) {
+  if (fault::enabled() && fault::should_fire(point)) {
+    errno = EINTR;
+    return true;
+  }
+  return false;
+}
+
 /// write() the whole buffer; false on peer-gone, throws on other errors.
 bool write_all(int fd, const char* data, std::size_t n) {
   std::size_t off = 0;
   while (off < n) {
     // MSG_NOSIGNAL: a vanished client must surface as EPIPE, not SIGPIPE.
-    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    const ssize_t w = inject_eintr("socket.eintr.send")
+                          ? -1
+                          : ::send(fd, data + off, n - off, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
       if (errno == EPIPE || errno == ECONNRESET || errno == ENOTCONN) return false;
@@ -42,7 +57,9 @@ bool write_all(int fd, const char* data, std::size_t n) {
 bool read_all(int fd, char* data, std::size_t n) {
   std::size_t off = 0;
   while (off < n) {
-    const ssize_t r = ::recv(fd, data + off, n - off, 0);
+    const ssize_t r = inject_eintr("socket.eintr.recv")
+                          ? -1
+                          : ::recv(fd, data + off, n - off, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
       if (errno == ECONNRESET || errno == ENOTCONN) return false;
@@ -93,7 +110,11 @@ UniqueFd connect_unix(const std::string& path) {
 
   UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
   if (!fd.valid()) throw_errno("socket");
-  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+  // EINTR from a blocking connect() leaves the attempt in progress on some
+  // platforms, but for a fresh AF_UNIX stream socket a clean retry is safe
+  // and is what every caller wants.
+  while (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno == EINTR) continue;
     throw_errno("connect " + path);
   }
   return fd;

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <future>
 #include <mutex>
 #include <set>
@@ -26,6 +27,7 @@
 #include "batch/scheduler.hpp"
 #include "batch/sweep.hpp"
 #include "em/geometry.hpp"
+#include "fault/inject.hpp"
 #include "thiim/simulation.hpp"
 #include "tune/autotuner.hpp"
 
@@ -867,6 +869,242 @@ TEST(SweepCheckpoint, ResumeSkipsCompletedWorkAndStaysBitExact) {
     EXPECT_EQ(second.results[i].steps_done, 20);
     std::remove((dir + "/job" + std::to_string(i) + ".ckpt").c_str());
   }
+}
+
+// ---------------------------------------------------------- failure policies
+// Retries with backoff, per-job deadlines and checkpoint auto-recovery
+// (src/batch/README.md "Failure semantics" is the contract).
+
+/// Arms the process-global fault registry for one scope; always disarms,
+/// even when an assertion fails mid-test.
+struct ArmedFaults {
+  explicit ArmedFaults(const std::string& spec, std::uint64_t seed = 0) {
+    fault::configure(spec, seed);
+  }
+  ~ArmedFaults() { fault::disarm(); }
+};
+
+TEST(SchedulerFaults, ThrowingJobDropsLeasesAndSparesSiblingsEveryEngine) {
+  for (const std::string spec :
+       {"naive", "spatial(by=4)", "mwd(dw=4,bz=2,tc=1)",
+        "sharded(shards=2,interval=2,inner=naive)"}) {
+    SCOPED_TRACE(spec);
+    const Observables reference = run_standalone(scene_config(14.0, spec), 4);
+    // concurrency=1 makes the hit order deterministic: the first
+    // engine.step evaluation belongs to job 0, which therefore fails;
+    // the cap is spent before its siblings ever reach the point.
+    ArmedFaults armed("engine.step=once:1");
+    batch::Scheduler scheduler(batch::SchedulerConfig{.concurrency = 1,
+                                                      .pin_slots = false});
+    for (int i = 0; i < 3; ++i) {
+      batch::Job job;
+      job.config = scene_config(14.0, spec);
+      job.steps = 4;
+      job.setup = paint_scene;
+      scheduler.submit(std::move(job));
+    }
+    const auto results = scheduler.wait_all();
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_EQ(results[0].error_class, "transient");
+    EXPECT_EQ(results[0].attempts, 1);
+    // Siblings run on the restored slot, on recycled leases, bit-exact.
+    for (int i = 1; i < 3; ++i) {
+      ASSERT_TRUE(results[i].ok) << results[i].error;
+      EXPECT_EQ(results[i].slot, results[0].slot);
+      EXPECT_EQ(results[i].total_energy, reference.total_energy);
+      EXPECT_EQ(results[i].electric_energy, reference.electric_energy);
+    }
+    const batch::BatchStats st = scheduler.stats();
+    EXPECT_EQ(st.failed, 1u);
+    EXPECT_EQ(st.completed, 2u);
+    EXPECT_EQ(st.retries, 0u);  // max_attempts defaults to 1
+  }
+}
+
+TEST(SchedulerRetry, TransientFailureRetriesAndMatchesFaultFreeRun) {
+  const thiim::SimulationConfig cfg = scene_config(16.0, "naive");
+  const Observables reference = run_standalone(cfg, 4);
+  ArmedFaults armed("engine.step=once:1");
+  batch::Scheduler scheduler(batch::SchedulerConfig{.concurrency = 1,
+                                                    .pin_slots = false});
+  batch::Job job;
+  job.config = cfg;
+  job.steps = 4;
+  job.setup = paint_scene;
+  job.retry.max_attempts = 3;
+  job.retry.backoff_seconds = 0.001;  // keep the test fast
+  scheduler.submit(std::move(job));
+  const auto results = scheduler.wait_all();
+  ASSERT_TRUE(results[0].ok) << results[0].error;
+  EXPECT_EQ(results[0].attempts, 2);  // attempt 1 faulted at run() entry
+  EXPECT_EQ(results[0].total_energy, reference.total_energy);
+  EXPECT_EQ(results[0].electric_energy, reference.electric_energy);
+  EXPECT_EQ(scheduler.stats().retries, 1u);
+  EXPECT_EQ(scheduler.stats().completed, 1u);
+  EXPECT_EQ(scheduler.stats().failed, 0u);
+}
+
+TEST(SchedulerRetry, PermanentErrorsAreNotRetried) {
+  batch::Scheduler scheduler(batch::SchedulerConfig{.concurrency = 1,
+                                                    .pin_slots = false});
+  batch::Job job;
+  job.config = scene_config(14.0, "mwd(dw=0)");  // invalid: the request is wrong
+  job.setup = paint_scene;
+  job.retry.max_attempts = 5;
+  scheduler.submit(std::move(job));
+  const auto results = scheduler.wait_all();
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_EQ(results[0].error_class, "permanent");
+  EXPECT_EQ(results[0].attempts, 1);
+  EXPECT_EQ(scheduler.stats().retries, 0u);
+}
+
+TEST(SchedulerRetry, ExhaustedAttemptsReportTheLastError) {
+  // every:1*3 fires on all three attempts: the job fails for good.
+  ArmedFaults armed("engine.step=every:1*3");
+  batch::Scheduler scheduler(batch::SchedulerConfig{.concurrency = 1,
+                                                    .pin_slots = false});
+  batch::Job job;
+  job.config = scene_config(16.0, "naive");
+  job.steps = 2;
+  job.setup = paint_scene;
+  job.retry.max_attempts = 3;
+  job.retry.backoff_seconds = 0.001;
+  scheduler.submit(std::move(job));
+  const auto results = scheduler.wait_all();
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_EQ(results[0].error_class, "transient");
+  EXPECT_EQ(results[0].attempts, 3);
+  EXPECT_NE(results[0].error.find("engine.step"), std::string::npos);
+  EXPECT_EQ(scheduler.stats().retries, 2u);
+  EXPECT_EQ(scheduler.stats().failed, 1u);
+}
+
+TEST(SchedulerRetry, RecoveryResumesFromTheNewestValidCheckpoint) {
+  const thiim::SimulationConfig cfg = scene_config(16.0, "naive");
+  const int steps = 40;
+  const Observables reference = run_standalone(cfg, steps);
+  const std::string path = testing::TempDir() + "/emwd_retry.ckpt";
+  std::remove(path.c_str());
+  // Hit order: run() entry, then the hooks at steps 10/20/30.  once:3 fires
+  // at the step-20 boundary BEFORE its snapshot is captured, so attempt 1
+  // leaves exactly the step-10 checkpoint behind; attempt 2 must restore it
+  // and finish bit-exactly.
+  ArmedFaults armed("engine.step=once:3");
+  batch::Scheduler scheduler(batch::SchedulerConfig{.concurrency = 1,
+                                                    .pin_slots = false});
+  batch::Job job;
+  job.config = cfg;
+  job.steps = steps;
+  job.checkpoint_every = 10;
+  job.checkpoint_path = path;
+  job.setup = paint_scene;
+  job.retry.max_attempts = 2;
+  job.retry.backoff_seconds = 0.001;
+  scheduler.submit(std::move(job));
+  const auto results = scheduler.wait_all();
+  ASSERT_TRUE(results[0].ok) << results[0].error;
+  EXPECT_EQ(results[0].attempts, 2);
+  EXPECT_TRUE(results[0].resumed);
+  EXPECT_EQ(results[0].steps_done, steps);
+  EXPECT_EQ(results[0].total_energy, reference.total_energy);
+  EXPECT_EQ(results[0].electric_energy, reference.electric_energy);
+  EXPECT_EQ(scheduler.stats().retries, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(SchedulerRetry, CorruptResumeFileQuarantinesAndStartsFromScratch) {
+  const thiim::SimulationConfig cfg = scene_config(16.0, "naive");
+  const Observables reference = run_standalone(cfg, 4);
+  const std::string path = testing::TempDir() + "/emwd_corrupt.ckpt";
+  std::ofstream(path, std::ios::binary) << "not a snapshot at all";
+  batch::Scheduler scheduler(batch::SchedulerConfig{.concurrency = 1,
+                                                    .pin_slots = false});
+  batch::Job job;
+  job.config = cfg;
+  job.steps = 4;
+  job.resume_from = path;
+  job.setup = paint_scene;
+  scheduler.submit(std::move(job));
+  const auto results = scheduler.wait_all();
+  ASSERT_TRUE(results[0].ok) << results[0].error;
+  EXPECT_FALSE(results[0].resumed);  // nothing valid to resume: scratch run
+  EXPECT_EQ(results[0].quarantined, 1);
+  EXPECT_EQ(results[0].total_energy, reference.total_energy);
+  EXPECT_TRUE(std::ifstream(path + ".bad").good());
+  EXPECT_FALSE(std::ifstream(path).good());
+  EXPECT_EQ(scheduler.stats().quarantined, 1u);
+  std::remove((path + ".bad").c_str());
+}
+
+TEST(SchedulerDeadline, ExpiredBudgetFailsWithDeadlineClassAndNoRetry) {
+  batch::Scheduler scheduler(batch::SchedulerConfig{.concurrency = 1,
+                                                    .pin_slots = false});
+  batch::Job job;
+  job.config = scene_config(16.0, "naive");
+  job.steps = 100000;  // would run far longer than the budget
+  job.setup = paint_scene;
+  job.deadline_seconds = 1e-9;  // expires before the first attempt starts
+  job.retry.max_attempts = 3;
+  scheduler.submit(std::move(job));
+  const auto results = scheduler.wait_all();
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_EQ(results[0].error_class, "deadline");
+  EXPECT_EQ(results[0].attempts, 1);  // a spent budget is never retried
+  EXPECT_NE(results[0].error.find("deadline"), std::string::npos);
+  EXPECT_EQ(scheduler.stats().retries, 0u);
+  EXPECT_EQ(scheduler.stats().failed, 1u);
+}
+
+TEST(SchedulerDeadline, GenerousBudgetDoesNotPerturbResults) {
+  const thiim::SimulationConfig cfg = scene_config(16.0, "naive");
+  const Observables reference = run_standalone(cfg, 4);
+  batch::Scheduler scheduler(batch::SchedulerConfig{.concurrency = 1,
+                                                    .pin_slots = false});
+  batch::Job job;
+  job.config = cfg;
+  job.steps = 4;
+  job.setup = paint_scene;
+  job.deadline_seconds = 3600.0;
+  scheduler.submit(std::move(job));
+  const auto results = scheduler.wait_all();
+  ASSERT_TRUE(results[0].ok) << results[0].error;
+  EXPECT_EQ(results[0].total_energy, reference.total_energy);
+  EXPECT_EQ(results[0].electric_energy, reference.electric_energy);
+}
+
+TEST(JobJson, FailurePolicyFieldsRoundTrip) {
+  batch::Job job;
+  job.name = "rt";
+  job.config = scene_config(16.0, "naive");
+  job.steps = 4;
+  job.checkpoint_keep = 3;
+  job.deadline_seconds = 12.5;
+  job.retry.max_attempts = 4;
+  job.retry.backoff_seconds = 0.25;
+  job.retry.backoff_multiplier = 3.0;
+  job.retry.max_backoff_seconds = 2.0;
+  job.retry.jitter = 0.2;
+  const batch::Job back = batch::Job::from_json(util::JsonValue::parse(job.to_json()));
+  EXPECT_EQ(back.checkpoint_keep, 3);
+  EXPECT_EQ(back.deadline_seconds, 12.5);
+  EXPECT_EQ(back.retry.max_attempts, 4);
+  EXPECT_EQ(back.retry.backoff_seconds, 0.25);
+  EXPECT_EQ(back.retry.backoff_multiplier, 3.0);
+  EXPECT_EQ(back.retry.max_backoff_seconds, 2.0);
+  EXPECT_EQ(back.retry.jitter, 0.2);
+
+  batch::JobResult r;
+  r.ok = false;
+  r.error = "boom";
+  r.error_class = "transient";
+  r.attempts = 2;
+  r.quarantined = 1;
+  const batch::JobResult rb =
+      batch::JobResult::from_json(util::JsonValue::parse(r.to_json()));
+  EXPECT_EQ(rb.error_class, "transient");
+  EXPECT_EQ(rb.attempts, 2);
+  EXPECT_EQ(rb.quarantined, 1);
 }
 
 }  // namespace

@@ -1,0 +1,157 @@
+// Fault-injection registry semantics (src/fault/inject.hpp is the
+// normative spec): trigger grammar, determinism under a fixed seed, fire
+// caps, hit/fire counters, env configuration and malformed-spec rejection.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "fault/inject.hpp"
+
+namespace {
+
+using namespace emwd;
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::disarm(); }
+};
+
+TEST_F(FaultTest, DisarmedIsInertAndCountsNothing) {
+  fault::disarm();
+  EXPECT_FALSE(fault::enabled());
+  // maybe_fail's fast path never reaches the registry when disarmed.
+  EXPECT_NO_THROW(fault::maybe_fail("transport.stage"));
+  EXPECT_TRUE(fault::stats().empty());
+}
+
+TEST_F(FaultTest, EveryNthFiresOnExactMultiples) {
+  fault::configure("p=every:3");
+  EXPECT_TRUE(fault::enabled());
+  std::vector<int> fired;
+  for (int hit = 1; hit <= 10; ++hit) {
+    if (fault::should_fire("p")) fired.push_back(hit);
+  }
+  EXPECT_EQ(fired, (std::vector<int>{3, 6, 9}));
+  const auto st = fault::stats().at("p");
+  EXPECT_EQ(st.hits, 10u);
+  EXPECT_EQ(st.fires, 3u);
+}
+
+TEST_F(FaultTest, OnceFiresExactlyOnceAtTheNthHit) {
+  fault::configure("p=once:4");
+  std::vector<int> fired;
+  for (int hit = 1; hit <= 12; ++hit) {
+    if (fault::should_fire("p")) fired.push_back(hit);
+  }
+  EXPECT_EQ(fired, (std::vector<int>{4}));
+  // Bare `once` defaults to the first hit.
+  fault::configure("q=once");
+  EXPECT_TRUE(fault::should_fire("q"));
+  EXPECT_FALSE(fault::should_fire("q"));
+}
+
+TEST_F(FaultTest, MaxCapBoundsTotalFires) {
+  // every:1 would fire on every hit forever; *2 stops it after two — the
+  // documented way to make retry-style points survivable.
+  fault::configure("p=every:1*2");
+  int fires = 0;
+  for (int hit = 0; hit < 10; ++hit) fires += fault::should_fire("p") ? 1 : 0;
+  EXPECT_EQ(fires, 2);
+  const auto st = fault::stats().at("p");
+  EXPECT_EQ(st.hits, 10u);
+  EXPECT_EQ(st.fires, 2u);
+}
+
+TEST_F(FaultTest, ProbabilityStreamIsSeedDeterministic) {
+  auto pattern = [](std::uint64_t seed) {
+    fault::configure("p=p:0.5", seed);
+    std::vector<bool> fires;
+    for (int hit = 0; hit < 64; ++hit) fires.push_back(fault::should_fire("p"));
+    return fires;
+  };
+  const auto a = pattern(42);
+  const auto b = pattern(42);
+  EXPECT_EQ(a, b);  // same seed, same hit sequence -> same decisions
+  int fired = 0;
+  for (bool f : a) fired += f ? 1 : 0;
+  // p:0.5 over 64 hits: all-or-nothing would mean a broken RNG stream.
+  EXPECT_GT(fired, 0);
+  EXPECT_LT(fired, 64);
+}
+
+TEST_F(FaultTest, DistinctPointsGetDistinctStreams) {
+  // Same trigger, same seed: the name hash must decorrelate the streams.
+  fault::configure("a=p:0.5;b=p:0.5", 7);
+  std::vector<bool> va, vb;
+  for (int hit = 0; hit < 64; ++hit) {
+    va.push_back(fault::should_fire("a"));
+    vb.push_back(fault::should_fire("b"));
+  }
+  EXPECT_NE(va, vb);
+}
+
+TEST_F(FaultTest, MaybeFailThrowsInjectedFaultNamingThePoint) {
+  fault::configure("p=once");
+  try {
+    fault::maybe_fail("p");
+    FAIL() << "expected InjectedFault";
+  } catch (const fault::InjectedFault& e) {
+    EXPECT_EQ(e.point(), "p");
+    EXPECT_NE(std::string(e.what()).find("p"), std::string::npos);
+  }
+  // Spent: subsequent hits pass through.
+  EXPECT_NO_THROW(fault::maybe_fail("p"));
+}
+
+TEST_F(FaultTest, UnarmedPointsCountHitsButNeverFire) {
+  fault::configure("armed=every:1");
+  EXPECT_FALSE(fault::should_fire("other"));
+  EXPECT_FALSE(fault::should_fire("other"));
+  const auto st = fault::stats();
+  EXPECT_EQ(st.at("other").hits, 2u);
+  EXPECT_EQ(st.at("other").fires, 0u);
+}
+
+TEST_F(FaultTest, MalformedSpecsThrowAndLeaveConfigurationIntact) {
+  fault::configure("keep=every:2");
+  for (const char* bad :
+       {"nonsense", "=every:1", "p=", "p=every:0", "p=once:0", "p=p:1.5",
+        "p=p:-0.1", "p=p:", "p=every:x", "p=every:1*0", "p=warp:3"}) {
+    SCOPED_TRACE(bad);
+    EXPECT_THROW(fault::configure(bad), std::invalid_argument);
+  }
+  // The pre-error configuration survived every failed attempt.
+  EXPECT_TRUE(fault::enabled());
+  EXPECT_FALSE(fault::should_fire("keep"));
+  EXPECT_TRUE(fault::should_fire("keep"));
+}
+
+TEST_F(FaultTest, EmptyAndSeparatorOnlySpecsDisarm) {
+  fault::configure("p=every:1");
+  fault::configure("");
+  EXPECT_FALSE(fault::enabled());
+  fault::configure(";;;");
+  EXPECT_FALSE(fault::enabled());
+}
+
+TEST_F(FaultTest, ConfigureFromEnvArmsAndReportsFormat) {
+  ::setenv("EMWD_FAULTS", "p=every:2*1", 1);
+  ::setenv("EMWD_FAULT_SEED", "9", 1);
+  fault::configure_from_env();
+  ::unsetenv("EMWD_FAULTS");
+  ::unsetenv("EMWD_FAULT_SEED");
+  EXPECT_TRUE(fault::enabled());
+  EXPECT_FALSE(fault::should_fire("p"));
+  EXPECT_TRUE(fault::should_fire("p"));
+  EXPECT_EQ(fault::report(), "FAULT p hits=2 fires=1\n");
+}
+
+TEST_F(FaultTest, ReconfigureResetsCounters) {
+  fault::configure("p=every:1");
+  fault::should_fire("p");
+  fault::configure("p=every:1");
+  EXPECT_EQ(fault::stats().at("p").hits, 0u);
+}
+
+}  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -416,6 +417,127 @@ TEST(SnapshotResume, RejectsBoundaryMismatchAndUnfinalized) {
   std::stringstream blob2;
   src.save_snapshot(blob2);
   EXPECT_THROW(raw.restore_snapshot(blob2), std::logic_error);
+}
+
+// ------------------------------------------------------------------
+// Retention and recovery: rotation chains, CRC vetting, quarantine of
+// corrupt candidates and startup cleanup of writer debris.
+
+/// Write a valid snapshot with steps_done = `step` at `path`.
+void put_snapshot(const std::string& path, int step) {
+  io::SnapshotInfo info = make_info();
+  info.steps_done = step;
+  io::write_snapshot_file(path, make_snapshot_fields(step), info);
+}
+
+std::string slot_path(const std::string& path, int slot) {
+  return slot == 0 ? path : path + '.' + std::to_string(slot);
+}
+
+TEST(SnapshotRetention, RotationKeepsNewestFirstChain) {
+  const std::string path = testing::TempDir() + "/emwd_rot.ckpt";
+  for (int step : {1, 2, 3}) {
+    io::rotate_snapshots(path, 3);
+    put_snapshot(path, step);
+  }
+  // Chain is newest-first: path=3, path.1=2, path.2=1.
+  grid::FieldSet b(grid::Layout({5, 4, 6}));
+  EXPECT_EQ(io::read_snapshot_file(slot_path(path, 0), b).steps_done, 3);
+  EXPECT_EQ(io::read_snapshot_file(slot_path(path, 1), b).steps_done, 2);
+  EXPECT_EQ(io::read_snapshot_file(slot_path(path, 2), b).steps_done, 1);
+  // One more rotation at keep=3 drops the oldest off the end.
+  io::rotate_snapshots(path, 3);
+  put_snapshot(path, 4);
+  EXPECT_EQ(io::read_snapshot_file(slot_path(path, 2), b).steps_done, 2);
+  EXPECT_FALSE(std::ifstream(path + ".3").good());
+  for (int s = 0; s < 3; ++s) std::remove(slot_path(path, s).c_str());
+}
+
+TEST(SnapshotRetention, ValidateDetectsCorruptionWithoutAFieldSet) {
+  const std::string path = testing::TempDir() + "/emwd_val.ckpt";
+  put_snapshot(path, 7);
+  EXPECT_TRUE(io::validate_snapshot_file(path));
+  // Flip one payload byte: the chunk CRC walk must catch it.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(200);
+    char c = 0;
+    f.seekg(200);
+    f.get(c);
+    f.seekp(200);
+    f.put(static_cast<char>(c ^ 0x01));
+  }
+  EXPECT_FALSE(io::validate_snapshot_file(path));
+  EXPECT_FALSE(io::validate_snapshot_file("/no/such/file.ckpt"));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotRetention, FindLatestValidSkipsAndQuarantinesCorrupt) {
+  const std::string path = testing::TempDir() + "/emwd_find.ckpt";
+  for (int step : {1, 2, 3}) {
+    io::rotate_snapshots(path, 3);
+    put_snapshot(path, step);
+  }
+  // Corrupt the newest; recovery must fall back to path.1 (step 2) and
+  // quarantine the corpse as path.bad.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(100);
+    f.put('\x7f');
+  }
+  std::vector<std::string> quarantined;
+  const std::string best = io::find_latest_valid_snapshot(path, 3, &quarantined);
+  EXPECT_EQ(best, slot_path(path, 1));
+  ASSERT_EQ(quarantined.size(), 1u);
+  EXPECT_EQ(quarantined[0], path + ".bad");
+  EXPECT_TRUE(std::ifstream(path + ".bad").good());
+  EXPECT_FALSE(std::ifstream(path).good());  // corpse moved, not copied
+  grid::FieldSet b(grid::Layout({5, 4, 6}));
+  EXPECT_EQ(io::read_snapshot_file(best, b).steps_done, 2);
+
+  // All candidates gone -> empty string (caller starts from scratch).
+  for (int s = 0; s < 3; ++s) std::remove(slot_path(path, s).c_str());
+  std::remove((path + ".bad").c_str());
+  EXPECT_EQ(io::find_latest_valid_snapshot(path, 3, nullptr), "");
+}
+
+TEST(SnapshotRetention, CleanupRemovesDebrisAndPrunesBeyondKeep) {
+  const std::string dir = testing::TempDir() + "/emwd_cleanup";
+  std::filesystem::create_directories(dir);
+  put_snapshot(dir + "/job0.ckpt", 1);
+  put_snapshot(dir + "/job0.ckpt.1", 2);
+  put_snapshot(dir + "/job0.ckpt.2", 3);
+  std::ofstream(dir + "/job1.ckpt.tmp~") << "torn write";
+  const io::CleanupStats swept = io::cleanup_checkpoint_dir(dir, 2);
+  EXPECT_EQ(swept.tmp_removed, 1);
+  EXPECT_EQ(swept.pruned, 1);  // job0.ckpt.2 is beyond keep=2
+  EXPECT_TRUE(std::ifstream(dir + "/job0.ckpt").good());
+  EXPECT_TRUE(std::ifstream(dir + "/job0.ckpt.1").good());
+  EXPECT_FALSE(std::ifstream(dir + "/job0.ckpt.2").good());
+  EXPECT_FALSE(std::ifstream(dir + "/job1.ckpt.tmp~").good());
+  // Missing directory is a quiet no-op, not an error.
+  const io::CleanupStats none = io::cleanup_checkpoint_dir(dir + "/absent", 2);
+  EXPECT_EQ(none.tmp_removed + none.pruned, 0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SnapshotWriter, RotatesChainWhenKeepExceedsOne) {
+  grid::Layout L({5, 4, 6});
+  const std::string path = testing::TempDir() + "/emwd_wkeep.ckpt";
+  io::SnapshotWriter writer(L);
+  for (int i = 1; i <= 3; ++i) {
+    auto fs = make_snapshot_fields(i);
+    io::SnapshotInfo info = make_info();
+    info.steps_done = i;
+    writer.capture(fs, info, path, /*keep=*/2);
+    writer.wait_idle();  // serialize: rotation order must be deterministic
+  }
+  grid::FieldSet back(L);
+  EXPECT_EQ(io::read_snapshot_file(path, back).steps_done, 3);
+  EXPECT_EQ(io::read_snapshot_file(path + ".1", back).steps_done, 2);
+  EXPECT_FALSE(std::ifstream(path + ".2").good());  // keep=2 bounds the chain
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
 }
 
 }  // namespace

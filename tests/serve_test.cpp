@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "batch/sweep.hpp"
+#include "fault/inject.hpp"
 #include "thiim/simulation.hpp"
 #include "serve/fair_share.hpp"
 #include "serve/protocol.hpp"
@@ -762,6 +763,163 @@ TEST(ServeEndToEnd, PreemptibleSweepCompletesBitExactAfterPreemptOps) {
   EXPECT_EQ(static_cast<std::size_t>(
                 status.find("scheduler")->get_int("preempted", -1)),
             result_preempts);
+  server.stop();
+}
+
+// ------------------------------------------------------- graceful degradation
+// Error classes on the wire, retry_after hints on capacity rejects and
+// per-class / per-client failure counters (src/serve/README.md "Failure
+// semantics").
+
+TEST(ServeProtocol, SweepSpecCarriesFailurePolicies) {
+  const serve::SweepSpec spec = serve::parse_sweep_spec(
+      "scene=vacuum;grid=10x10x16;lambda=20;steps=5;retries=3;backoff=0.1;"
+      "deadline=7.5");
+  EXPECT_EQ(spec.retries, 3);
+  EXPECT_EQ(spec.backoff, 0.1);
+  EXPECT_EQ(spec.deadline, 7.5);
+  const batch::SweepConfig cfg =
+      serve::to_sweep_config(spec, *serve::builtin_tables().find("vacuum"));
+  EXPECT_EQ(cfg.retry.max_attempts, 3);
+  EXPECT_EQ(cfg.retry.backoff_seconds, 0.1);
+  EXPECT_EQ(cfg.deadline_seconds, 7.5);
+  EXPECT_THROW(serve::parse_sweep_spec("retries=0;steps=1"), std::invalid_argument);
+  EXPECT_THROW(serve::parse_sweep_spec("backoff=-1;steps=1"), std::invalid_argument);
+  EXPECT_THROW(serve::parse_sweep_spec("deadline=-1;steps=1"), std::invalid_argument);
+}
+
+TEST(ServeDegradation, BadRequestsAreClassedPermanentOnTheWire) {
+  const std::string path = test_socket_path("class");
+  serve::Server server(small_server(path));
+  Client client(path);
+  // Malformed JSON and an unknown scene are both the client's fault: the
+  // identical bytes will never succeed, so the class must be "permanent".
+  for (const std::string bad :
+       {std::string("{"),
+        std::string("{\"op\":\"sweep\",\"spec\":\"scene=nope;steps=1\"}")}) {
+    client.send(bad);
+    const JsonValue frame = client.recv();
+    EXPECT_EQ(frame.get_string("type", ""), "error") << bad;
+    EXPECT_EQ(frame.get_string("class", ""), "permanent") << bad;
+  }
+  server.stop();
+}
+
+TEST(ServeDegradation, CapacityRejectsAreTransientWithRetryAfter) {
+  const std::string path = test_socket_path("retry_after");
+  serve::ServerConfig cfg = small_server(path);
+  cfg.scheduler.concurrency = 1;
+  cfg.max_inflight = 1;
+  cfg.admission.max_pending = 1;
+  cfg.auto_preempt = false;
+  GatedServer gated(path, cfg);
+
+  Client client(path);
+  client.send(
+      "{\"op\":\"sweep\",\"spec\":\"scene=vacuum;grid=10x10x16;lambda=11,12,13;"
+      "steps=5;threads=1;engine=naive;pml=3\"}");
+  bool saw_reject = false;
+  for (;;) {
+    const JsonValue frame = client.recv();
+    const std::string type = frame.get_string("type", "");
+    if (type == "rejected") {
+      saw_reject = true;
+      EXPECT_EQ(frame.get_string("class", ""), "transient");
+      // The backpressure hint: positive, bounded, grows with the backlog.
+      const double hint = frame.get_double("retry_after", -1.0);
+      EXPECT_GT(hint, 0.0);
+      EXPECT_LE(hint, 5.0);
+    } else if (type == "done") {
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_reject);
+
+  gated.finish_gate();
+  gated.server().stop();
+}
+
+TEST(ServeDegradation, JobFailuresCountPerClassAndPerClientInStatus) {
+  const std::string path = test_socket_path("failcount");
+  serve::ServerConfig cfg = small_server(path);
+  cfg.scheduler.concurrency = 1;
+  serve::Server server(std::move(cfg));
+
+  // One injected transient failure; the cap spends the trigger so the
+  // second wavelength (and any retry) runs clean.
+  fault::configure("engine.step=once:1");
+  Client client(path);
+  const Client::SweepOutcome out = client.run_sweep(
+      "scene=vacuum;grid=10x10x16;lambda=11,12;steps=5;threads=1;"
+      "engine=naive;pml=3");
+  fault::disarm();
+  ASSERT_EQ(out.results.size(), 2u);
+  int failed = 0;
+  for (const auto& [index, r] : out.results) {
+    if (!r.ok) {
+      ++failed;
+      EXPECT_EQ(r.error_class, "transient");
+    }
+  }
+  ASSERT_EQ(failed, 1);
+
+  client.send("{\"op\":\"status\"}");
+  const JsonValue status = client.recv();
+  const JsonValue* srv = status.find("server");
+  ASSERT_NE(srv, nullptr);
+  const JsonValue* failures = srv->find("job_failures");
+  ASSERT_NE(failures, nullptr);
+  EXPECT_EQ(failures->get_int("transient", -1), 1);
+  EXPECT_EQ(failures->get_int("permanent", -1), 0);
+  EXPECT_EQ(failures->get_int("deadline", -1), 0);
+  // Our live connection appears in the per-client breakdown.
+  const JsonValue* clients = srv->find("clients");
+  ASSERT_NE(clients, nullptr);
+  ASSERT_TRUE(clients->is_array());
+  bool found = false;
+  for (const JsonValue& c : clients->as_array()) {
+    if (c.get_int("failed_transient", 0) == 1) {
+      found = true;
+      EXPECT_GE(c.get_int("results", 0), 2);
+    }
+  }
+  EXPECT_TRUE(found);
+  server.stop();
+}
+
+TEST(ServeDegradation, SpecRetriesRecoverAnInjectedFaultBitExactly) {
+  const std::string path = test_socket_path("specretry");
+  serve::ServerConfig cfg = small_server(path);
+  cfg.scheduler.concurrency = 1;
+  serve::Server server(std::move(cfg));
+
+  // Fault-free reference, in-process.
+  const std::string spec_text =
+      "scene=vacuum;grid=10x10x16;lambda=20;steps=5;threads=1;engine=naive;"
+      "pml=3";
+  batch::SweepConfig local_cfg = serve::to_sweep_config(
+      serve::parse_sweep_spec(spec_text), *serve::builtin_tables().find("vacuum"));
+  local_cfg.scheduler.concurrency = 1;
+  local_cfg.scheduler.pin_slots = false;
+  const batch::SweepResult local = batch::run_sweep(local_cfg);
+  ASSERT_TRUE(local.results[0].ok);
+
+  fault::configure("engine.step=once:1");
+  Client client(path);
+  const Client::SweepOutcome out = client.run_sweep(spec_text + ";retries=2");
+  fault::disarm();
+  ASSERT_EQ(out.results.size(), 1u);
+  const batch::JobResult& r = out.results.at(0);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.attempts, 2);
+  EXPECT_EQ(r.total_energy, local.results[0].total_energy);
+  EXPECT_EQ(r.electric_energy, local.results[0].electric_energy);
+
+  client.send("{\"op\":\"status\"}");
+  const JsonValue status = client.recv();
+  EXPECT_EQ(status.find("scheduler")->get_int("retries", -1), 1);
+  EXPECT_EQ(status.find("server")->find("job_failures")->get_int("transient", -1),
+            0);  // the retry absorbed the fault: nothing failed on the wire
   server.stop();
 }
 

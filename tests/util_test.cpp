@@ -10,8 +10,15 @@
 #include <thread>
 #include <vector>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <optional>
+
+#include "fault/inject.hpp"
 #include "util/affinity.hpp"
 #include "util/aligned.hpp"
+#include "util/socket.hpp"
 #include "util/json.hpp"
 #include "util/barrier.hpp"
 #include "util/cli.hpp"
@@ -373,6 +380,34 @@ TEST(Affinity, ReleaseKeepsTheCurrentMask) {
 TEST(Affinity, EmptyAndBogusCpuListsAreRejected) {
   EXPECT_FALSE(pin_current_thread({}));
   EXPECT_FALSE(pin_current_thread({1 << 20}));
+}
+
+TEST(SocketFraming, FramesSurviveInjectedEintrStorms) {
+  // The socket.eintr.* points synthesize EINTR inside the send/recv loops;
+  // the framing layer must retry through the storm and deliver the payload
+  // byte-exact.  The *max cap bounds the storm so the loops terminate.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  emwd::fault::configure(
+      "socket.eintr.send=every:2*16;socket.eintr.recv=every:2*16");
+  std::string payload(100000, '\0');
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>(i * 31 + 7);
+  }
+  bool sent = false;
+  std::thread sender([&] { sent = send_frame(fds[0], payload); });
+  const std::optional<std::string> got = recv_frame(fds[1], 1u << 20);
+  sender.join();
+  const auto stats = emwd::fault::stats();
+  emwd::fault::disarm();
+  EXPECT_TRUE(sent);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+  // The storm actually happened — both loops retried through real EINTRs.
+  EXPECT_GT(stats.at("socket.eintr.send").fires, 0u);
+  EXPECT_GT(stats.at("socket.eintr.recv").fires, 0u);
+  ::close(fds[0]);
+  ::close(fds[1]);
 }
 
 }  // namespace
