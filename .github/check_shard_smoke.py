@@ -58,14 +58,22 @@ def check_redundant(rows, shards, max_redundant_pct):
 
 
 def check_overlap(rows, max_slower_pct, max_exposed_ratio, gate_max_threads):
-    pairs = {}
+    # The bench emits a barrier row once per (inner, K) — staging only
+    # happens in overlap mode, so barrier rows are transport-independent —
+    # and one overlap row per (inner, K, transport).  Every overlap row is
+    # gated against that shared barrier twin.
+    barriers = {}
+    overlaps = {}
     for row in rows:
         if int(row["shards"]) <= 1:
             continue
-        key = (row["inner"], int(row["shards"]))
-        pairs.setdefault(key, {})[row["overlap"]] = row
+        transport = row.get("transport", "local")
+        if row["overlap"] == "1":
+            overlaps[(row["inner"], int(row["shards"]), transport)] = row
+        else:
+            barriers.setdefault((row["inner"], int(row["shards"])), row)
 
-    if not pairs:
+    if not barriers and not overlaps:
         print("FAIL: no multi-shard rows to compare", file=sys.stderr)
         return False
 
@@ -73,19 +81,20 @@ def check_overlap(rows, max_slower_pct, max_exposed_ratio, gate_max_threads):
     exposed_overlap = 0.0
     compared = 0
     ok = True
-    for key, modes in sorted(pairs.items()):
-        if "0" not in modes or "1" not in modes:
-            print(f"FAIL: {key} missing a barrier/overlap twin", file=sys.stderr)
+    for key, ovl in sorted(overlaps.items()):
+        bar = barriers.get((key[0], key[1]))
+        if bar is None:
+            print(f"FAIL: {key} missing its barrier twin", file=sys.stderr)
             ok = False
             continue
-        bar, ovl = modes["0"], modes["1"]
         total_threads = key[1] * int(bar["threads/shard"])
         wall_gated = gate_max_threads <= 0 or total_threads <= gate_max_threads
         wall_bar = float(bar["seconds"])
         wall_ovl = float(ovl["seconds"])
         slower_pct = 100.0 * (wall_ovl - wall_bar) / wall_bar if wall_bar > 0 else 0.0
         print(
-            f"{key[0]}: K={key[1]} wall barrier={wall_bar:.4f}s overlap={wall_ovl:.4f}s "
+            f"{key[0]}: K={key[1]} transport={key[2]} "
+            f"wall barrier={wall_bar:.4f}s overlap={wall_ovl:.4f}s "
             f"({slower_pct:+.1f}%), exposed barrier={float(bar['halo exposed s']):.4f}s "
             f"overlap={float(ovl['halo exposed s']):.4f}s, "
             f"hidden={float(ovl['halo hidden s']):.5f}s"
@@ -122,6 +131,42 @@ def check_overlap(rows, max_slower_pct, max_exposed_ratio, gate_max_threads):
     return ok
 
 
+def check_transport(rows, name):
+    """Require rows for the named halo transport and, on its overlap rows,
+    nonzero staged payload — proof the bytes actually went through the
+    transport's stage path rather than silently falling back."""
+    seen = 0
+    overlap_rows = 0
+    ok = True
+    for row in rows:
+        if row.get("transport", "local") != name:
+            continue
+        seen += 1
+        if row.get("overlap") != "1":
+            continue
+        overlap_rows += 1
+        staged_mb = float(row.get("staged MB", "0") or "0")
+        print(
+            f"{row['inner']}: K={row['shards']} transport={name} "
+            f"staged {staged_mb:.3f} MiB, stage {row.get('halo stage s', '?')}s, "
+            f"unstage {row.get('halo unstage s', '?')}s"
+        )
+        if staged_mb <= 0.0:
+            print(
+                f"FAIL: transport={name} overlap row staged no bytes", file=sys.stderr
+            )
+            ok = False
+    if seen == 0:
+        print(f"FAIL: no rows ran transport={name}", file=sys.stderr)
+        return False
+    if overlap_rows == 0:
+        print(f"FAIL: no overlap rows ran transport={name}", file=sys.stderr)
+        return False
+    if ok:
+        print(f"OK: {overlap_rows} overlap row(s) moved bytes over transport={name}")
+    return ok
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("csv_path", help="CSV written by bench_shard_scaling --csv")
@@ -145,6 +190,13 @@ def main() -> int:
         help="aggregate exposed-halo(overlap)/exposed-halo(barrier) must stay below this",
     )
     ap.add_argument(
+        "--require-transport",
+        default="",
+        metavar="NAME",
+        help="require rows that ran this halo transport, with nonzero staged "
+        "bytes on its overlap rows (e.g. shm)",
+    )
+    ap.add_argument(
         "--gate-max-threads",
         type=int,
         default=0,
@@ -158,6 +210,8 @@ def main() -> int:
         rows = list(csv.DictReader(f))
 
     ok = check_redundant(rows, args.shards, args.max_redundant_pct)
+    if args.require_transport:
+        ok = check_transport(rows, args.require_transport) and ok
     if args.check_overlap:
         ok = (
             check_overlap(

@@ -35,6 +35,10 @@ HaloStats& HaloStats::operator+=(const HaloStats& o) {
   seconds += o.seconds;
   wait_seconds += o.wait_seconds;
   hidden_seconds += o.hidden_seconds;
+  staged_bytes += o.staged_bytes;
+  unstaged_bytes += o.unstaged_bytes;
+  stage_seconds += o.stage_seconds;
+  unstage_seconds += o.unstage_seconds;
   return *this;
 }
 
@@ -97,8 +101,14 @@ void HaloExchange::reset_flow() {
   for (auto& c : posted_) c.v.store(0, std::memory_order_relaxed);
   for (auto& c : consumed_lo_) c.v.store(0, std::memory_order_relaxed);
   for (auto& c : consumed_hi_) c.v.store(0, std::memory_order_relaxed);
+  // Per-run transport state (ring sequences, in-flight frames) must not
+  // leak across runs of a reused engine.
+  transport_->reset();
   if (export_down_.empty()) {
     const int K = part_.num_shards();
+    // Zero-copy transports stage into their own storage (a mapped ring
+    // slot, a wire) and never read HaloBuffer::data; skip the heap copy.
+    const bool storage = transport_->wants_buffer_storage();
     export_down_.resize(static_cast<std::size_t>(K));
     export_up_.resize(static_cast<std::size_t>(K));
     for (int s = 0; s < K; ++s) {
@@ -111,17 +121,25 @@ void HaloExchange::reset_flow() {
         HaloBuffer& b = export_down_[static_cast<std::size_t>(s)];
         b.planes = part_.shard(s - 1).hi;
         b.src_k0 = e.to_local(e.z0);
-        b.data.assign(plane * static_cast<std::size_t>(b.planes) *
-                          static_cast<std::size_t>(kernels::kNumComps),
-                      0.0);
+        b.src_shard = s;
+        b.dst_shard = s - 1;
+        if (storage) {
+          b.data.assign(plane * static_cast<std::size_t>(b.planes) *
+                            static_cast<std::size_t>(kernels::kNumComps),
+                        0.0);
+        }
       }
       if (s + 1 < K) {  // top owned planes become s+1's lo ghosts
         HaloBuffer& b = export_up_[static_cast<std::size_t>(s)];
         b.planes = part_.shard(s + 1).lo;
         b.src_k0 = e.to_local(e.z1 - part_.shard(s + 1).lo);
-        b.data.assign(plane * static_cast<std::size_t>(b.planes) *
-                          static_cast<std::size_t>(kernels::kNumComps),
-                      0.0);
+        b.src_shard = s;
+        b.dst_shard = s + 1;
+        if (storage) {
+          b.data.assign(plane * static_cast<std::size_t>(b.planes) *
+                            static_cast<std::size_t>(kernels::kNumComps),
+                        0.0);
+        }
       }
     }
   }
@@ -145,11 +163,21 @@ void HaloExchange::post(int s, std::int64_t round, bool drain) {
     }
     util::Timer copy;
     const grid::FieldSet& mine = *shards_[static_cast<std::size_t>(s)];
-    if (s > 0) transport_->stage(mine, export_down_[static_cast<std::size_t>(s)]);
+    std::int64_t staged_planes = 0;
+    if (s > 0) {
+      transport_->stage(mine, export_down_[static_cast<std::size_t>(s)]);
+      staged_planes += export_down_[static_cast<std::size_t>(s)].planes;
+    }
     if (s + 1 < part_.num_shards()) {
       transport_->stage(mine, export_up_[static_cast<std::size_t>(s)]);
+      staged_planes += export_up_[static_cast<std::size_t>(s)].planes;
     }
-    st.seconds += copy.seconds();
+    const double stage_s = copy.seconds();
+    const std::int64_t plane_bytes =
+        static_cast<std::int64_t>(mine.layout().stride_z()) * 16;
+    st.seconds += stage_s;
+    st.stage_seconds += stage_s;
+    st.staged_bytes += staged_planes * kernels::kNumComps * plane_bytes;
     st.wait_seconds += reuse_wait;
   }
   c.store(round, std::memory_order_release);
@@ -203,6 +231,7 @@ void HaloExchange::wait(int s, std::int64_t round, bool drain) {
                           e.to_local(e.ext_z0()), e.lo);
       const double c = copy.seconds();
       copy_seconds += c;
+      st.unstage_seconds += c;
       if (other_pending) hidden_seconds += c;
       planes += e.lo;
       my_lo.store(round, std::memory_order_release);
@@ -222,6 +251,7 @@ void HaloExchange::wait(int s, std::int64_t round, bool drain) {
                           e.to_local(e.z1), e.hi);
       const double c = copy.seconds();
       copy_seconds += c;
+      st.unstage_seconds += c;
       if (other_pending) hidden_seconds += c;
       planes += e.hi;
       my_hi.store(round, std::memory_order_release);
@@ -240,6 +270,7 @@ void HaloExchange::wait(int s, std::int64_t round, bool drain) {
   st.exchanges += 1;
   st.planes_copied += planes * kernels::kNumComps;
   st.bytes_moved += planes * kernels::kNumComps * plane_bytes;
+  st.unstaged_bytes += planes * kernels::kNumComps * plane_bytes;
   st.seconds += copy_seconds;
   st.hidden_seconds += hidden_seconds;
   st.wait_seconds += episode.seconds() - copy_seconds;

@@ -50,6 +50,12 @@ struct HaloStats {
   double seconds = 0.0;            // thread-seconds spent copying
   double wait_seconds = 0.0;       // thread-seconds stalled on neighbor readiness
   double hidden_seconds = 0.0;     // copy seconds overlapped with a pending wait
+  // Per-transport accounting of the overlapped protocol's two halves
+  // (barrier-mode pulls count only into bytes_moved/seconds above):
+  std::int64_t staged_bytes = 0;    // payload packed by Transport::stage
+  std::int64_t unstaged_bytes = 0;  // payload unpacked by Transport::unstage
+  double stage_seconds = 0.0;       // thread-seconds inside stage
+  double unstage_seconds = 0.0;     // thread-seconds inside unstage
 
   HaloStats& operator+=(const HaloStats& o);
 };

@@ -72,8 +72,10 @@ class ShardedEngine final : public PreparableEngine {
     // caller thread: a factory throwing inside one shard thread is
     // recoverable (run() drains the barriers) but an early error message
     // beats a mid-run abort.  The inner_factory hook opts out of inner
-    // validation — tests use it to inject failing engines.
-    (void)make_transport(p.transport);
+    // validation — tests use it to inject failing engines.  The registry
+    // lookup (not a construction) keeps the error message's list of
+    // registered names as the single source of truth.
+    require_transport(p.transport);
     if (!p.inner_factory) {
       const int variants = std::max<int>(1, static_cast<int>(p.per_shard_mwd.size()));
       for (int s = 0; s < variants; ++s) (void)make_inner(s, p.threads_per_shard);
@@ -213,6 +215,11 @@ class ShardedEngine final : public PreparableEngine {
     // exchanger's per-shard stats.  The two sources never overlap.
     stats_.halo_wait_seconds += halo_after.wait_seconds - halo_before.wait_seconds;
     stats_.halo_hidden_seconds += halo_after.hidden_seconds - halo_before.hidden_seconds;
+    stats_.halo_transport = p_.transport;
+    stats_.halo_staged_bytes = halo_after.staged_bytes - halo_before.staged_bytes;
+    stats_.halo_unstaged_bytes = halo_after.unstaged_bytes - halo_before.unstaged_bytes;
+    stats_.halo_stage_seconds = halo_after.stage_seconds - halo_before.stage_seconds;
+    stats_.halo_unstage_seconds = halo_after.unstage_seconds - halo_before.unstage_seconds;
     stats_.mlups = util::mlups(static_cast<std::int64_t>(L.interior().cells()), steps,
                                stats_.seconds);
   }
@@ -303,8 +310,16 @@ class ShardedEngine final : public PreparableEngine {
       remaining -= chunk;
       if (remaining == 0) break;
       // Publish this round's planes — in drain form once the run is
-      // failing, so the neighbors' waits always terminate.
-      st.halo->post(s, round, failed.load(std::memory_order_acquire));
+      // failing, so the neighbors' waits always terminate.  stage() may
+      // throw (fault injection, a transport's ring/peer deadline): record
+      // it and re-post in drain form — post is idempotent per round, so
+      // the counter still advances and neighbors never stall on us.
+      try {
+        st.halo->post(s, round, failed.load(std::memory_order_acquire));
+      } catch (...) {
+        record_failure();
+        st.halo->post(s, round, /*drain=*/true);
+      }
     }
   }
 

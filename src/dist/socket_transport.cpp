@@ -1,0 +1,203 @@
+#include "dist/socket_transport.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#if defined(_WIN32)
+#error "dist/socket_transport: POSIX-only (socketpair)"
+#endif
+
+#include <sys/socket.h>
+
+#include "fault/inject.hpp"
+#include "util/socket.hpp"
+
+namespace emwd::dist {
+
+namespace {
+
+constexpr std::uint32_t kMaxFrame = 1u << 30;  // 1 GiB: far above any donation
+
+std::size_t donation_bytes(const grid::Layout& layout, int planes) {
+  const std::size_t plane_doubles = static_cast<std::size_t>(layout.stride_z()) * 2;
+  return plane_doubles * static_cast<std::size_t>(planes) *
+         static_cast<std::size_t>(kernels::kNumComps) * sizeof(double);
+}
+
+/// One donor->consumer stream: a socketpair whose read end a receiver
+/// thread drains into `inbox`.  producer_seq/consumer_seq are each touched
+/// by a single thread (donor/consumer shard respectively); the inbox mutex
+/// carries the cross-thread handoff.
+struct Channel {
+  util::UniqueFd send_fd;
+  util::UniqueFd recv_fd;
+  std::thread receiver;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::string> inbox;
+  bool closed = false;
+  std::uint64_t producer_seq = 0;
+  std::uint64_t consumer_seq = 0;
+
+  ~Channel() {
+    // Shut the pair down first so the receiver's blocking recv returns.
+    send_fd.shutdown_both();
+    recv_fd.shutdown_both();
+    if (receiver.joinable()) receiver.join();
+  }
+};
+
+class SocketTransport final : public Transport {
+ public:
+  std::string name() const override { return "socket"; }
+
+  void pull_planes(grid::FieldSet& dst, const grid::FieldSet& src, int src_k0,
+                   int dst_k0, int planes) override {
+    // Barrier-mode pulls run between full stops inside one address space;
+    // framing them over a socket would add bytes, not fidelity.
+    dst.copy_field_planes_from(src, src_k0, dst_k0, planes);
+  }
+
+  void stage(const grid::FieldSet& src, HaloBuffer& buf) override {
+    fault::maybe_fail("transport.stage");
+    Channel& ch = channel_for(buf);
+
+    // Pack into the HaloBuffer (its usual staging role), then frame:
+    // 8-byte sequence number + the raw plane doubles.
+    const std::size_t plane_doubles =
+        static_cast<std::size_t>(src.layout().stride_z()) * 2;
+    double* out = buf.data.data();
+    for (int c = 0; c < kernels::kNumComps; ++c) {
+      src.field(static_cast<kernels::Comp>(c))
+          .copy_z_planes_to_buffer(out, buf.src_k0, buf.planes);
+      out += plane_doubles * static_cast<std::size_t>(buf.planes);
+    }
+    const std::uint64_t seq = ++ch.producer_seq;
+    std::string frame(sizeof(seq) + buf.data.size() * sizeof(double), '\0');
+    std::memcpy(frame.data(), &seq, sizeof(seq));
+    std::memcpy(frame.data() + sizeof(seq), buf.data.data(),
+                buf.data.size() * sizeof(double));
+    if (!util::send_frame(ch.send_fd.get(), frame)) {
+      throw std::runtime_error("socket transport: peer gone on channel " +
+                               channel_desc(buf));
+    }
+  }
+
+  void unstage(grid::FieldSet& dst, const HaloBuffer& buf, int dst_k0,
+               int planes) override {
+    fault::maybe_fail("transport.unstage");
+    Channel& ch = channel_for(buf);
+
+    std::string frame;
+    {
+      std::unique_lock<std::mutex> lock(ch.mu);
+      // Deadline, not a bare wait: a drained producer never sends, and the
+      // failure protocol needs this to surface as an error it can catch
+      // rather than a wedged shard thread.
+      if (!ch.cv.wait_for(lock, std::chrono::seconds(5),
+                          [&] { return !ch.inbox.empty() || ch.closed; }) ||
+          ch.inbox.empty()) {
+        throw std::runtime_error("socket transport: channel " + channel_desc(buf) +
+                                 " closed or silent before the donation arrived");
+      }
+      frame = std::move(ch.inbox.front());
+      ch.inbox.pop_front();
+    }
+
+    const std::size_t bytes = donation_bytes(dst.layout(), buf.planes);
+    if (frame.size() != sizeof(std::uint64_t) + bytes) {
+      throw std::runtime_error("socket transport: frame size mismatch on channel " +
+                               channel_desc(buf) + " (got " +
+                               std::to_string(frame.size()) + " bytes, want " +
+                               std::to_string(sizeof(std::uint64_t) + bytes) + ")");
+    }
+    std::uint64_t seq = 0;
+    std::memcpy(&seq, frame.data(), sizeof(seq));
+    if (seq != ch.consumer_seq + 1) {
+      throw std::runtime_error("socket transport: sequence mismatch on channel " +
+                               channel_desc(buf) + " (got " + std::to_string(seq) +
+                               ", want " + std::to_string(ch.consumer_seq + 1) + ")");
+    }
+
+    const std::size_t plane_doubles =
+        static_cast<std::size_t>(dst.layout().stride_z()) * 2;
+    const double* in = reinterpret_cast<const double*>(frame.data() + sizeof(seq));
+    for (int c = 0; c < kernels::kNumComps; ++c) {
+      dst.field(static_cast<kernels::Comp>(c))
+          .copy_z_planes_from_buffer(in, dst_k0, planes);
+      in += plane_doubles * static_cast<std::size_t>(buf.planes);
+    }
+    ch.consumer_seq = seq;
+  }
+
+  void reset() override {
+    std::lock_guard<std::mutex> lock(map_mu_);
+    channels_.clear();  // joins receivers; fresh pairs and sequences
+  }
+
+ private:
+  static std::string channel_desc(const HaloBuffer& buf) {
+    return std::to_string(buf.src_shard) + "->" + std::to_string(buf.dst_shard);
+  }
+
+  Channel& channel_for(const HaloBuffer& buf) {
+    if (buf.src_shard < 0 || buf.dst_shard < 0) {
+      throw std::runtime_error(
+          "socket transport: HaloBuffer has no channel ids — the exchange "
+          "must assign them in reset_flow()");
+    }
+    std::lock_guard<std::mutex> lock(map_mu_);
+    const auto key = std::make_pair(buf.src_shard, buf.dst_shard);
+    auto it = channels_.find(key);
+    if (it != channels_.end()) return *it->second;
+
+    auto ch = std::make_unique<Channel>();
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+      throw std::runtime_error("socket transport: socketpair failed");
+    }
+    ch->send_fd.reset(fds[0]);
+    ch->recv_fd.reset(fds[1]);
+    Channel* raw = ch.get();
+    ch->receiver = std::thread([raw] {
+      for (;;) {
+        std::optional<std::string> frame;
+        try {
+          frame = util::recv_frame(raw->recv_fd.get(), kMaxFrame);
+        } catch (...) {
+          // A recv error is a closed channel to the consumer, never a
+          // thread-terminating escape; unstage reports it.
+          frame.reset();
+        }
+        std::lock_guard<std::mutex> inner(raw->mu);
+        if (!frame) {
+          raw->closed = true;
+          raw->cv.notify_all();
+          return;
+        }
+        raw->inbox.push_back(std::move(*frame));
+        raw->cv.notify_all();
+      }
+    });
+    return *channels_.emplace(key, std::move(ch)).first->second;
+  }
+
+  std::mutex map_mu_;
+  std::map<std::pair<int, int>, std::unique_ptr<Channel>> channels_;
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> make_socket_transport() {
+  return std::make_unique<SocketTransport>();
+}
+
+}  // namespace emwd::dist

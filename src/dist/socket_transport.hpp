@@ -1,0 +1,34 @@
+// SocketTransport: the halo seam over stream sockets — the cross-host
+// idiom, exercised in-process over a per-channel socketpair.
+//
+// stage() packs the donated planes into the HaloBuffer, prepends an 8-byte
+// sequence number and sends the donation as one util/socket length-prefixed
+// frame.  A per-channel receiver thread drains incoming frames into an
+// inbox the moment they arrive — so a producer's send never blocks on the
+// consumer reaching its unstage, even when a donation exceeds the kernel
+// socket buffer (the mutual-full-pipe deadlock a naive blocking design
+// hits).  unstage() pops the channel's next frame, validates the sequence
+// number and payload size (mismatch throws — error, never UB) and unpacks
+// into the ghost planes.
+//
+// The exchange's consumed-ack flow control bounds in-flight donations per
+// channel to the ring depth, so the inbox stays at most a couple of frames
+// deep; it is deliberately not hard-capped so the failure protocol's
+// drained waits (which skip unstage) can never wedge a still-posting
+// producer.
+//
+// The write/read loops inherit util/socket's EINTR retry branches and their
+// `socket.eintr.send` / `socket.eintr.recv` fault points; the generic
+// `transport.stage` / `transport.unstage` points fire here too.
+#pragma once
+
+#include <memory>
+
+#include "dist/transport.hpp"
+
+namespace emwd::dist {
+
+// (The concrete class lives in the .cpp; construct via
+// make_socket_transport() or make_transport("socket") — see transport.hpp.)
+
+}  // namespace emwd::dist

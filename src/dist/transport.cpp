@@ -56,6 +56,11 @@ std::map<std::string, TransportFactory>& registry() {
   static std::map<std::string, TransportFactory>* m = [] {
     auto* map = new std::map<std::string, TransportFactory>();
     (*map)["local"] = [] { return make_local_transport(); };
+    (*map)["shm"] = [] { return make_shm_transport(); };
+    (*map)["socket"] = [] { return make_socket_transport(); };
+#if defined(EMWD_WITH_MPI)
+    (*map)["mpi"] = [] { return make_mpi_transport(); };
+#endif
     return map;
   }();
   return *m;
@@ -88,6 +93,15 @@ std::unique_ptr<Transport> make_transport(const std::string& name) {
     factory = it->second;
   }
   return factory();
+}
+
+void require_transport(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  if (registry().find(name) != registry().end()) return;
+  std::ostringstream os;
+  os << "unknown halo transport '" << name << "'; registered:";
+  for (const auto& [n, f] : registry()) os << ' ' << n;
+  throw std::invalid_argument(os.str());
 }
 
 std::vector<std::string> transport_names() {

@@ -25,9 +25,17 @@ namespace emwd::dist {
 /// One side's staged donation: `planes` padded z-planes of all 12 field
 /// arrays, packed [comp][plane][stride_z complex cells].  The exchange
 /// sizes `data`; the transport only moves bytes through it.
+///
+/// `src_shard`/`dst_shard` identify the CHANNEL the buffer travels on (one
+/// donor/consumer pair, one direction).  The exchange assigns them in
+/// reset_flow(); transports with out-of-band state (a shared-memory ring, a
+/// socket pair, an MPI peer rank) key that state on the pair, while the
+/// LocalTransport ignores them.
 struct HaloBuffer {
   int src_k0 = 0;  // first donated plane, donor-local logical z
   int planes = 0;
+  int src_shard = -1;  // donor shard (channel id)
+  int dst_shard = -1;  // consumer shard (channel id)
   std::vector<double> data;  // empty until the exchange sizes it
 };
 
@@ -53,10 +61,42 @@ class Transport {
   /// exceeds buf.planes.
   virtual void unstage(grid::FieldSet& dst, const HaloBuffer& buf, int dst_k0,
                        int planes) = 0;
+
+  /// Drop all per-run channel state (ring sequence numbers, in-flight
+  /// frames) so the same transport instance can carry a fresh run.  The
+  /// exchange calls this from reset_flow(), single-threaded.  Stateless
+  /// transports need not override.
+  virtual void reset() {}
+
+  /// False when stage()/unstage() move bytes through transport-owned
+  /// storage (a mapped ring slot, a wire) and never touch HaloBuffer::data
+  /// — the exchange then skips the heap allocation entirely (the zero-copy
+  /// path).  Default true: the buffer is the staging area.
+  virtual bool wants_buffer_storage() const { return true; }
 };
 
-/// The shared-memory transport: plain plane memcpys, today's behavior.
+/// The in-process transport: plain plane memcpys, today's behavior.
 std::unique_ptr<Transport> make_local_transport();
+
+/// Zero-copy shared-memory ring transport ("shm"): stage packs planes
+/// directly into a per-channel 2-slot ring in a shm_open/mmap segment with
+/// seqlock-style slot headers; unstage copies out of the mapped slot.  See
+/// src/dist/shm_transport.hpp for the normative wire format.
+std::unique_ptr<Transport> make_shm_transport();
+
+/// Stream-socket transport ("socket"): stage frames the packed planes over
+/// a per-channel socketpair using util/socket framing; a per-channel
+/// receiver thread drains frames into a bounded inbox that unstage pops —
+/// the cross-host idiom, exercised in-process.
+std::unique_ptr<Transport> make_socket_transport();
+
+#if defined(EMWD_WITH_MPI)
+/// One-rank-per-shard MPI transport ("mpi"): stage packs + MPI_Isend to the
+/// consumer rank, unstage MPI_Recv + unpacks from the donor rank.  The
+/// factory throws std::runtime_error unless MPI is initialized (run the
+/// binary under mpirun); see src/dist/mpi_transport.hpp.
+std::unique_ptr<Transport> make_mpi_transport();
+#endif
 
 // ------------------------------------------------------ transport registry
 
@@ -69,6 +109,12 @@ void register_transport(const std::string& name, TransportFactory factory);
 /// Construct the named transport; throws std::invalid_argument for an
 /// unknown name, listing what is registered.
 std::unique_ptr<Transport> make_transport(const std::string& name);
+
+/// Validate that `name` is registered WITHOUT constructing it — the same
+/// listing error as make_transport on an unknown name.  Spec parsing and
+/// engine construction use this so `transport=mpi` stays addressable even
+/// when the MPI factory would refuse to run outside mpirun.
+void require_transport(const std::string& name);
 
 std::vector<std::string> transport_names();
 

@@ -16,6 +16,13 @@ void accumulate_work(EngineStats& into, const EngineStats& from) {
   into.halo_bytes_moved += from.halo_bytes_moved;
   into.halo_wait_seconds += from.halo_wait_seconds;
   into.halo_hidden_seconds += from.halo_hidden_seconds;
+  into.halo_staged_bytes += from.halo_staged_bytes;
+  into.halo_unstaged_bytes += from.halo_unstaged_bytes;
+  into.halo_stage_seconds += from.halo_stage_seconds;
+  into.halo_unstage_seconds += from.halo_unstage_seconds;
+  // Like kernel_isa: an empty transport is the resting default, so any
+  // contributor that named one promotes the aggregate.
+  if (!from.halo_transport.empty()) into.halo_transport = from.halo_transport;
   // "scalar" is the resting default; any contributor that dispatched to a
   // different ISA promotes the aggregate, so a partial SIMD run is visible.
   if (from.kernel_isa != nullptr && from.kernel_isa[0] != '\0' &&

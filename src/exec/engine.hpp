@@ -44,6 +44,16 @@ struct EngineStats {
   /// True when the run used the overlapped (post/wait) exchange protocol
   /// instead of full-stop barriers.
   bool halo_overlapped = false;
+  /// Per-transport accounting of the overlapped protocol's two halves
+  /// (zero for barrier-mode runs, whose pulls never stage):
+  std::int64_t halo_staged_bytes = 0;    // payload packed by Transport::stage
+  std::int64_t halo_unstaged_bytes = 0;  // payload unpacked by Transport::unstage
+  double halo_stage_seconds = 0.0;       // thread-seconds inside stage
+  double halo_unstage_seconds = 0.0;     // thread-seconds inside unstage
+  /// Name of the halo transport that moved the bytes ("local", "shm",
+  /// "socket", "mpi", ...).  Empty for engines without a halo; registry
+  /// names are dynamic, hence a string rather than a static pointer.
+  std::string halo_transport;
   /// Row-kernel ISA the engine actually dispatched to ("scalar" / "avx2";
   /// static string, never dangles).  Defaults to "scalar" — every engine,
   /// including wrappers and test doubles that never touch dispatch, reports

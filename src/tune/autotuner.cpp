@@ -92,6 +92,7 @@ ShardedCandidate score_sharded_candidate(int num_shards, int exchange_interval,
   c.plan.num_shards = num_shards;
   c.plan.exchange_interval = exchange_interval;
   c.plan.overlap = overlap && num_shards > 1;
+  c.plan.transport = cfg.transport;
 
   const int tps = std::max(1, cfg.threads / num_shards);
   const dist::Partitioner part(cfg.grid, num_shards,
@@ -141,7 +142,8 @@ ShardedCandidate score_sharded_candidate(int num_shards, int exchange_interval,
   c.redundant_lup_fraction =
       (total_ext_planes - static_cast<double>(cfg.grid.nz)) /
       static_cast<double>(cfg.grid.nz);
-  const double halo_seconds = static_cast<double>(exposed_bytes) /
+  const double halo_seconds = transport_cost_factor(cfg.transport) *
+                              static_cast<double>(exposed_bytes) /
                               std::max(1.0, cfg.machine.bandwidth_bytes_per_s);
   const double round_seconds = interval * bottleneck_step_seconds + halo_seconds;
   const double useful = static_cast<double>(cfg.grid.cells());
@@ -248,6 +250,7 @@ dist::ShardedParams to_sharded_params(const ShardPlan& plan, bool numa_bind) {
   p.threads_per_shard = plan.per_shard.empty() ? 1 : plan.per_shard.front().threads();
   p.per_shard_mwd = plan.per_shard;
   p.numa_bind = numa_bind;
+  p.transport = plan.transport;
   return p;
 }
 

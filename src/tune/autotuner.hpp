@@ -119,6 +119,10 @@ struct ShardedTuneConfig {
   /// Pin the overlap axis: -1 = search both modes, 0 = barrier only,
   /// 1 = overlapped only (collapses to barrier for single-shard plans).
   int fixed_overlap = -1;
+  /// Halo transport the emitted plan runs over; the model multiplies its
+  /// exchange term by transport_cost_factor(transport), so a costlier
+  /// transport shifts the search toward fewer shards / deeper intervals.
+  std::string transport = "local";
   /// Stage 2: run the top-K stage-1 plans on the real ShardedEngine.  Each
   /// plan gets `warmup_steps` untimed steps (also triggers the engine's
   /// prepare() allocation outside the timed region) and `repeats` timed runs

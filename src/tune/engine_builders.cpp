@@ -16,6 +16,7 @@
 #include "dist/numa.hpp"
 #include "dist/partition.hpp"
 #include "dist/sharded_engine.hpp"
+#include "dist/transport.hpp"
 #include "exec/engine_registry.hpp"
 #include "tune/autotuner.hpp"
 
@@ -198,6 +199,10 @@ exec::EngineSpec resolve_auto_spec(const exec::EngineSpec& spec,
   // Pin the overlap axis when present in either form (`overlap` or
   // `overlap=0|1`); absent means search it.
   if (spec.has("overlap")) sc.fixed_overlap = spec.get_bool("overlap", false) ? 1 : 0;
+  // Validate the transport name before the (expensive) tuning sweep, with
+  // the registry's own listing error; the plan then prices and carries it.
+  sc.transport = spec.scalar("transport").value_or("local");
+  dist::require_transport(sc.transport);
   const std::string tune_mode = spec.scalar("tune").value_or("model");
   if (tune_mode != "model" && tune_mode != "measured") {
     throw std::invalid_argument("engine spec: sharded tune mode must be "
@@ -208,10 +213,8 @@ exec::EngineSpec resolve_auto_spec(const exec::EngineSpec& spec,
   exec::EngineSpec resolved = autotune_sharded(sc).best.plan.to_spec();
   // Carry the decomposition-independent arguments of the original spec —
   // to_sharded_params/make_sharded_engine honored them before this seam.
+  // (transport rides inside the plan now: to_spec() emits it.)
   if (!spec.get_bool("numa", true)) resolved.add("numa", 0L);
-  if (const std::optional<std::string> t = spec.scalar("transport")) {
-    resolved.add("transport", *t);
-  }
   return resolved;
 }
 

@@ -91,7 +91,9 @@ std::vector<bool> enumerate_overlap_modes(int num_shards) {
 std::string ShardPlan::describe() const {
   std::ostringstream os;
   os << "plan{K=" << num_shards << ",T=" << exchange_interval
-     << (overlap ? ",overlap" : "") << ",[";
+     << (overlap ? ",overlap" : "");
+  if (transport != "local") os << ",transport=" << transport;
+  os << ",[";
   for (std::size_t s = 0; s < per_shard.size(); ++s) {
     if (s) os << " ";
     os << per_shard[s].describe();
@@ -106,6 +108,7 @@ exec::EngineSpec ShardPlan::to_spec() const {
   s.add("shards", static_cast<long>(num_shards))
       .add("interval", static_cast<long>(exchange_interval));
   if (overlap) s.add_flag("overlap");
+  if (transport != "local") s.add("transport", transport);
   if (!per_shard.empty()) {
     // tps pins the plan's thread budget so the registry reproduces
     // to_sharded_params() exactly instead of re-deriving it from the
@@ -123,6 +126,13 @@ exec::EngineSpec ShardPlan::to_spec() const {
     }
   }
   return s;
+}
+
+double transport_cost_factor(const std::string& transport) {
+  if (transport == "local") return 1.0;
+  if (transport == "shm") return 1.15;   // same memcpy + ring-slot protocol
+  if (transport == "socket") return 4.0; // two kernel crossings per byte
+  return 2.0;                            // mpi and unknown transports
 }
 
 }  // namespace emwd::tune

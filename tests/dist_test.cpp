@@ -13,6 +13,7 @@
 #include "dist/numa.hpp"
 #include "dist/partition.hpp"
 #include "dist/sharded_engine.hpp"
+#include "dist/shm_transport.hpp"
 #include "dist/transport.hpp"
 #include "em/coefficients.hpp"
 #include "grid/fieldset.hpp"
@@ -463,6 +464,153 @@ TEST_F(ShardedEquivalence, RegisteredTransportDrivesBothExchangeModes) {
       EXPECT_GT(counts.pulls.load(), pulls_before);
     }
   }
+}
+
+TEST(Transport, UnknownNameErrorListsRegisteredTransports) {
+  // The registry's listing error is the single source of truth for
+  // spec-level rejection: both the factory and the sharded engine's
+  // validation must name every registered transport.
+  const auto expect_listing = [](const auto& fn) {
+    try {
+      fn();
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("registered:"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("local"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("shm"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("socket"), std::string::npos) << msg;
+    }
+  };
+  expect_listing([] { (void)dist::make_transport("warp-drive"); });
+  expect_listing([] { dist::require_transport("warp-drive"); });
+  expect_listing([] {
+    dist::ShardedParams p;
+    p.transport = "warp-drive";
+    (void)dist::make_sharded_engine(p);
+  });
+  EXPECT_NO_THROW(dist::require_transport("shm"));
+  EXPECT_NO_THROW(dist::require_transport("socket"));
+}
+
+// ------------------------------------------ transport conformance suite
+
+/// Every registered transport must satisfy the seam contract on the same
+/// bar LocalTransport set: bit-exact equivalence with the serial reference
+/// in barrier AND overlap modes, shallow and deep intervals, with a
+/// partial final round.  New transports get this suite for free — they
+/// only have to register.
+class TransportConformance : public ShardedEquivalence,
+                             public ::testing::WithParamInterface<std::string> {};
+
+TEST_P(TransportConformance, BitExactInBothModesWithStagedAccounting) {
+  const std::string name = GetParam();
+  try {
+    (void)dist::make_transport(name);
+  } catch (const std::runtime_error& e) {
+    // A registered transport may refuse this process (e.g. mpi without
+    // MPI_Init); that is a deployment constraint, not a conformance
+    // failure.
+    GTEST_SKIP() << name << " unavailable here: " << e.what();
+  }
+  for (bool overlap : {false, true}) {
+    for (int interval : {1, 3}) {
+      dist::ShardedParams p;
+      p.num_shards = 3;
+      p.exchange_interval = interval;
+      p.inner = dist::InnerKind::Naive;
+      p.overlap = overlap;
+      p.transport = name;
+      EXPECT_EQ(run_diff(p, {5, 6, 14}, 7, grid::XBoundary::Dirichlet, 89), 0.0)
+          << "transport=" << name << " overlap=" << overlap << " T=" << interval;
+      EXPECT_EQ(last_stats_.halo_transport, name);
+      if (overlap) {
+        // Staged accounting: every donated byte was packed once and
+        // unpacked once, and both halves were timed.
+        EXPECT_GT(last_stats_.halo_staged_bytes, 0)
+            << "transport=" << name << " T=" << interval;
+        EXPECT_EQ(last_stats_.halo_staged_bytes, last_stats_.halo_unstaged_bytes);
+        EXPECT_GE(last_stats_.halo_stage_seconds, 0.0);
+        EXPECT_GE(last_stats_.halo_unstage_seconds, 0.0);
+      } else {
+        EXPECT_EQ(last_stats_.halo_staged_bytes, 0);  // pulls never stage
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegistered, TransportConformance,
+                         ::testing::ValuesIn(dist::transport_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+// ------------------------------------------------ shm ring-slot fuzzing
+
+TEST(ShmTransportFuzz, CorruptedSlotHeadersSurfaceAsErrorsNeverUB) {
+  // Stage one donation, then corrupt each header field in turn: unstage
+  // must throw a descriptive runtime_error for every mutation — the wire
+  // format's validation contract (src/dist/README.md) — and never misread.
+  Layout L({4, 5, 12});
+  FieldSet src(L);
+  em::build_random_stable(src, 91);
+  for (int field = 0; field < 5; ++field) {
+    dist::ShmTransport t;
+    dist::HaloBuffer buf;
+    buf.planes = 2;
+    buf.src_k0 = 3;
+    buf.src_shard = 0;
+    buf.dst_shard = 1;
+    t.stage(src, buf);
+    dist::ShmSlotHeader* h = t.debug_slot_header(0, 1, 1 % dist::kRingSlots);
+    ASSERT_NE(h, nullptr) << "mutation " << field;
+    switch (field) {
+      case 0: h->magic.store(0xdeadbeefu, std::memory_order_relaxed); break;
+      case 1: h->round.store(7, std::memory_order_relaxed); break;      // wrong seq
+      case 2: h->round.store(0, std::memory_order_relaxed); break;      // stale seq
+      case 3: h->payload_bytes.store(12, std::memory_order_relaxed); break;  // truncated
+      case 4: h->state.store(dist::kSlotFree, std::memory_order_relaxed); break;
+    }
+    FieldSet dst(L);
+    em::build_random_stable(dst, 92);
+    EXPECT_THROW(t.unstage(dst, buf, 0, 2), std::runtime_error)
+        << "mutation " << field;
+  }
+
+  // The clean path through the same ring matches LocalTransport exactly.
+  dist::ShmTransport t;
+  dist::HaloBuffer buf;
+  buf.planes = 2;
+  buf.src_k0 = 3;
+  buf.src_shard = 0;
+  buf.dst_shard = 1;
+  t.stage(src, buf);
+  FieldSet dst(L), expected(L);
+  em::build_random_stable(dst, 92);
+  em::build_random_stable(expected, 92);
+  ASSERT_NO_THROW(t.unstage(dst, buf, 0, 2));
+
+  std::unique_ptr<dist::Transport> local = dist::make_local_transport();
+  dist::HaloBuffer lbuf;
+  lbuf.planes = 2;
+  lbuf.src_k0 = 3;
+  lbuf.data.assign(static_cast<std::size_t>(L.stride_z()) * 2 * 2 *
+                       static_cast<std::size_t>(kernels::kNumComps),
+                   0.0);
+  local->stage(src, lbuf);
+  local->unstage(expected, lbuf, 0, 2);
+  EXPECT_EQ(FieldSet::max_field_diff(dst, expected), 0.0);
+
+  // Unstaging a channel no producer ever created is an error, not a hang.
+  dist::ShmTransport fresh;
+  dist::HaloBuffer ghost;
+  ghost.planes = 2;
+  ghost.src_k0 = 0;
+  ghost.src_shard = 2;
+  ghost.dst_shard = 1;
+  FieldSet dst2(L);
+  em::build_random_stable(dst2, 93);
+  EXPECT_THROW(fresh.unstage(dst2, ghost, 0, 2), std::runtime_error);
 }
 
 // ------------------------------------------------- prepared-state reuse

@@ -213,6 +213,11 @@ exec::EngineStats sample_stats(double seconds, double mlups) {
   s.halo_wait_seconds = 0.0625;
   s.halo_hidden_seconds = 0.03125;
   s.halo_overlapped = true;
+  s.halo_staged_bytes = 2048;
+  s.halo_unstaged_bytes = 2048;
+  s.halo_stage_seconds = 0.015625;
+  s.halo_unstage_seconds = 0.0078125;
+  s.halo_transport = "shm";
   s.kernel_isa = "avx2";
   return s;
 }
@@ -237,6 +242,11 @@ TEST(EngineStatsMerge, DefaultIsLeftAndRightIdentity) {
   EXPECT_EQ(a.halo_wait_seconds, x.halo_wait_seconds);
   EXPECT_EQ(a.halo_hidden_seconds, x.halo_hidden_seconds);
   EXPECT_EQ(a.halo_overlapped, x.halo_overlapped);
+  EXPECT_EQ(a.halo_staged_bytes, x.halo_staged_bytes);
+  EXPECT_EQ(a.halo_unstaged_bytes, x.halo_unstaged_bytes);
+  EXPECT_EQ(a.halo_stage_seconds, x.halo_stage_seconds);
+  EXPECT_EQ(a.halo_unstage_seconds, x.halo_unstage_seconds);
+  EXPECT_EQ(a.halo_transport, x.halo_transport);
   EXPECT_STREQ(a.kernel_isa, x.kernel_isa);
 
   // zero.merge(x) == x (mlups of a zero-seconds accumulator takes x's).
@@ -249,6 +259,8 @@ TEST(EngineStatsMerge, DefaultIsLeftAndRightIdentity) {
   EXPECT_EQ(b.shards, x.shards);
   EXPECT_EQ(b.halo_bytes_moved, x.halo_bytes_moved);
   EXPECT_EQ(b.halo_overlapped, x.halo_overlapped);
+  EXPECT_EQ(b.halo_staged_bytes, x.halo_staged_bytes);
+  EXPECT_EQ(b.halo_transport, x.halo_transport);
   EXPECT_STREQ(b.kernel_isa, x.kernel_isa);
 }
 
@@ -257,6 +269,7 @@ TEST(EngineStatsMerge, SumsTimesAndCountersMaxesPeaks) {
   a.shards = 4;
   a.halo_overlapped = false;
   a.kernel_isa = "scalar";
+  a.halo_transport.clear();  // resting default, must promote from b
   const exec::EngineStats b = sample_stats(3.0, 10.0);
 
   a.merge(b);
@@ -271,11 +284,16 @@ TEST(EngineStatsMerge, SumsTimesAndCountersMaxesPeaks) {
   EXPECT_EQ(a.halo_bytes_moved, 8192);
   EXPECT_EQ(a.halo_wait_seconds, 0.125);
   EXPECT_EQ(a.halo_hidden_seconds, 0.0625);
-  // Peaks: shard max, overlap or, ISA promotion away from "scalar"
-  // (consistent with accumulate_work).
+  EXPECT_EQ(a.halo_staged_bytes, 4096);
+  EXPECT_EQ(a.halo_unstaged_bytes, 4096);
+  EXPECT_EQ(a.halo_stage_seconds, 0.03125);
+  EXPECT_EQ(a.halo_unstage_seconds, 0.015625);
+  // Peaks: shard max, overlap or, ISA promotion away from "scalar" and
+  // transport promotion away from empty (consistent with accumulate_work).
   EXPECT_EQ(a.shards, 4);
   EXPECT_TRUE(a.halo_overlapped);
   EXPECT_STREQ(a.kernel_isa, "avx2");
+  EXPECT_EQ(a.halo_transport, "shm");
   // Wall-time-weighted mean throughput: (30*1 + 10*3) / 4.
   EXPECT_EQ(a.mlups, 15.0);
 }

@@ -103,6 +103,55 @@ TEST(ExchangeIntervals, CappedByLimitThenByOwnedPlanes) {
             (std::vector<int>{1}));
 }
 
+// ---------------------------------------------------------- transport axis
+
+TEST(TransportAxis, CostFactorOrdersTransportsByDistanceFromTheCore) {
+  // local (direct neighbor read) < shm (one pack/unpack through a mapped
+  // ring) < unknown/network-class (mpi) < socket (kernel round trip per
+  // frame).  The tuner multiplies predicted halo seconds by this factor,
+  // so the ordering is what steers plan ranking.
+  EXPECT_DOUBLE_EQ(tune::transport_cost_factor("local"), 1.0);
+  EXPECT_LT(tune::transport_cost_factor("local"), tune::transport_cost_factor("shm"));
+  EXPECT_LT(tune::transport_cost_factor("shm"), tune::transport_cost_factor("mpi"));
+  EXPECT_LT(tune::transport_cost_factor("mpi"), tune::transport_cost_factor("socket"));
+}
+
+TEST(TransportAxis, PlanCarriesTransportThroughSpecAndParams) {
+  ShardedTuneConfig cfg;
+  cfg.threads = 4;
+  cfg.grid = {16, 16, 64};
+  cfg.machine = models::haswell18();
+  cfg.timed_refinement = false;
+  cfg.transport = "shm";
+  const ShardedTuneResult r = tune::autotune_sharded(cfg);
+  ASSERT_FALSE(r.ranked.empty());
+  bool saw_multi = false;
+  for (const tune::ShardedCandidate& c : r.ranked) {
+    if (c.plan.num_shards <= 1) continue;
+    saw_multi = true;
+    EXPECT_EQ(c.plan.transport, "shm");
+    EXPECT_NE(c.plan.describe().find("transport=shm"), std::string::npos);
+    EXPECT_EQ(c.plan.to_spec().scalar("transport").value_or(""), "shm");
+    EXPECT_EQ(tune::to_sharded_params(c.plan).transport, "shm");
+  }
+  EXPECT_TRUE(saw_multi);
+}
+
+TEST(TransportAxis, DefaultPlansStayLocalAndEmitNoTransportKey) {
+  ShardedTuneConfig cfg;
+  cfg.threads = 4;
+  cfg.grid = {16, 16, 64};
+  cfg.machine = models::haswell18();
+  cfg.timed_refinement = false;
+  const ShardedTuneResult r = tune::autotune_sharded(cfg);
+  ASSERT_FALSE(r.ranked.empty());
+  for (const tune::ShardedCandidate& c : r.ranked) {
+    EXPECT_EQ(c.plan.transport, "local");
+    EXPECT_FALSE(c.plan.to_spec().scalar("transport").has_value());
+    EXPECT_EQ(c.plan.describe().find("transport="), std::string::npos);
+  }
+}
+
 // --------------------------------------------------------- stage-1 scoring
 
 TEST(ShardedScore, BuildsOnePlanEntryPerShard) {
