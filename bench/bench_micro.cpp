@@ -20,6 +20,8 @@
 #include "kernels/reference.hpp"
 #include "kernels/update.hpp"
 #include "kernels/update_simd.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "tiling/dag.hpp"
 #include "tiling/diamond.hpp"
 #include "util/barrier.hpp"
@@ -137,6 +139,45 @@ void BM_FaultCheckArmedMiss(benchmark::State& state) {
   fault::disarm();
 }
 BENCHMARK(BM_FaultCheckArmedMiss);
+
+// The disarmed OBS_SPAN: the same disarm pattern as the fault points — one
+// relaxed load and an untaken branch at scope entry, a dead bool test at
+// scope exit.  The spans sit on the engine/halo/scheduler hot paths, so
+// this is the always-on observability tax; the obs smoke gate holds it to
+// single-digit nanoseconds (see .github/check_obs_smoke.py --max-span-ns).
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  if (obs::tracing_enabled()) obs::stop_tracing();
+  for (auto _ : state) {
+    OBS_SPAN("bench.span");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+// The armed span for contrast: two clock reads plus a ring-slot write.
+void BM_ObsSpanArmed(benchmark::State& state) {
+  obs::TraceConfig cfg;
+  cfg.ring_capacity = 1 << 12;  // small on purpose; overflow drops are fine
+  obs::start_tracing(cfg);
+  for (auto _ : state) {
+    OBS_SPAN("bench.span");
+    benchmark::ClobberMemory();
+  }
+  obs::stop_tracing();
+}
+BENCHMARK(BM_ObsSpanArmed);
+
+// One registry counter increment: a relaxed fetch_add on a metric resolved
+// once outside the loop (the idiom for hot-path producers).
+void BM_ObsCounterInc(benchmark::State& state) {
+  obs::Registry reg;  // instance registry: the bench must not pollute global()
+  obs::Counter& c = reg.counter("bench.counter");
+  for (auto _ : state) {
+    c.inc();
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsCounterInc);
 
 void BM_DiamondSlices(benchmark::State& state) {
   tiling::DiamondTiling dt(static_cast<int>(state.range(0)), 128, 32);

@@ -31,6 +31,7 @@
 #include "io/snapshot.hpp"
 #include "kernels/update_simd.hpp"
 #include "util/timer.hpp"
+#include "util/trace_cli.hpp"
 
 namespace {
 
@@ -130,6 +131,7 @@ int main(int argc, char** argv) {
   cli.add_flag("checkpoint-dir", "directory for the snapshot files", "");
   cli.add_flag("csv", "also write the table as CSV to this file", "");
   cli.add_flag("json", "write a barrier-vs-overlap JSON record to this file", "");
+  util::add_trace_flags(cli);
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n", cli.error().c_str());
     return 1;
@@ -138,6 +140,7 @@ int main(int argc, char** argv) {
     std::printf("%s", cli.help_text("bench_shard_scaling").c_str());
     return 0;
   }
+  util::TraceFromCli trace(cli);  // --trace FILE: exported at exit
   const int nx = static_cast<int>(cli.get_int("nx", 48));
   const int ny = static_cast<int>(cli.get_int("ny", 48));
   const int nz = static_cast<int>(cli.get_int("nz", 96));
@@ -271,23 +274,20 @@ int main(int argc, char** argv) {
         // (the full halo handling on the shard threads).
         const double halo_total = r.halo_hidden + r.halo_exposed;
         const double hidden_fraction = halo_total > 0.0 ? r.halo_hidden / halo_total : 0.0;
+        // Engine-derived fields ride in the canonical EngineStats::to_json
+        // object (shards, overlap, mlups, the halo byte/time family, the
+        // transport and isa); only the bench's own axes and the
+        // min-exposed-repeat halo columns stay hand-rolled.
         if (!json_rows.empty()) json_rows += ",\n";
         json_rows += std::string("    {\"inner\": \"") + inner +
-                     "\", \"shards\": " + std::to_string(st.shards) +
-                     ", \"threads_per_shard\": " + std::to_string(tps) +
-                     ", \"overlap\": " + (st.halo_overlapped ? "true" : "false") +
-                     ", \"seconds\": " + json_escape_free(st.seconds) +
-                     ", \"mlups\": " + json_escape_free(st.mlups) +
-                     ", \"halo_copy_s\": " + json_escape_free(st.halo_exchange_seconds) +
+                     "\", \"threads_per_shard\": " + std::to_string(tps) +
+                     ", \"wall_seconds\": " + json_escape_free(r.seconds) +
                      ", \"halo_wait_s\": " + json_escape_free(r.halo_wait) +
                      ", \"halo_hidden_s\": " + json_escape_free(r.halo_hidden) +
                      ", \"halo_exposed_s\": " + json_escape_free(r.halo_exposed) +
                      ", \"hidden_fraction\": " + json_escape_free(hidden_fraction) +
                      ", \"transport\": \"" + transport + "\"" +
-                     ", \"staged_bytes\": " + std::to_string(st.halo_staged_bytes) +
-                     ", \"halo_stage_s\": " + json_escape_free(st.halo_stage_seconds) +
-                     ", \"halo_unstage_s\": " + json_escape_free(st.halo_unstage_seconds) +
-                     ", \"isa\": \"" + st.kernel_isa + "\"}";
+                     ", \"stats\": " + st.to_json() + '}';
         }
       }
     }

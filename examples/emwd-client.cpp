@@ -11,6 +11,7 @@
 //       --sweep='scene=layered;grid=16x16x32;lambda=18,24,30;steps=60;threads=2'
 //   emwd-client --sweep='...' --inprocess   # same CSV, no daemon
 //   emwd-client --status | python3 -m json.tool
+//   emwd-client --metrics                    # Prometheus scrape text
 //
 // Failure semantics: the daemon tags every error and reject frame with a
 // class ("transient" means the identical request may succeed later,
@@ -178,6 +179,8 @@ int main(int argc, char** argv) {
                "");
   cli.add_flag("inprocess", "run --sweep locally via batch::run_sweep (no daemon)");
   cli.add_flag("status", "print the daemon's status JSON");
+  cli.add_flag("metrics",
+               "print the daemon's metrics as Prometheus text (scrape format)");
   cli.add_flag("ping", "liveness check");
   cli.add_flag("reload", "hot-reload scene tables from a JSON file", "");
   cli.add_flag("preempt",
@@ -250,6 +253,13 @@ int main(int argc, char** argv) {
     }
     if (cli.get_bool("status", false)) {
       std::printf("%s\n", roundtrip(fd.get(), "{\"op\":\"status\"}").c_str());
+    }
+    if (cli.get_bool("metrics", false)) {
+      // The metrics payload embeds the status JSON alongside the rendered
+      // Prometheus text; print the text — the scrapeable form.
+      const std::string payload = roundtrip(fd.get(), "{\"op\":\"metrics\"}");
+      const util::JsonValue reply = util::JsonValue::parse(payload);
+      std::fputs(reply.get_string("prometheus", "").c_str(), stdout);
     }
     if (cli.get_bool("shutdown", false)) {
       roundtrip(fd.get(), "{\"op\":\"shutdown\"}");

@@ -22,6 +22,7 @@
 #include "io/snapshot.hpp"
 #include "serve/server.hpp"
 #include "util/cli.hpp"
+#include "util/trace_cli.hpp"
 
 namespace {
 
@@ -61,6 +62,7 @@ int main(int argc, char** argv) {
                "do not preempt lower-priority jobs on capacity rejects");
   cli.add_flag("preempt-check-every",
                "steps between preempt-flag polls of preemptible jobs", "16");
+  util::add_trace_flags(cli);
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "emwdd: %s\n", cli.error().c_str());
     return 2;
@@ -69,6 +71,7 @@ int main(int argc, char** argv) {
     std::fputs(cli.help_text("emwdd").c_str(), stdout);
     return 0;
   }
+  util::TraceFromCli trace(cli);  // --trace FILE: exported at exit
 
   serve::ServerConfig cfg;
   cfg.socket_path = cli.get("socket", cfg.socket_path);

@@ -15,6 +15,7 @@
 #include "thiim/simulation.hpp"
 #include "util/cli.hpp"
 #include "util/engine_cli.hpp"
+#include "util/trace_cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace emwd;
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
   cli.add_flag("steps", "THIIM iterations", "60");
   cli.add_flag("threads", "total worker threads", "2");
   util::add_engine_flag(cli, "sharded(shards=2,interval=1,inner=naive)");
+  util::add_trace_flags(cli);
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n", cli.error().c_str());
     return 1;
@@ -32,6 +34,7 @@ int main(int argc, char** argv) {
     std::printf("%s", cli.help_text("sharded_demo").c_str());
     return 0;
   }
+  util::TraceFromCli trace(cli);  // --trace FILE: exported at exit
   const int n = static_cast<int>(cli.get_int("n", 24));
   const int steps = static_cast<int>(cli.get_int("steps", 60));
   const std::string spec = exec::to_string(util::engine_spec_from_cli(cli));

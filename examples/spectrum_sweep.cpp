@@ -29,6 +29,7 @@
 #include "util/csv.hpp"
 #include "util/engine_cli.hpp"
 #include "util/timer.hpp"
+#include "util/trace_cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace emwd;
@@ -53,6 +54,7 @@ int main(int argc, char** argv) {
   cli.add_flag("keep", "rotated snapshots kept per job checkpoint chain", "1");
   cli.add_flag("preemptible", "mark every job preemptible");
   cli.add_flag("progress", "print each job as it finishes");
+  util::add_trace_flags(cli);
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n", cli.error().c_str());
     return 1;
@@ -61,6 +63,7 @@ int main(int argc, char** argv) {
     std::printf("%s", cli.help_text("spectrum_sweep").c_str());
     return 0;
   }
+  util::TraceFromCli trace(cli);  // --trace FILE: exported at exit
   const int nx = static_cast<int>(cli.get_int("nx", 24));
   const int nz = static_cast<int>(cli.get_int("nz", 64));
   const int nlam = static_cast<int>(cli.get_int("lambdas", 8));

@@ -5,7 +5,6 @@
 #include <stdexcept>
 
 #include "exec/engine_spec.hpp"
-#include "kernels/update_simd.hpp"
 
 namespace emwd::batch {
 
@@ -96,9 +95,7 @@ std::string JobResult::to_json() const {
     if (i) os << ',';
     os << absorption[i];
   }
-  os << "],\"mlups\":" << stats.mlups << ",\"engine_seconds\":" << stats.seconds
-     << ",\"lups\":" << stats.lups << ",\"shards\":" << stats.shards
-     << ",\"kernel_isa\":\"" << json_escape(stats.kernel_isa) << '"'
+  os << "],\"stats\":" << stats.to_json()
      << ",\"slot\":" << slot << ",\"threads\":" << threads
      << ",\"engine_spec\":\"" << json_escape(engine_spec) << '"'
      << ",\"engine_name\":\"" << json_escape(engine_name) << '"'
@@ -142,15 +139,12 @@ JobResult JobResult::from_json(const JsonValue& doc) {
   if (const JsonValue* abs = doc.find("absorption")) {
     for (const JsonValue& v : abs->as_array()) r.absorption.push_back(v.as_number());
   }
-  r.stats.mlups = doc.get_double("mlups", 0.0);
-  r.stats.seconds = doc.get_double("engine_seconds", 0.0);
-  r.stats.lups = doc.get_int("lups", 0);
-  r.stats.shards = checked_int(doc.get_int("shards", 1), "shards");
-  // kernel_isa is a static never-dangling string in EngineStats; intern the
-  // known names and degrade anything else to the scalar default.
-  const std::string isa = doc.get_string("kernel_isa", "scalar");
-  r.stats.kernel_isa = isa == "avx2" ? kernels::to_string(kernels::KernelIsa::Avx2)
-                                     : kernels::to_string(kernels::KernelIsa::Scalar);
+  // The engine-stats record rides as one nested canonical object
+  // (exec::EngineStats::to_json) instead of per-field copies, so this
+  // parser cannot drift from the emitters.
+  if (const JsonValue* stats = doc.find("stats")) {
+    r.stats = exec::EngineStats::from_json(*stats);
+  }
   r.slot = checked_int(doc.get_int("slot", -1), "slot");
   r.threads = checked_int(doc.get_int("threads", 0), "threads");
   r.engine_spec = doc.get_string("engine_spec", "");

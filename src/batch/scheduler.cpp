@@ -11,6 +11,7 @@
 #include "exec/engine_spec.hpp"
 #include "fault/inject.hpp"
 #include "io/snapshot.hpp"
+#include "obs/trace.hpp"
 #include "tune/autotuner.hpp"
 #include "util/affinity.hpp"
 #include "util/rng.hpp"
@@ -277,6 +278,11 @@ void Scheduler::executor_loop(int executor_id) {
 
 Scheduler::RunOutcome Scheduler::run_job(Job&& job, std::size_t seq, int slot_id,
                                          RunControl& control) {
+  // The submission index is the trace correlation id: every span this
+  // executor (and, via ThreadTeam, the engine workers and snapshot writer)
+  // records while the job runs carries args.job == seq.
+  obs::ScopedCorrelation correlation(static_cast<std::int64_t>(seq));
+  OBS_SPAN("sched.job", static_cast<std::int64_t>(seq));
   const int max_attempts = std::max(1, job.retry.max_attempts);
   util::Timer clock;  // spans every attempt: deadline budget + total wall clock
   // Jitter stream depends only on the submission index, so two identical
@@ -312,6 +318,7 @@ Scheduler::RunOutcome Scheduler::run_job(Job&& job, std::size_t seq, int slot_id
       out.result.wall_seconds = clock.seconds();
       return out;
     }
+    OBS_INSTANT("sched.retry", attempt);
     // Checkpoint-aware recovery: resume the retry from the newest valid
     // snapshot this job has written (quarantining corrupt rotations) so it
     // repeats as few steps as possible; with no valid snapshot it starts
@@ -353,6 +360,7 @@ Scheduler::RunOutcome Scheduler::run_attempt(Job& job, std::size_t seq, int slot
   r.slot = slot_id;
   r.preemptions = job.prior_preemptions;
   r.snapshots = job.prior_snapshots;
+  OBS_SPAN("sched.attempt", static_cast<std::int64_t>(seq));
   util::Timer timer;
 
   // Deadline: the budget covers the whole run_job call (all attempts).
@@ -512,6 +520,7 @@ Scheduler::RunOutcome Scheduler::run_attempt(Job& job, std::size_t seq, int slot
     }
 
     if (preempt_hit) {
+      OBS_INSTANT("sched.preempt", static_cast<std::int64_t>(seq));
       // Park the state in RAM and hand back a continuation.  Serializing
       // happens at a step boundary (the engine is between runs), so the
       // leases can be returned to the pool for the preemptor to reuse.

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace emwd::dist {
@@ -74,6 +75,7 @@ void HaloExchange::pull_hi(int s) {
 }
 
 void HaloExchange::exchange_for(int s) {
+  OBS_SPAN("halo.exchange", s);
   const ShardExtent& e = part_.shard(s);
   HaloStats& st = stats_[static_cast<std::size_t>(s)];
   util::Timer timer;
@@ -151,6 +153,7 @@ void HaloExchange::post(int s, std::int64_t round, bool drain) {
   if (c.load(std::memory_order_relaxed) >= round) return;
 
   if (!drain) {
+    OBS_SPAN("halo.post", s);
     HaloStats& st = stats_[static_cast<std::size_t>(s)];
     // Buffer reuse: the consumer of round-1's snapshot must be done with it.
     // Free unless this shard is a full round ahead of a neighbor.
@@ -162,6 +165,7 @@ void HaloExchange::post(int s, std::int64_t round, bool drain) {
       reuse_wait += spin_until(consumed_lo_[static_cast<std::size_t>(s + 1)].v, round - 1);
     }
     util::Timer copy;
+    OBS_SPAN("halo.stage", s);
     const grid::FieldSet& mine = *shards_[static_cast<std::size_t>(s)];
     std::int64_t staged_planes = 0;
     if (s > 0) {
@@ -207,6 +211,7 @@ void HaloExchange::wait(int s, std::int64_t round, bool drain) {
     return;
   }
 
+  OBS_SPAN("halo.wait", s);
   util::Timer episode;
   double copy_seconds = 0.0;
   double hidden_seconds = 0.0;
@@ -226,6 +231,7 @@ void HaloExchange::wait(int s, std::int64_t round, bool drain) {
           posted_[static_cast<std::size_t>(s + 1)].v.load(std::memory_order_acquire) <
               round;
       util::Timer copy;
+      OBS_SPAN("halo.unstage", s);
       transport_->unstage(*shards_[static_cast<std::size_t>(s)],
                           export_up_[static_cast<std::size_t>(s - 1)],
                           e.to_local(e.ext_z0()), e.lo);
@@ -246,6 +252,7 @@ void HaloExchange::wait(int s, std::int64_t round, bool drain) {
           posted_[static_cast<std::size_t>(s - 1)].v.load(std::memory_order_acquire) <
               round;
       util::Timer copy;
+      OBS_SPAN("halo.unstage", s);
       transport_->unstage(*shards_[static_cast<std::size_t>(s)],
                           export_down_[static_cast<std::size_t>(s + 1)],
                           e.to_local(e.z1), e.hi);

@@ -1,8 +1,13 @@
 #include "exec/engine.hpp"
 
 #include <algorithm>
+#include <climits>
 #include <cstring>
 #include <sstream>
+#include <stdexcept>
+
+#include "kernels/update_simd.hpp"
+#include "util/json.hpp"
 
 namespace emwd::exec {
 
@@ -41,6 +46,70 @@ EngineStats& EngineStats::merge(const EngineStats& other) {
   halo_overlapped = halo_overlapped || other.halo_overlapped;
   accumulate_work(*this, other);
   return *this;
+}
+
+std::string EngineStats::to_json() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"seconds\":" << seconds << ",\"steps\":" << steps << ",\"lups\":" << lups
+     << ",\"mlups\":" << mlups << ",\"tiles_executed\":" << tiles_executed
+     << ",\"barrier_episodes\":" << barrier_episodes
+     << ",\"queue_wait_seconds\":" << queue_wait_seconds
+     << ",\"barrier_wait_seconds\":" << barrier_wait_seconds
+     << ",\"shards\":" << shards
+     << ",\"halo_exchange_seconds\":" << halo_exchange_seconds
+     << ",\"halo_bytes_moved\":" << halo_bytes_moved
+     << ",\"halo_wait_seconds\":" << halo_wait_seconds
+     << ",\"halo_hidden_seconds\":" << halo_hidden_seconds
+     << ",\"halo_exposed_seconds\":" << halo_exposed_seconds()
+     << ",\"halo_overlapped\":" << (halo_overlapped ? "true" : "false")
+     << ",\"halo_staged_bytes\":" << halo_staged_bytes
+     << ",\"halo_unstaged_bytes\":" << halo_unstaged_bytes
+     << ",\"halo_stage_seconds\":" << halo_stage_seconds
+     << ",\"halo_unstage_seconds\":" << halo_unstage_seconds
+     << ",\"halo_transport\":" << util::json_quote(halo_transport)
+     << ",\"kernel_isa\":" << util::json_quote(kernel_isa) << '}';
+  return os.str();
+}
+
+EngineStats EngineStats::from_json(const util::JsonValue& v) {
+  if (!v.is_object()) {
+    throw std::invalid_argument("EngineStats::from_json: expected an object");
+  }
+  const auto checked_int = [](long x, const char* what) {
+    if (x < INT_MIN || x > INT_MAX) {
+      throw std::invalid_argument(std::string("EngineStats::from_json: ") + what +
+                                  " out of int range");
+    }
+    return static_cast<int>(x);
+  };
+  EngineStats s;
+  s.seconds = v.get_double("seconds", 0.0);
+  s.steps = v.get_int("steps", 0);
+  s.lups = v.get_int("lups", 0);
+  s.mlups = v.get_double("mlups", 0.0);
+  s.tiles_executed = v.get_int("tiles_executed", 0);
+  s.barrier_episodes = v.get_int("barrier_episodes", 0);
+  s.queue_wait_seconds = v.get_double("queue_wait_seconds", 0.0);
+  s.barrier_wait_seconds = v.get_double("barrier_wait_seconds", 0.0);
+  s.shards = checked_int(v.get_int("shards", 1), "shards");
+  s.halo_exchange_seconds = v.get_double("halo_exchange_seconds", 0.0);
+  s.halo_bytes_moved = v.get_int("halo_bytes_moved", 0);
+  s.halo_wait_seconds = v.get_double("halo_wait_seconds", 0.0);
+  s.halo_hidden_seconds = v.get_double("halo_hidden_seconds", 0.0);
+  // halo_exposed_seconds is derived (wait + copy - hidden); ignored on read.
+  s.halo_overlapped = v.get_bool("halo_overlapped", false);
+  s.halo_staged_bytes = v.get_int("halo_staged_bytes", 0);
+  s.halo_unstaged_bytes = v.get_int("halo_unstaged_bytes", 0);
+  s.halo_stage_seconds = v.get_double("halo_stage_seconds", 0.0);
+  s.halo_unstage_seconds = v.get_double("halo_unstage_seconds", 0.0);
+  s.halo_transport = v.get_string("halo_transport", "");
+  // kernel_isa is a static never-dangling string in EngineStats; intern the
+  // known names and degrade anything else to the scalar default.
+  const std::string isa = v.get_string("kernel_isa", "scalar");
+  s.kernel_isa = isa == "avx2" ? kernels::to_string(kernels::KernelIsa::Avx2)
+                               : kernels::to_string(kernels::KernelIsa::Scalar);
+  return s;
 }
 
 int Engine::run_hooked(grid::FieldSet& fs, int steps) {

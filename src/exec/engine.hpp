@@ -13,6 +13,10 @@
 
 #include "grid/fieldset.hpp"
 
+namespace emwd::util {
+class JsonValue;  // util/json.hpp — only from_json's signature needs it
+}
+
 namespace emwd::exec {
 
 struct EngineStats {
@@ -67,6 +71,19 @@ struct EngineStats {
   double halo_exposed_seconds() const {
     return halo_wait_seconds + halo_exchange_seconds - halo_hidden_seconds;
   }
+
+  /// The canonical serialized form of a run's stats: one JSON object with
+  /// every field above plus the derived halo_exposed_seconds, doubles at
+  /// 17 significant digits (exact round trip).  Every emitter that ships
+  /// engine stats — JobResult::to_json, the benches' JSON rows, the
+  /// daemon's status document — embeds this object instead of hand-rolling
+  /// its own field list, so the field set cannot drift per consumer.
+  std::string to_json() const;
+
+  /// Exact inverse of to_json() (unknown fields ignored, absent fields
+  /// keep their defaults).  `kernel_isa` is interned to the static
+  /// dispatch-table strings so the pointer never dangles.
+  static EngineStats from_json(const util::JsonValue& v);
 
   /// Fold another run's stats into this one so batch results aggregate
   /// without hand-rolled loops: times, steps and byte/work counters sum;

@@ -28,6 +28,7 @@
 #include "exec/traversal.hpp"
 #include "kernels/update.hpp"
 #include "kernels/update_simd.hpp"
+#include "obs/trace.hpp"
 #include "tiling/dag.hpp"
 #include "tiling/diamond.hpp"
 #include "util/barrier.hpp"
@@ -53,6 +54,7 @@ class MwdEngine final : public Engine {
   const MwdParams& params() const { return p_; }
 
   void run(grid::FieldSet& fs, int steps) override {
+    OBS_SPAN("engine.run", steps);
     const grid::Layout& L = fs.layout();
     const int nx = L.nx(), ny = L.ny(), nz = L.nz();
 
@@ -61,7 +63,10 @@ class MwdEngine final : public Engine {
     const tiling::DiamondTiling& dt = *prep.tiling;
     tiling::TileQueue& queue = *prep.queue;
     queue.reset();
-    if (has_prologue() && !gated) run_prologue();  // StaticWave: eager prologue
+    if (has_prologue() && !gated) {  // StaticWave: eager prologue
+      OBS_SPAN("engine.prologue");
+      run_prologue();
+    }
 
     const TgShape shape{p_.tx, p_.tz, p_.tc};
     const int tg_size = shape.size();
@@ -102,7 +107,10 @@ class MwdEngine final : public Engine {
       // prologue aborts the queue so no popper is stranded.
       if (gated && tid == 0) {
         try {
-          run_prologue();
+          {
+            OBS_SPAN("engine.prologue");
+            run_prologue();
+          }
           queue.open_gate();
         } catch (...) {
           prologue_error = std::current_exception();
@@ -130,6 +138,15 @@ class MwdEngine final : public Engine {
       };
 
       if (p_.schedule == TileSchedule::FifoQueue) {
+        // Leaders coalesce consecutive same-class tiles into one trace
+        // span per stretch (engine.tiles.boundary / .interior, arg = tile
+        // count): per-tile spans would swamp the ring at MWD tile rates,
+        // while class transitions are exactly what the overlap schedule
+        // is about.  Armed-at-run-start is sampled once; a mid-run arm
+        // simply misses this run's stretches.
+        const bool trace_tiles = rank == 0 && obs::tracing_enabled();
+        const char* stretch = nullptr;
+        std::int64_t stretch_start = 0, stretch_tiles = 0;
         for (;;) {
           if (rank == 0) {
             util::Timer qt;
@@ -140,11 +157,31 @@ class MwdEngine final : public Engine {
           st.barrier.arrive_and_wait();
           const long ti = st.current.load(std::memory_order_acquire);
           if (ti < 0) break;
+          if (trace_tiles) {
+            const char* cls =
+                !prep.classes.empty() &&
+                        prep.classes[static_cast<std::size_t>(ti)] ==
+                            tiling::TileClass::Boundary
+                    ? "engine.tiles.boundary"
+                    : "engine.tiles.interior";
+            if (cls != stretch) {
+              if (stretch != nullptr) {
+                obs::emit_complete(stretch, stretch_start, stretch_tiles);
+              }
+              stretch = cls;
+              stretch_start = obs::now_ns();
+              stretch_tiles = 0;
+            }
+            ++stretch_tiles;
+          }
           exec_tile(ti);
           if (rank == 0) {
             queue.complete(static_cast<std::int32_t>(ti));
             tiles_executed.fetch_add(1, std::memory_order_relaxed);
           }
+        }
+        if (stretch != nullptr) {
+          obs::emit_complete(stretch, stretch_start, stretch_tiles);
         }
       } else {
         // StaticWave: group g owns every num_tgs-th tile of each wavefront;
@@ -186,6 +223,9 @@ class MwdEngine final : public Engine {
     std::unique_ptr<tiling::DiamondTiling> tiling;
     std::unique_ptr<tiling::TileDag> dag;
     std::unique_ptr<tiling::TileQueue> queue;
+    /// Gated runs keep the exchange classification for trace stretch
+    /// labeling (empty otherwise: every tile is interior-class).
+    std::vector<tiling::TileClass> classes;
     // Static schedule: wavefront boundaries in the (wavefront-sorted) tile
     // list.  Tiles on one wavefront are mutually independent.
     std::vector<std::pair<std::size_t, std::size_t>> waves;
@@ -201,11 +241,13 @@ class MwdEngine final : public Engine {
     prep->gated = gated;
     prep->tiling = std::make_unique<tiling::DiamondTiling>(p_.dw, ny, nt);
     prep->dag = std::make_unique<tiling::TileDag>(*prep->tiling);
-    prep->queue =
-        gated ? std::make_unique<tiling::TileQueue>(
-                    *prep->dag, tiling::classify_exchange_tiles(*prep->tiling),
-                    /*gate_closed=*/true)
-              : std::make_unique<tiling::TileQueue>(*prep->dag);
+    if (gated) {
+      prep->classes = tiling::classify_exchange_tiles(*prep->tiling);
+      prep->queue = std::make_unique<tiling::TileQueue>(*prep->dag, prep->classes,
+                                                        /*gate_closed=*/true);
+    } else {
+      prep->queue = std::make_unique<tiling::TileQueue>(*prep->dag);
+    }
     if (p_.schedule == TileSchedule::StaticWave) {
       const auto& tiles = prep->tiling->tiles();
       std::size_t begin = 0;

@@ -11,6 +11,7 @@
 #include "exec/thread_pool.hpp"
 #include "kernels/update.hpp"
 #include "kernels/update_simd.hpp"
+#include "obs/trace.hpp"
 #include "util/barrier.hpp"
 #include "util/timer.hpp"
 
@@ -26,6 +27,7 @@ class NaiveEngine final : public Engine {
   bool supports_run_prologue() const override { return true; }
 
   void run(grid::FieldSet& fs, int steps) override {
+    OBS_SPAN("engine.run", steps);
     const grid::Layout& L = fs.layout();
     const int nx = L.nx(), ny = L.ny(), nz = L.nz();
     util::SpinBarrier barrier(threads_);

@@ -15,6 +15,7 @@
 #include "exec/thread_pool.hpp"
 #include "kernels/update.hpp"
 #include "kernels/update_simd.hpp"
+#include "obs/trace.hpp"
 #include "util/barrier.hpp"
 #include "util/machine_detect.hpp"
 #include "util/timer.hpp"
@@ -40,6 +41,7 @@ class SpatialEngine final : public Engine {
   }
 
   void run(grid::FieldSet& fs, int steps) override {
+    OBS_SPAN("engine.run", steps);
     const grid::Layout& L = fs.layout();
     const int nx = L.nx(), ny = L.ny(), nz = L.nz();
 

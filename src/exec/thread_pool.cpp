@@ -6,6 +6,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace emwd::exec {
 
 void ThreadTeam::run(int nthreads, const std::function<void(int)>& fn) {
@@ -21,7 +23,11 @@ void ThreadTeam::run(int nthreads, const std::function<void(int)>& fn) {
   std::atomic<bool> has_error{false};
   std::mutex error_mu;
 
-  auto guarded = [&](int tid) {
+  // Trace correlation is thread-local; workers inherit the caller's id so
+  // a job's engine spans group with its scheduler span in the trace.
+  const std::int64_t correlation = obs::correlation_id();
+  auto guarded = [&, correlation](int tid) {
+    obs::ScopedCorrelation scope(correlation);
     try {
       fn(tid);
     } catch (...) {

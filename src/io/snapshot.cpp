@@ -14,6 +14,8 @@
 #include <utility>
 
 #include "fault/inject.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/json.hpp"
 #include "util/timer.hpp"
 
@@ -513,6 +515,7 @@ void SnapshotWriter::capture(const grid::FieldSet& fs, const SnapshotInfo& info,
   if (!(L.interior() == extents_)) {
     throw std::invalid_argument("SnapshotWriter: FieldSet layout mismatch");
   }
+  OBS_SPAN("snapshot.capture", info.steps_done);
   util::Timer total;
   std::size_t idx = 0;
   {
@@ -547,6 +550,9 @@ void SnapshotWriter::capture(const grid::FieldSet& fs, const SnapshotInfo& info,
   buf.info = info;
   buf.path = std::move(path);
   buf.keep = keep < 1 ? 1 : keep;
+  // The background write of this buffer belongs to the capturing job's
+  // trace group, not the writer thread's (it has none).
+  buf.correlation = obs::correlation_id();
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -588,6 +594,8 @@ void SnapshotWriter::writer_loop() {
     util::Timer t;
     std::int64_t bytes = 0;
     std::exception_ptr err;
+    obs::ScopedCorrelation correlation(buf.correlation);
+    OBS_SPAN("snapshot.write", buf.info.steps_done);
     try {
       fault::maybe_fail("snapshot.writer");
       if (buf.keep > 1) rotate_snapshots(buf.path, buf.keep);
@@ -616,6 +624,14 @@ void SnapshotWriter::writer_loop() {
         stats_.bytes_written += bytes;
         stats_.write_seconds += t.seconds();
       }
+    }
+    if (!err) {
+      // Registry lookups re-resolve per write (no cached reference): a
+      // checkpoint write is file-I/O-bound, and tests may reset() the
+      // global registry between runs.
+      obs::Registry& reg = obs::Registry::global();
+      reg.counter("io.snapshots_written").inc();
+      reg.counter("io.snapshot_bytes").add(bytes);
     }
     cv_free_.notify_all();
     cv_done_.notify_all();

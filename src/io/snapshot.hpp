@@ -176,6 +176,7 @@ class SnapshotWriter {
     SnapshotInfo info;
     std::string path;
     int keep = 1;              // rotation depth for this write
+    std::int64_t correlation = -1;  // capture thread's trace correlation id
   };
 
   void writer_loop();

@@ -1,0 +1,20 @@
+#include "obs/bridge.hpp"
+
+#include <cstdint>
+#include <string>
+
+#include "fault/inject.hpp"
+#include "obs/registry.hpp"
+
+namespace emwd::obs {
+
+void bridge_fault_counters(Registry& reg) {
+  reg.gauge("fault.armed").set(fault::enabled() ? 1.0 : 0.0);
+  for (const auto& [point, st] : fault::stats()) {
+    const std::string labels = "point=\"" + point + '"';
+    reg.counter("fault.hits", labels).set(static_cast<std::int64_t>(st.hits));
+    reg.counter("fault.fires", labels).set(static_cast<std::int64_t>(st.fires));
+  }
+}
+
+}  // namespace emwd::obs

@@ -1,0 +1,278 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace emwd::obs {
+
+namespace detail {
+std::atomic<bool> g_tracing{false};
+}  // namespace detail
+
+namespace {
+
+struct TraceEvent {
+  const char* name = nullptr;
+  std::int64_t ts_ns = 0;
+  std::int64_t dur_ns = -1;  // -1 = instant
+  std::int64_t arg = -1;
+  std::int64_t correlation = -1;
+};
+
+/// One thread's event buffer.  Only the owning thread writes slots and
+/// the size counter; publication is the release store in push(), so any
+/// other thread may read the [0, size) prefix after an acquire load.  A
+/// published slot is never rewritten (full ring drops the newest event),
+/// which keeps concurrent export race-free and every exported span
+/// intact.
+struct ThreadRing {
+  explicit ThreadRing(int tid, std::size_t capacity) : tid(tid), slots(capacity) {}
+
+  void push(const TraceEvent& ev) noexcept {
+    const std::size_t n = size.load(std::memory_order_relaxed);  // owner-only
+    if (n >= slots.size()) {
+      dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    slots[n] = ev;
+    size.store(n + 1, std::memory_order_release);
+  }
+
+  const int tid;
+  std::vector<TraceEvent> slots;
+  std::atomic<std::size_t> size{0};
+  std::atomic<std::size_t> dropped{0};
+};
+
+/// Process-wide tracer state: the ring registry (mutex-guarded — touched
+/// once per thread per trace session, never on the record path after
+/// registration) and the trace epoch/clock.  Leaked like fault's
+/// registry so events recorded during static destruction stay safe.
+struct Tracer {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadRing>> rings;
+  /// Rings from previous sessions.  Retired, never destroyed: a thread
+  /// still holding a cached pointer across start_tracing() writes into
+  /// its old ring (excluded from export) instead of freed memory, and
+  /// re-registers at its next event via the epoch check.
+  std::vector<std::unique_ptr<ThreadRing>> retired;
+  std::size_t ring_capacity = 1 << 16;
+  std::int64_t base_ns = 0;  // start_tracing() instant; export time zero
+  /// Bumped by start_tracing so cached thread-local ring pointers from a
+  /// previous session re-register instead of writing into discarded
+  /// rings.
+  std::atomic<std::uint64_t> epoch{1};
+};
+
+Tracer& tracer() {
+  static Tracer* t = new Tracer();
+  return *t;
+}
+
+thread_local std::int64_t t_correlation = -1;
+
+/// Thread-local cache of this thread's ring for the current epoch.
+struct TlsRing {
+  ThreadRing* ring = nullptr;
+  std::uint64_t epoch = 0;
+};
+thread_local TlsRing t_ring;
+
+ThreadRing& local_ring() {
+  Tracer& tr = tracer();
+  const std::uint64_t epoch = tr.epoch.load(std::memory_order_acquire);
+  if (t_ring.ring == nullptr || t_ring.epoch != epoch) {
+    std::lock_guard<std::mutex> lock(tr.mu);
+    tr.rings.push_back(std::make_unique<ThreadRing>(
+        static_cast<int>(tr.rings.size()), tr.ring_capacity));
+    t_ring.ring = tr.rings.back().get();
+    t_ring.epoch = epoch;
+  }
+  return *t_ring.ring;
+}
+
+/// Env arming, read once pre-main (mirrors EMWD_FAULTS): EMWD_TRACE=1
+/// arms the tracer at process start, EMWD_TRACE_RING overrides the
+/// per-thread capacity.
+const bool g_env_configured = [] {
+  const char* arm = std::getenv("EMWD_TRACE");
+  if (arm == nullptr || std::strcmp(arm, "1") != 0) return true;
+  TraceConfig cfg;
+  if (const char* ring = std::getenv("EMWD_TRACE_RING")) {
+    const long v = std::strtol(ring, nullptr, 10);
+    if (v > 0) cfg.ring_capacity = static_cast<std::size_t>(v);
+  }
+  start_tracing(cfg);
+  return true;
+}();
+
+}  // namespace
+
+namespace detail {
+
+void span_end(const char* name, std::int64_t arg, std::int64_t start_ns) noexcept {
+  // No arming re-check: a span armed at construction records even if
+  // tracing stopped meanwhile — dropping its end would break nesting.
+  // The epoch check in local_ring() still protects a restarted session.
+  TraceEvent ev;
+  ev.name = name;
+  ev.ts_ns = start_ns;
+  ev.dur_ns = now_ns() - start_ns;
+  ev.arg = arg;
+  ev.correlation = t_correlation;
+  local_ring().push(ev);
+}
+
+}  // namespace detail
+
+void start_tracing(TraceConfig cfg) {
+  Tracer& tr = tracer();
+  {
+    std::lock_guard<std::mutex> lock(tr.mu);
+    for (auto& ring : tr.rings) tr.retired.push_back(std::move(ring));
+    tr.rings.clear();
+    tr.ring_capacity = cfg.ring_capacity > 0 ? cfg.ring_capacity : 1;
+    tr.base_ns = now_ns();
+    tr.epoch.fetch_add(1, std::memory_order_release);
+  }
+  detail::g_tracing.store(true, std::memory_order_release);
+}
+
+void stop_tracing() { detail::g_tracing.store(false, std::memory_order_release); }
+
+void emit_complete(const char* name, std::int64_t start_ns, std::int64_t arg) noexcept {
+  if (!tracing_enabled()) return;
+  detail::span_end(name, arg, start_ns);
+}
+
+void emit_instant(const char* name, std::int64_t arg) noexcept {
+  if (!tracing_enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.ts_ns = now_ns();
+  ev.dur_ns = -1;
+  ev.arg = arg;
+  ev.correlation = t_correlation;
+  local_ring().push(ev);
+}
+
+std::int64_t correlation_id() noexcept { return t_correlation; }
+void set_correlation_id(std::int64_t id) noexcept { t_correlation = id; }
+
+namespace {
+
+/// Category = the name's first dotted segment ("halo.wait" -> "halo") —
+/// the layer axis Perfetto filters on.
+std::string category_of(const char* name) {
+  const char* dot = std::strchr(name, '.');
+  return dot != nullptr ? std::string(name, dot) : std::string(name);
+}
+
+/// Snapshot one ring's published prefix.
+std::vector<TraceEvent> published(const ThreadRing& ring) {
+  const std::size_t n = ring.size.load(std::memory_order_acquire);
+  return {ring.slots.begin(), ring.slots.begin() + static_cast<std::ptrdiff_t>(n)};
+}
+
+/// Spans are recorded at scope EXIT, so a thread's events are ordered by
+/// end time and proper nesting means: walking ends in order, each span's
+/// start must not cut into any earlier-ended sibling — maintained with a
+/// stack of (start, end) intervals.  Instants are ignored.
+bool nests_properly(std::vector<TraceEvent> events) {
+  std::vector<std::pair<std::int64_t, std::int64_t>> done;  // popped intervals
+  for (const TraceEvent& ev : events) {
+    if (ev.dur_ns < 0) continue;
+    const std::int64_t begin = ev.ts_ns;
+    const std::int64_t end = ev.ts_ns + ev.dur_ns;
+    // Every previously ended span must be either fully inside [begin,end]
+    // (a child) or fully before begin (an earlier sibling).
+    while (!done.empty() && done.back().first >= begin) {
+      if (done.back().second > end) return false;  // child leaks past parent
+      done.pop_back();
+    }
+    if (!done.empty() && done.back().second > begin) return false;  // overlap
+    done.emplace_back(begin, end);
+  }
+  return true;
+}
+
+}  // namespace
+
+TraceStats trace_stats() {
+  Tracer& tr = tracer();
+  TraceStats out;
+  std::lock_guard<std::mutex> lock(tr.mu);
+  out.threads = tr.rings.size();
+  for (const auto& ring : tr.rings) {
+    const std::vector<TraceEvent> events = published(*ring);
+    out.events += events.size();
+    out.dropped += ring->dropped.load(std::memory_order_relaxed);
+    if (!nests_properly(events)) out.nesting_ok = false;
+  }
+  return out;
+}
+
+std::string chrome_trace_json() {
+  Tracer& tr = tracer();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[256];
+  std::lock_guard<std::mutex> lock(tr.mu);
+  for (const auto& ring : tr.rings) {
+    for (const TraceEvent& ev : published(*ring)) {
+      if (!first) out += ',';
+      first = false;
+      const double ts_us = static_cast<double>(ev.ts_ns - tr.base_ns) / 1000.0;
+      out += "{\"name\":";
+      out += util::json_quote(ev.name);
+      out += ",\"cat\":";
+      out += util::json_quote(category_of(ev.name));
+      if (ev.dur_ns >= 0) {
+        std::snprintf(buf, sizeof(buf), ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f",
+                      ts_us, static_cast<double>(ev.dur_ns) / 1000.0);
+      } else {
+        std::snprintf(buf, sizeof(buf), ",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f",
+                      ts_us);
+      }
+      out += buf;
+      std::snprintf(buf, sizeof(buf), ",\"pid\":1,\"tid\":%d", ring->tid);
+      out += buf;
+      if (ev.arg >= 0 || ev.correlation >= 0) {
+        out += ",\"args\":{";
+        bool first_arg = true;
+        if (ev.arg >= 0) {
+          std::snprintf(buf, sizeof(buf), "\"arg\":%lld",
+                        static_cast<long long>(ev.arg));
+          out += buf;
+          first_arg = false;
+        }
+        if (ev.correlation >= 0) {
+          if (!first_arg) out += ',';
+          std::snprintf(buf, sizeof(buf), "\"job\":%lld",
+                        static_cast<long long>(ev.correlation));
+          out += buf;
+        }
+        out += '}';
+      }
+      out += '}';
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const std::string json = chrome_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace emwd::obs

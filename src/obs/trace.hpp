@@ -1,0 +1,166 @@
+// obs::Tracer — low-overhead span/instant tracing with Chrome trace-event
+// export (load the JSON in Perfetto or chrome://tracing).
+//
+// The arming discipline is src/fault/'s: a single process-wide
+// std::atomic<bool> read with memory_order_relaxed.  A disarmed
+// OBS_SPAN is one relaxed load and an untaken branch in the constructor
+// plus a register test in the destructor — bench_micro pins the cost
+// (BM_ObsSpanDisabled) and check_obs_smoke.py gates it in CI.  Tracing
+// is armed explicitly (start_tracing) or pre-main via EMWD_TRACE=1 /
+// EMWD_TRACE_RING=<events>.
+//
+// Armed, every thread records into its own fixed-capacity event buffer
+// ("ring"): slots are written only by the owning thread and published
+// with a release store of the size counter, so concurrent export
+// (trace_stats, chrome_trace_json) is race-free without any lock on the
+// record path.  A full ring drops the NEWEST event and counts the drop —
+// recording never blocks and never overwrites a published slot, so every
+// exported span is intact and the kept prefix stays properly nested.
+//
+// Spans are recorded as single Chrome "X" (complete) events at scope
+// exit: begin/end pairing is structural per thread, and the exporter
+// still validates per-thread stack nesting (TraceStats::nesting_ok) so a
+// clock or recording bug cannot ship an unpaired timeline silently.
+//
+// Correlation ids: a thread-local job id (ScopedCorrelation) stamps
+// every span/instant the thread emits — the scheduler sets it to the
+// submission index around each job, exec::ThreadTeam propagates it into
+// engine worker threads, and the snapshot writer inherits it per capture
+// — so one daemon job's engine, halo and snapshot spans group together
+// in Perfetto without threading an id through every API.
+//
+// Span taxonomy and naming conventions: src/obs/README.md.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace emwd::obs {
+
+namespace detail {
+extern std::atomic<bool> g_tracing;  // defined in trace.cpp
+
+void span_end(const char* name, std::int64_t arg, std::int64_t start_ns) noexcept;
+}  // namespace detail
+
+/// One relaxed load: the whole cost of every OBS_SPAN/OBS_INSTANT site
+/// while tracing is off.
+inline bool tracing_enabled() noexcept {
+  return detail::g_tracing.load(std::memory_order_relaxed);
+}
+
+/// Monotonic nanoseconds (steady_clock) — the tracer's time base.
+inline std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct TraceConfig {
+  /// Per-thread event capacity.  A full ring counts drops, never blocks.
+  std::size_t ring_capacity = 1 << 16;
+};
+
+/// Arm tracing process-wide.  Discards any previously recorded events
+/// (the per-thread rings restart empty at the new capacity) and restarts
+/// the trace clock.  Safe to call again after stop_tracing().
+void start_tracing(TraceConfig cfg = {});
+
+/// Disarm.  Recorded events are retained for export.
+void stop_tracing();
+
+/// Record a complete span [start_ns, now) on the calling thread.  The
+/// manual-emission form for spans whose bounds are not a C++ scope (e.g.
+/// coalesced tile-class stretches in the MWD inner); `name` must outlive
+/// the trace (string literals).
+void emit_complete(const char* name, std::int64_t start_ns,
+                   std::int64_t arg = -1) noexcept;
+
+/// Record an instant event on the calling thread.
+void emit_instant(const char* name, std::int64_t arg = -1) noexcept;
+
+/// The whole trace as Chrome trace-event JSON ({"traceEvents":[...]}).
+/// ts/dur are microseconds relative to start_tracing().  Safe while
+/// armed (exports the published prefix of every ring).
+std::string chrome_trace_json();
+
+/// Render chrome_trace_json() to `path`; returns false on I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+struct TraceStats {
+  std::size_t events = 0;   // published across all thread rings
+  std::size_t dropped = 0;  // ring-full drops across all thread rings
+  std::size_t threads = 0;  // rings registered since start_tracing
+  bool nesting_ok = true;   // every thread's spans form a proper stack
+};
+TraceStats trace_stats();
+
+// ------------------------------------------------------- correlation ids
+
+/// Thread-local correlation id (-1 = none) stamped on every event the
+/// thread records.  Readable regardless of arming so propagation sites
+/// (ThreadTeam) stay branch-free.
+std::int64_t correlation_id() noexcept;
+void set_correlation_id(std::int64_t id) noexcept;
+
+/// RAII correlation scope: sets the thread's id, restores the previous
+/// one on exit.
+class ScopedCorrelation {
+ public:
+  explicit ScopedCorrelation(std::int64_t id) noexcept : prev_(correlation_id()) {
+    set_correlation_id(id);
+  }
+  ~ScopedCorrelation() { set_correlation_id(prev_); }
+  ScopedCorrelation(const ScopedCorrelation&) = delete;
+  ScopedCorrelation& operator=(const ScopedCorrelation&) = delete;
+
+ private:
+  std::int64_t prev_;
+};
+
+// ----------------------------------------------------------------- spans
+
+/// RAII span: records one complete event for the guard's lifetime.
+/// Constructed disarmed it holds no state and the destructor is a dead
+/// register test — the ≤2ns contract bench_micro pins.
+class SpanGuard {
+ public:
+  explicit SpanGuard(const char* name, std::int64_t arg = -1) noexcept {
+    if (tracing_enabled()) {
+      name_ = name;
+      arg_ = arg;
+      start_ns_ = now_ns();
+    }
+  }
+  ~SpanGuard() {
+    if (name_ != nullptr) detail::span_end(name_, arg_, start_ns_);
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // non-null == armed at construction
+  std::int64_t arg_ = -1;
+  std::int64_t start_ns_ = 0;
+};
+
+#define EMWD_OBS_CONCAT2(a, b) a##b
+#define EMWD_OBS_CONCAT(a, b) EMWD_OBS_CONCAT2(a, b)
+
+/// OBS_SPAN("halo.wait", shard): trace the enclosing scope.  The name
+/// must be a string literal (or otherwise outlive the trace); the
+/// optional second argument is an integer attached as args.arg.
+#define OBS_SPAN(...) \
+  ::emwd::obs::SpanGuard EMWD_OBS_CONCAT(obs_span_, __COUNTER__) { __VA_ARGS__ }
+
+/// OBS_INSTANT("sched.retry", attempt): a zero-duration marker.
+#define OBS_INSTANT(...)                                             \
+  do {                                                               \
+    if (::emwd::obs::tracing_enabled()) {                            \
+      ::emwd::obs::emit_instant(__VA_ARGS__);                        \
+    }                                                                \
+  } while (0)
+
+}  // namespace emwd::obs

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/registry.hpp"
+
 namespace emwd::serve {
 
 std::string metrics_to_json(const Metrics& server, const FairShareQueue::Stats& queue,
@@ -66,9 +68,71 @@ std::string metrics_to_json(const Metrics& server, const FairShareQueue::Stats& 
      << ",\"idle_engines\":" << scheduler.pool.idle_engines
      << ",\"idle_fields\":" << scheduler.pool.idle_fields << "},\"plans\":{"
      << "\"hits\":" << scheduler.plans.hits
-     << ",\"misses\":" << scheduler.plans.misses << "},\"mlups\":"
-     << scheduler.engine.mlups << "},\"tables_version\":" << tables_version << '}';
+     << ",\"misses\":" << scheduler.plans.misses
+     // The merged per-job engine stats ride in the canonical
+     // EngineStats::to_json object (was a hand-picked "mlups" field).
+     << "},\"engine\":" << scheduler.engine.to_json()
+     << "},\"tables_version\":" << tables_version << '}';
   return os.str();
+}
+
+void fill_registry(obs::Registry& reg, const Metrics& server,
+                   const FairShareQueue::Stats& queue,
+                   const batch::BatchStats& scheduler, std::uint64_t tables_version) {
+  const auto c = [&reg](const char* name, auto v, const char* labels = "") {
+    reg.counter(name, labels).set(static_cast<std::int64_t>(v));
+  };
+  const auto g = [&reg](const char* name, auto v) {
+    reg.gauge(name).set(static_cast<double>(v));
+  };
+
+  c("serve.connections_total", server.connections_total);
+  g("serve.connections_active", server.connections_active);
+  c("serve.requests", server.requests);
+  c("serve.protocol_errors", server.protocol_errors);
+  c("serve.results_streamed", server.results_streamed);
+  c("serve.reloads", server.reloads);
+  g("serve.inflight", server.inflight);
+  c("serve.preempt_requests", server.preempt_requests);
+  c("serve.auto_preemptions", server.auto_preemptions);
+  c("serve.job_failures", server.job_failures_transient, "class=\"transient\"");
+  c("serve.job_failures", server.job_failures_permanent, "class=\"permanent\"");
+  c("serve.job_failures", server.job_failures_deadline, "class=\"deadline\"");
+  g("serve.tables_version", tables_version);
+
+  c("queue.admitted", queue.admitted);
+  c("queue.rejected", queue.rejected_queue_full, "reason=\"queue_full\"");
+  c("queue.rejected", queue.rejected_client_full, "reason=\"client_full\"");
+  c("queue.dispatched", queue.dispatched);
+  c("queue.cancelled", queue.cancelled);
+  g("queue.pending", queue.pending);
+  g("queue.clients", queue.clients);
+
+  c("sched.jobs_submitted", scheduler.submitted);
+  c("sched.jobs_completed", scheduler.completed);
+  c("sched.jobs_failed", scheduler.failed);
+  c("sched.jobs_cancelled", scheduler.cancelled);
+  g("sched.jobs_queued", scheduler.queued);
+  g("sched.jobs_running", scheduler.running);
+  c("sched.retries", scheduler.retries);
+  c("sched.preempted", scheduler.preempted);
+  c("sched.resumed", scheduler.resumed);
+  c("sched.snapshots_written", scheduler.snapshots_written);
+  c("sched.snapshot_bytes", scheduler.snapshot_bytes);
+  c("sched.quarantined", scheduler.quarantined);
+  c("sched.plan_cache_hits", scheduler.plans.hits);
+  c("sched.plan_cache_misses", scheduler.plans.misses);
+  c("sched.pool_engine_hits", scheduler.pool.engine_hits);
+  c("sched.pool_engine_builds", scheduler.pool.engine_builds);
+
+  // The merged EngineStats of every completed job (exec::EngineStats).
+  c("engine.steps", scheduler.engine.steps);
+  c("engine.lups", scheduler.engine.lups);
+  c("engine.tiles_executed", scheduler.engine.tiles_executed);
+  c("engine.halo_bytes_moved", scheduler.engine.halo_bytes_moved);
+  g("engine.seconds", scheduler.engine.seconds);
+  g("engine.mlups", scheduler.engine.mlups);
+  g("engine.halo_exposed_seconds", scheduler.engine.halo_exposed_seconds());
 }
 
 }  // namespace emwd::serve

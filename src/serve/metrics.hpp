@@ -18,6 +18,10 @@
 #include "batch/scheduler.hpp"
 #include "serve/fair_share.hpp"
 
+namespace emwd::obs {
+class Registry;  // obs/registry.hpp — fill_registry's target
+}
+
 namespace emwd::serve {
 
 /// Per-connected-client failure breakdown, surfaced in the Status payload's
@@ -57,5 +61,17 @@ struct Metrics {
 std::string metrics_to_json(const Metrics& server, const FairShareQueue::Stats& queue,
                             const batch::BatchStats& scheduler,
                             std::uint64_t tables_version);
+
+/// Mirror the same three snapshots into an obs::Registry (Counter::set —
+/// overwrite, never accumulate), so the registry's Prometheus/JSON export
+/// and metrics_to_json agree exactly when fed identical snapshots.  The
+/// daemon's metrics op calls both on ONE snapshot for that reason.
+/// Aggregate counters only: the per-client breakdown stays in the status
+/// JSON (session ids are unbounded, and registry label series are
+/// process-lifetime — mirroring them would leak one series per client
+/// ever connected).
+void fill_registry(obs::Registry& reg, const Metrics& server,
+                   const FairShareQueue::Stats& queue,
+                   const batch::BatchStats& scheduler, std::uint64_t tables_version);
 
 }  // namespace emwd::serve

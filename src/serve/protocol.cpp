@@ -24,6 +24,7 @@ Op op_by_name(const std::string& name) {
   if (name == "shutdown") return Op::Shutdown;
   if (name == "preempt") return Op::Preempt;
   if (name == "checkpoint") return Op::Checkpoint;
+  if (name == "metrics") return Op::Metrics;
   throw std::invalid_argument("serve: unknown op \"" + name + '"');
 }
 

@@ -61,6 +61,11 @@ enum class Op {
   /// {"op":"checkpoint"} — ask every running checkpointing job to write one
   /// snapshot at its next safe boundary; answers ack with the count.
   Checkpoint,
+  /// {"op":"metrics"} — answer {"type":"metrics","status":{...},
+  /// "prometheus":"..."}: the Status document and the obs::Registry
+  /// Prometheus text exposition, both rendered from ONE lock-consistent
+  /// snapshot so their counters agree exactly.
+  Metrics,
 };
 
 struct Request {

@@ -6,6 +6,11 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/bridge.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "util/timer.hpp"
+
 namespace emwd::serve {
 
 namespace {
@@ -110,15 +115,15 @@ void Server::stop() {
   }
 }
 
-std::string Server::status_json() const {
-  Metrics m;
+Server::StatusSnapshot Server::collect_status() const {
+  StatusSnapshot snap;
   {
     std::lock_guard<std::mutex> lock(metrics_mu_);
-    m = metrics_;
+    snap.server = metrics_;
   }
   {
     std::lock_guard<std::mutex> lock(inflight_mu_);
-    m.inflight = inflight_;
+    snap.server.inflight = inflight_;
   }
   {
     // Per-client failure breakdown, live sessions only.
@@ -131,10 +136,31 @@ std::string Server::status_json() const {
       c.failed_transient = session->failed_transient.load();
       c.failed_permanent = session->failed_permanent.load();
       c.failed_deadline = session->failed_deadline.load();
-      m.clients.push_back(c);
+      snap.server.clients.push_back(c);
     }
   }
-  return metrics_to_json(m, queue_.stats(), scheduler_.stats(), store_.version());
+  snap.queue = queue_.stats();
+  snap.scheduler = scheduler_.stats();
+  snap.tables_version = store_.version();
+  return snap;
+}
+
+std::string Server::status_json() const {
+  const StatusSnapshot snap = collect_status();
+  return metrics_to_json(snap.server, snap.queue, snap.scheduler, snap.tables_version);
+}
+
+std::string Server::metrics_json() const {
+  // One snapshot feeds BOTH renderings: any counter present in the status
+  // JSON and the Prometheus text reports the identical value in this frame.
+  const StatusSnapshot snap = collect_status();
+  obs::Registry& reg = obs::Registry::global();
+  fill_registry(reg, snap.server, snap.queue, snap.scheduler, snap.tables_version);
+  obs::bridge_fault_counters(reg);
+  return "{\"type\":\"metrics\",\"status\":" +
+         metrics_to_json(snap.server, snap.queue, snap.scheduler,
+                         snap.tables_version) +
+         ",\"prometheus\":" + util::json_quote(reg.to_prometheus()) + '}';
 }
 
 void Server::accept_loop() {
@@ -224,13 +250,22 @@ void Server::session_loop(const std::shared_ptr<Session>& session) {
       std::lock_guard<std::mutex> lock(metrics_mu_);
       ++metrics_.requests;
     }
-    try {
-      handle_request(session, req);
-    } catch (const std::exception& e) {
-      // classify_error maps logic/argument errors (the request is wrong) to
-      // "permanent" and daemon-side trouble to "transient", telling the
-      // client whether resending the identical request can ever help.
-      send_to(session, make_error(req.id, e.what(), batch::classify_error(e)));
+    {
+      OBS_SPAN("serve.request", session->id);
+      util::Timer rt;
+      try {
+        handle_request(session, req);
+      } catch (const std::exception& e) {
+        // classify_error maps logic/argument errors (the request is wrong)
+        // to "permanent" and daemon-side trouble to "transient", telling the
+        // client whether resending the identical request can ever help.
+        send_to(session, make_error(req.id, e.what(), batch::classify_error(e)));
+      }
+      // Live latency histogram (not a scrape-time bridge: duration must be
+      // observed as it happens).  Buckets span socket-op to long-sweep time.
+      obs::Registry::global()
+          .histogram("serve.request_seconds", {0.001, 0.01, 0.1, 1.0, 10.0})
+          .observe(rt.seconds());
     }
   }
   session->open.store(false);
@@ -321,6 +356,9 @@ void Server::handle_request(const std::shared_ptr<Session>& session,
     }
     case Op::Checkpoint:
       send_to(session, make_ack(req.id, scheduler_.checkpoint_running()));
+      return;
+    case Op::Metrics:
+      send_to(session, metrics_json());
       return;
     case Op::Sweep: {
       const SweepSpec spec = parse_sweep_spec(req.doc.get_string("spec", ""));

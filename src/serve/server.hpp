@@ -87,7 +87,23 @@ class Server {
   /// The Status payload (also used by the Status op).
   std::string status_json() const;
 
+  /// The Metrics payload: {"type":"metrics","status":{...},
+  /// "prometheus":"..."}.  Status JSON and Prometheus text are rendered
+  /// from ONE collect_status() snapshot (plus the fault-injection bridge),
+  /// so every counter present in both agrees exactly — serve_test and the
+  /// CI obs smoke assert that identity under load.
+  std::string metrics_json() const;
+
  private:
+  /// One lock-consistent pass over the daemon's three stats sources (the
+  /// shared source for status_json and metrics_json).
+  struct StatusSnapshot {
+    Metrics server;
+    FairShareQueue::Stats queue;
+    batch::BatchStats scheduler;
+    std::uint64_t tables_version = 0;
+  };
+  StatusSnapshot collect_status() const;
   /// Per-connection state shared between the session thread and result
   /// sinks (which run on scheduler executor threads and may outlive the
   /// connection).

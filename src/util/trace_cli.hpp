@@ -1,0 +1,61 @@
+// The unified --trace flag: every traced binary (spectrum_sweep,
+// sharded_demo, bench_shard_scaling, emwdd) arms obs span tracing the same
+// way and writes the same Chrome trace-event JSON — load the file in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+//
+//   --trace run.json            arm tracing, export on exit
+//   --trace-ring 131072         per-thread event capacity (drops counted)
+//
+// Lives in util (not obs) for the same reason as engine_cli.hpp: examples
+// and benches include one helper instead of reaching across top-level
+// directories for flag plumbing.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "obs/trace.hpp"
+#include "util/cli.hpp"
+
+namespace emwd::util {
+
+/// Declare --trace / --trace-ring on a util::Cli.
+inline void add_trace_flags(util::Cli& cli) {
+  cli.add_flag("trace", "write a Chrome trace-event JSON (Perfetto) to FILE", "");
+  cli.add_flag("trace-ring", "per-thread trace event capacity", "65536");
+}
+
+/// Arm tracing per the parsed flags; the destructor stops tracing and
+/// exports the file.  Inert when --trace was not given.
+class TraceFromCli {
+ public:
+  explicit TraceFromCli(const util::Cli& cli) : path_(cli.get("trace")) {
+    if (path_.empty()) return;
+    obs::TraceConfig cfg;
+    const long ring = cli.get_int("trace-ring", 65536);
+    if (ring > 0) cfg.ring_capacity = static_cast<std::size_t>(ring);
+    obs::start_tracing(cfg);
+  }
+
+  ~TraceFromCli() {
+    if (path_.empty()) return;
+    obs::stop_tracing();
+    const obs::TraceStats st = obs::trace_stats();
+    if (obs::write_chrome_trace(path_)) {
+      std::fprintf(stderr,
+                   "wrote trace %s (%zu events, %zu threads, %zu dropped%s)\n",
+                   path_.c_str(), st.events, st.threads, st.dropped,
+                   st.nesting_ok ? "" : ", NESTING BROKEN");
+    } else {
+      std::fprintf(stderr, "failed to write trace %s\n", path_.c_str());
+    }
+  }
+
+  TraceFromCli(const TraceFromCli&) = delete;
+  TraceFromCli& operator=(const TraceFromCli&) = delete;
+
+ private:
+  std::string path_;
+};
+
+}  // namespace emwd::util

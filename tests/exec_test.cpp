@@ -14,6 +14,7 @@
 #include "exec/traversal.hpp"
 #include "kernels/reference.hpp"
 #include "tiling/diamond.hpp"
+#include "util/json.hpp"
 
 namespace {
 
@@ -296,6 +297,47 @@ TEST(EngineStatsMerge, SumsTimesAndCountersMaxesPeaks) {
   EXPECT_EQ(a.halo_transport, "shm");
   // Wall-time-weighted mean throughput: (30*1 + 10*3) / 4.
   EXPECT_EQ(a.mlups, 15.0);
+}
+
+TEST(EngineStatsJson, RoundTripsEveryField) {
+  const exec::EngineStats x = sample_stats(2.0, 10.0);
+  const exec::EngineStats y =
+      exec::EngineStats::from_json(util::JsonValue::parse(x.to_json()));
+  EXPECT_EQ(y.seconds, x.seconds);
+  EXPECT_EQ(y.steps, x.steps);
+  EXPECT_EQ(y.lups, x.lups);
+  EXPECT_EQ(y.mlups, x.mlups);
+  EXPECT_EQ(y.tiles_executed, x.tiles_executed);
+  EXPECT_EQ(y.barrier_episodes, x.barrier_episodes);
+  EXPECT_EQ(y.queue_wait_seconds, x.queue_wait_seconds);
+  EXPECT_EQ(y.barrier_wait_seconds, x.barrier_wait_seconds);
+  EXPECT_EQ(y.shards, x.shards);
+  EXPECT_EQ(y.halo_exchange_seconds, x.halo_exchange_seconds);
+  EXPECT_EQ(y.halo_bytes_moved, x.halo_bytes_moved);
+  EXPECT_EQ(y.halo_wait_seconds, x.halo_wait_seconds);
+  EXPECT_EQ(y.halo_hidden_seconds, x.halo_hidden_seconds);
+  EXPECT_EQ(y.halo_overlapped, x.halo_overlapped);
+  EXPECT_EQ(y.halo_staged_bytes, x.halo_staged_bytes);
+  EXPECT_EQ(y.halo_unstaged_bytes, x.halo_unstaged_bytes);
+  EXPECT_EQ(y.halo_stage_seconds, x.halo_stage_seconds);
+  EXPECT_EQ(y.halo_unstage_seconds, x.halo_unstage_seconds);
+  EXPECT_EQ(y.halo_transport, x.halo_transport);
+  // kernel_isa is interned to the dispatch-table strings on read.
+  EXPECT_STREQ(y.kernel_isa, x.kernel_isa);
+  // The serialized form also carries the derived exposure (for consumers
+  // that read the JSON without this struct); it must match the recompute.
+  EXPECT_EQ(y.halo_exposed_seconds(), x.halo_exposed_seconds());
+  // Canonical form: serializing the round-tripped stats is a fixed point.
+  EXPECT_EQ(y.to_json(), x.to_json());
+}
+
+TEST(EngineStatsJson, AbsentFieldsKeepDefaultsUnknownIgnored) {
+  const exec::EngineStats s = exec::EngineStats::from_json(
+      util::JsonValue::parse("{\"steps\":3,\"not_a_field\":1}"));
+  EXPECT_EQ(s.steps, 3);
+  EXPECT_EQ(s.seconds, 0.0);
+  EXPECT_EQ(s.shards, 1);
+  EXPECT_STREQ(s.kernel_isa, "scalar");
 }
 
 TEST(EngineStatsMerge, ZeroSecondsPairTakesMaxMlups) {

@@ -501,6 +501,82 @@ class GatedServer {
   Client gate_client_;
 };
 
+/// Prometheus text samples keyed by "name{labels}"; # comment lines skipped.
+std::map<std::string, double> parse_prometheus(const std::string& text) {
+  std::map<std::string, double> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    out[line.substr(0, space)] = std::stod(line.substr(space + 1));
+  }
+  return out;
+}
+
+TEST(ServeEndToEnd, MetricsOpMatchesStatusFromOneSnapshot) {
+  const std::string path = test_socket_path("metrics");
+  serve::ServerConfig cfg = small_server(path);
+  cfg.scheduler.concurrency = 1;
+  cfg.max_inflight = 1;
+  // Scrape while the gate job holds the only slot: the running/queued
+  // gauges are live, so any two-pass collection would race and disagree.
+  GatedServer gated(path, cfg);
+
+  Client client(path);
+  Client second(path);
+  (void)second;  // a second connection so connections_active > 1
+  client.send("{\"op\":\"metrics\"}");
+  const JsonValue metrics = client.recv();
+  EXPECT_EQ(metrics.get_string("type", ""), "metrics");
+  const JsonValue* status = metrics.find("status");
+  ASSERT_NE(status, nullptr);
+  const std::map<std::string, double> prom =
+      parse_prometheus(metrics.get_string("prometheus", ""));
+  ASSERT_FALSE(prom.empty());
+
+  // Every counter present in both renderings agrees exactly: they were
+  // filled from the ONE collect_status() snapshot behind this reply.
+  const JsonValue* sched = status->find("scheduler");
+  const JsonValue* queue = status->find("queue");
+  const JsonValue* server = status->find("server");
+  ASSERT_NE(sched, nullptr);
+  ASSERT_NE(queue, nullptr);
+  ASSERT_NE(server, nullptr);
+  const auto sample = [&prom](const std::string& key) {
+    const auto it = prom.find(key);
+    if (it == prom.end()) {
+      ADD_FAILURE() << "prometheus text lacks " << key;
+      return -1.0;
+    }
+    return it->second;
+  };
+  EXPECT_EQ(sample("emwd_sched_jobs_submitted"), sched->get_int("submitted", -1));
+  EXPECT_EQ(sample("emwd_sched_jobs_completed"), sched->get_int("completed", -1));
+  EXPECT_EQ(sample("emwd_sched_jobs_running"), sched->get_int("running", -1));
+  EXPECT_EQ(sample("emwd_sched_jobs_queued"), sched->get_int("queued", -1));
+  EXPECT_EQ(sample("emwd_queue_admitted"), queue->get_int("admitted", -1));
+  EXPECT_EQ(sample("emwd_queue_dispatched"), queue->get_int("dispatched", -1));
+  EXPECT_EQ(sample("emwd_serve_requests"), server->get_int("requests", -1));
+  EXPECT_EQ(sample("emwd_serve_connections_active"),
+            server->get_int("connections_active", -1));
+  EXPECT_EQ(sample("emwd_serve_results_streamed"),
+            server->get_int("results_streamed", -1));
+  EXPECT_EQ(sample("emwd_serve_tables_version"),
+            status->get_int("tables_version", -1));
+  // The gate job is mid-flight, so the identity has live terms in it.
+  EXPECT_GE(sample("emwd_sched_jobs_running"), 1.0);
+  EXPECT_EQ(sample("emwd_sched_jobs_queued") + sample("emwd_sched_jobs_running") +
+                sample("emwd_sched_jobs_completed") + sample("emwd_sched_jobs_failed") +
+                sample("emwd_sched_jobs_cancelled"),
+            sample("emwd_sched_jobs_submitted"));
+
+  const Client::SweepOutcome gate = gated.finish_gate();
+  EXPECT_EQ(gate.results.size(), 1u);
+  gated.server().stop();
+}
+
 TEST(ServeEndToEnd, AdmissionBoundRejectsExplicitlyAndStillCompletes) {
   const std::string path = test_socket_path("reject");
   serve::ServerConfig cfg = small_server(path);
